@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs a deterministic simulator sweep exactly once
+(`rounds=1`): the *simulated* microseconds are the measurement — they
+are attached to ``benchmark.extra_info`` and printed as paper-style
+tables — while pytest-benchmark's wall-clock column merely tracks
+harness cost.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        box = {}
+
+        def call():
+            box["result"] = fn(*args, **kwargs)
+
+        benchmark.pedantic(call, rounds=1, iterations=1)
+        return box["result"]
+
+    return runner

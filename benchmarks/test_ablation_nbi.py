@@ -1,0 +1,60 @@
+"""Ablation §5.3.2: non-blocking (nbi) vs blocking NVSHMEM expansion.
+
+"In order to ameliorate this [limited intra-kernel overlap], we expand
+to nonblocking variants of NVSHMEM memory operations, such as
+nvshmem_putmem_nbi() by default in our library nodes."
+"""
+
+import numpy as np
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.distributed import GridDecomposition2D
+from repro.sdfg.programs import (
+    CONJUGATES_2D,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sim import Tracer
+
+
+def run_2d_generated(nbi: bool, ranks: int = 8, tile: int = 1024, tsteps: int = 6):
+    gy, gx = tile * 2, tile * 4  # matches the wide 2x4 grid at 8 ranks
+    decomp = GridDecomposition2D(gy, gx, ranks)
+    args = decomp.rank_args(np.zeros((gy + 2, gx + 2)), tsteps)
+    args = [{k: v for k, v in a.items() if k not in ("A", "B")} for a in args]
+    sdfg = cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D, nbi=nbi)
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+    return SDFGExecutor(sdfg, ctx, with_data=False).run(args)
+
+
+def test_nbi_default_beats_blocking_puts(run_once, benchmark):
+    def experiment():
+        return run_2d_generated(nbi=True), run_2d_generated(nbi=False)
+
+    nonblocking, blocking = run_once(experiment)
+    improvement = (blocking.total_time_us - nonblocking.total_time_us) \
+        / blocking.total_time_us * 100
+    print(f"\nnbi={nonblocking.per_iteration_us:.1f}us/iter "
+          f"blocking={blocking.per_iteration_us:.1f}us/iter "
+          f"improvement={improvement:.1f}%")
+    benchmark.extra_info["nbi_improvement_%"] = improvement
+    # blocking puts serialize wire time into the single issuing thread
+    assert improvement > 2.0
+
+
+def test_blocking_variant_still_correct():
+    """The blocking expansion must produce identical numerics."""
+    rng = np.random.default_rng(11)
+    gy, gx, ranks, tsteps = 16, 24, 8, 4
+    u0 = rng.random((gy + 2, gx + 2))
+    decomp = GridDecomposition2D(gy, gx, ranks)
+
+    results = []
+    for nbi in (True, False):
+        sdfg = cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D, nbi=nbi)
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+        report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, tsteps))
+        results.append(decomp.gather(report.arrays, u0))
+    np.testing.assert_array_equal(results[0], results[1])

@@ -1,0 +1,38 @@
+"""Figure 2.2: the motivation experiment.
+
+(a) pure communication + synchronization overhead with no computation
+    on 2-8 GPUs: the CPU-controlled overlapping baseline's overhead
+    grows steeply with GPU count while CPU-Free stays flat and small;
+(b) at 8 GPUs on the small domain, communication consumes ~96% of the
+    baseline's execution time with little of it overlapped, while the
+    CPU-Free version hides almost all of it.
+"""
+
+from repro.bench import fig22_motivation, render_figure
+
+
+def test_fig22a_pure_comm_overhead(run_once):
+    fig_a, _ = run_once(fig22_motivation)
+    print("\n" + render_figure(fig_a))
+    overlap_2 = fig_a.at("baseline_overlap", 2).per_iteration_us
+    overlap_8 = fig_a.at("baseline_overlap", 8).per_iteration_us
+    cpufree_2 = fig_a.at("cpufree", 2).per_iteration_us
+    cpufree_8 = fig_a.at("cpufree", 8).per_iteration_us
+    # baseline overhead grows steeply with GPUs; CPU-free stays flat
+    assert overlap_8 > 3 * overlap_2
+    assert cpufree_8 < 1.5 * cpufree_2
+    # and the gap at 8 GPUs is an order of magnitude
+    assert overlap_8 > 10 * cpufree_8
+
+
+def test_fig22b_comm_fraction_and_overlap(run_once, benchmark):
+    _, fig_b = run_once(fig22_motivation)
+    print("\n" + render_figure(fig_b))
+    benchmark.extra_info.update(fig_b.headlines)
+    # paper: communication takes ~96% of baseline execution time
+    assert fig_b.headlines["baseline_overlap_comm_fraction"] > 0.9
+    # paper: CPU-free's total is almost pure overhead-free execution;
+    # its residual comm path is tiny in absolute terms
+    base = fig_b.at("baseline_overlap", 8)
+    free = fig_b.at("cpufree", 8)
+    assert free.comm_us_per_iter < 0.1 * base.comm_us_per_iter

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Conjugate Gradient on the CPU-Free model (extension application).
+
+Solves the 2D Poisson system ``A u = b`` with unpreconditioned CG on 4
+simulated GPUs, in both execution models, and verifies the distributed
+solutions bit-exactly against a chunk-ordered reference solver.  CG's
+two global reductions per iteration make it the latency-bound extreme
+of the paper's argument — watch the speedup exceed the stencil's.
+
+Usage::
+
+    python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.apps import CGConfig, reference_cg, run_cg
+from repro.apps.cg import default_rhs, laplacian_apply
+
+
+def main() -> None:
+    config = CGConfig(global_shape=(66, 66), num_gpus=4, iterations=40)
+    print(f"solving A u = b on {config.global_shape} with "
+          f"{config.num_gpus} GPUs, {config.iterations} CG iterations\n")
+
+    b = default_rhs(config.global_shape, config.seed)
+    expected = reference_cg(b, config.iterations, num_chunks=config.num_gpus)
+
+    results = {}
+    for variant in ("cg_baseline", "cg_cpufree"):
+        result = run_cg(variant, config)
+        exact = np.array_equal(result.solution, expected)
+        results[variant] = result
+        print(f"{variant:>12}: {result.per_iteration_us:8.2f} us/iteration   "
+              f"residual |r|^2 = {result.final_residual_norm2:.3e}   "
+              f"numerics {'bit-exact' if exact else 'MISMATCH'}")
+        if not exact:
+            raise SystemExit(f"{variant} diverged from the reference")
+
+    speedup = results["cg_cpufree"].speedup_over(results["cg_baseline"])
+    print(f"\nCPU-Free speedup: {speedup:.1f}% "
+          f"(two device-side reductions/iter vs two MPI_Allreduce + 5 launches)")
+
+    # show the solution actually solves the system
+    x = results["cg_cpufree"].solution
+    q = np.zeros_like(x)
+    laplacian_apply(x, q)
+    err = np.max(np.abs(q[1:-1, 1:-1] - b[1:-1, 1:-1]))
+    print(f"max |A u - b| on the interior after {config.iterations} iterations: {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

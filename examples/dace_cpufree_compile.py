@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compile a high-level Python stencil to CPU-Free code (paper Ch. 5).
+
+Walks the full compiler pipeline on the distributed 2D Jacobi
+benchmark: parse the ``@program`` function into an SDFG, apply the
+baseline passes (GPU port + map fusion), then the CPU-Free lowering
+(MPI→NVSHMEM, symmetric storage, persistent-kernel fusion), show the
+generated pseudo-CUDA for both versions, and execute both on the
+simulator — validating the generated CPU-Free code bit-exactly against
+the MPI baseline and reporting the speedup.
+
+Usage::
+
+    python examples/dace_cpufree_compile.py
+"""
+
+import numpy as np
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg.codegen import SDFGExecutor, generate_cuda
+from repro.sdfg.distributed import GridDecomposition2D
+from repro.sdfg.programs import (
+    CONJUGATES_2D,
+    baseline_pipeline,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sim import Tracer
+
+RANKS = 4
+GY = GX = 32
+TSTEPS = 6
+
+
+def run(sdfg, decomp, u0):
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(RANKS), tracer=Tracer())
+    report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, TSTEPS))
+    return report, decomp.gather(report.arrays, u0)
+
+
+def main() -> None:
+    print("── frontend: high-level Python → SDFG " + "─" * 30)
+    sdfg = build_jacobi_2d_sdfg()
+    print(sdfg.describe()[:1200], "\n  ...")
+
+    print("\n── baseline pipeline (GPUTransform + MapFusion) " + "─" * 20)
+    baseline = baseline_pipeline(build_jacobi_2d_sdfg())
+    baseline_code = generate_cuda(baseline)
+    print("\n".join(baseline_code.splitlines()[:18]), "\n  ...")
+
+    print("\n── CPU-Free pipeline (+ MPIToNVSHMEM + NVSHMEMArray "
+          "+ GPUPersistentKernel) " + "─" * 5)
+    cpufree = cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D)
+    cpufree_code = generate_cuda(cpufree)
+    print("\n".join(cpufree_code.splitlines()[:26]), "\n  ...")
+
+    for token in ("nvshmemx_putmem_signal_nbi_block", "nvshmem_double_iput",
+                  "nvshmem_quiet", "grid.sync"):
+        assert token in cpufree_code, token
+    print("\ngenerated code contains the Listing 5.5/5.6 call sequence ✓")
+
+    print("\n── execution on the simulated 4-GPU node " + "─" * 27)
+    rng = np.random.default_rng(0)
+    u0 = rng.random((GY + 2, GX + 2))
+    decomp = GridDecomposition2D(GY, GX, RANKS)
+
+    base_report, base_result = run(baseline, decomp, u0)
+    free_report, free_result = run(cpufree, decomp, u0)
+
+    assert np.array_equal(base_result, free_result), "generated code diverged!"
+    print("baseline and CPU-Free results are bit-identical ✓")
+    print(f"baseline : {base_report.per_iteration_us:9.1f} us/iteration "
+          f"(comm {base_report.comm_time_us / base_report.iterations:7.1f})")
+    print(f"cpu-free : {free_report.per_iteration_us:9.1f} us/iteration "
+          f"(comm {free_report.comm_time_us / free_report.iterations:7.1f})")
+    improvement = (base_report.total_time_us - free_report.total_time_us) \
+        / base_report.total_time_us * 100
+    print(f"improvement: {improvement:.1f}% "
+          f"(paper Fig 6.3b reports 96.8% at 8 GPUs on large domains)")
+
+
+if __name__ == "__main__":
+    main()

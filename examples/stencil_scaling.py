@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Weak- and strong-scaling study across all stencil variants.
+
+A compact version of the paper's Figure 6.1 / 6.2 sweeps: runs every
+communication variant over 1-8 GPUs for a chosen domain-size class and
+prints the paper-style scaling tables, including the no-compute
+(pure communication overhead) mode of Figure 2.2a.
+
+Usage::
+
+    python examples/stencil_scaling.py [small|medium|large]
+"""
+
+import sys
+
+from repro.bench import fig61_weak_2d, fig62_3d, render_figure
+from repro.bench.figures import SIZE_CLASSES_2D
+
+
+def main() -> None:
+    size = sys.argv[1] if len(sys.argv) > 1 else "small"
+    if size not in SIZE_CLASSES_2D:
+        raise SystemExit(f"unknown size {size!r}; pick one of {sorted(SIZE_CLASSES_2D)}")
+
+    print("=" * 70)
+    print(f"2D Jacobi weak scaling — {size} "
+          f"({SIZE_CLASSES_2D[size]}^2 global at 8 GPUs)")
+    print("=" * 70)
+    fig = fig61_weak_2d(size, iterations=40)
+    print(render_figure(fig))
+
+    print()
+    print("=" * 70)
+    print("3D Jacobi — weak scaling, strong scaling, and pure-comm mode")
+    print("=" * 70)
+    figs = fig62_3d(iterations=30)
+    for key in ("weak", "weak_nocompute", "strong", "strong_nocompute"):
+        print(render_figure(figs[key]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

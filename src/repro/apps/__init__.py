@@ -1,0 +1,13 @@
+"""Additional iterative applications on the CPU-Free model.
+
+The paper's proof of concept is the Jacobi stencil; PERKS (Zhang et
+al. 2022), whose kernels the paper integrates, additionally evaluates
+**Conjugate Gradient** — an iterative solver whose per-iteration
+*global reductions* stress exactly the host-latency path the CPU-Free
+model removes.  :mod:`repro.apps.cg` implements multi-GPU CG in both
+execution models as the natural extension workload.
+"""
+
+from repro.apps.cg import CGConfig, CGResult, reference_cg, run_cg
+
+__all__ = ["CGConfig", "CGResult", "reference_cg", "run_cg"]

@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate every paper figure.
+
+Usage::
+
+    python -m repro.bench                 # all figures, print tables
+    python -m repro.bench 6.1 6.3b        # a subset
+    python -m repro.bench --out report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import (
+    fig22_motivation,
+    fig61_weak_2d,
+    fig62_3d,
+    fig63a_dace_1d,
+    fig63b_dace_2d,
+)
+from repro.bench.report import render_figure
+
+
+def _run_22():
+    a, b = fig22_motivation()
+    return [a, b]
+
+
+def _run_61():
+    return [fig61_weak_2d(size) for size in ("small", "medium", "large")]
+
+
+def _run_62():
+    figs = fig62_3d()
+    return [figs[k] for k in ("weak", "weak_nocompute", "strong", "strong_nocompute")]
+
+
+FIGURES = {
+    "2.2": _run_22,
+    "6.1": _run_61,
+    "6.2": _run_62,
+    "6.3a": lambda: [fig63a_dace_1d()],
+    "6.3b": lambda: [fig63b_dace_2d()],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures on the simulator.",
+    )
+    parser.add_argument("figures", nargs="*", default=[],
+                        help=f"figure ids to run (default: all of {sorted(FIGURES)})")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--paper", action="store_true",
+                        help="evaluate every paper claim and print the verdict table")
+    args = parser.parse_args(argv)
+
+    if args.paper:
+        from repro.bench.paper import evaluate_claims, render_claims
+
+        report = render_claims(evaluate_claims())
+        print(report)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report)
+        return 0
+
+    selected = args.figures or sorted(FIGURES)
+    unknown = [f for f in selected if f not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure id(s) {unknown}; choose from {sorted(FIGURES)}")
+
+    sections: list[str] = []
+    for figure_id in selected:
+        started = time.perf_counter()
+        for fig in FIGURES[figure_id]():
+            sections.append(render_figure(fig))
+        elapsed = time.perf_counter() - started
+        sections.append(f"(figure {figure_id} regenerated in {elapsed:.1f}s wall time)")
+        sections.append("")
+
+    report = "\n".join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""Experiment definitions for every figure in the paper's evaluation.
+
+Domain-size conventions (derived in DESIGN.md §5 / EXPERIMENTS.md):
+the paper's labels (256², 2048², 8192² for 2D) are the *8-GPU global*
+domain sizes — the reading consistent with its device-saturation
+classification and with the reported speedups.  Weak scaling keeps a
+constant per-GPU chunk of ``label² / 8`` elements and stacks chunks
+along axis 0.  Strong scaling fixes the global domain.
+
+All sweeps run the simulator in timing-only mode (``with_data=False``)
+— simulated time is identical with or without the backing NumPy data
+(asserted by the test suite), and correctness is covered by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.distributed import GridDecomposition2D, SlabDecomposition1D
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    CONJUGATES_2D,
+    baseline_pipeline,
+    build_jacobi_1d_sdfg,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sim import Tracer
+from repro.stencil import StencilConfig, run_variant
+
+__all__ = [
+    "DEFAULT_GPU_COUNTS",
+    "FigureData",
+    "Row",
+    "STENCIL_VARIANTS",
+    "fig22_motivation",
+    "fig61_weak_2d",
+    "fig62_3d",
+    "fig63a_dace_1d",
+    "fig63b_dace_2d",
+    "weak_shape_2d",
+    "weak_shape_3d",
+]
+
+DEFAULT_GPU_COUNTS = (1, 2, 4, 8)
+STENCIL_VARIANTS = (
+    "baseline_copy",
+    "baseline_overlap",
+    "baseline_p2p",
+    "baseline_nvshmem",
+    "cpufree",
+    "cpufree_perks",
+)
+
+#: the paper's 2D domain-size classes (8-GPU global edge length)
+SIZE_CLASSES_2D = {"small": 256, "medium": 2048, "large": 8192}
+#: 3D domain (8-GPU global edge length); "large" per the paper's §6.1.2
+SIZE_3D = 512
+
+
+@dataclass
+class Row:
+    """One measured point of a figure."""
+
+    series: str
+    x: int  #: GPU count
+    per_iteration_us: float
+    comm_us_per_iter: float = 0.0
+    overlap_ratio: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class FigureData:
+    """All rows of one (sub)figure plus derived headline metrics."""
+
+    figure: str
+    title: str
+    rows: list[Row]
+    headlines: dict[str, float] = field(default_factory=dict)
+
+    def series(self, name: str) -> list[Row]:
+        return [r for r in self.rows if r.series == name]
+
+    def at(self, series: str, x: int) -> Row:
+        for row in self.rows:
+            if row.series == series and row.x == x:
+                return row
+        raise KeyError(f"no row for {series} at {x} GPUs")
+
+    def speedup(self, ours: str, baseline: str, x: int) -> float:
+        """Paper §6 speedup formula, percent."""
+        t_base = self.at(baseline, x).per_iteration_us
+        t_ours = self.at(ours, x).per_iteration_us
+        return (t_base - t_ours) / t_base * 100.0
+
+
+# ------------------------------ shapes ---------------------------------------
+
+
+def weak_shape_2d(label_edge: int, gpus: int) -> tuple[int, int]:
+    """Global 2D shape (with Dirichlet ring) at ``gpus`` devices for a
+    size class labeled by its 8-GPU edge length."""
+    rows_per_gpu = label_edge // 8
+    if rows_per_gpu < 3:
+        raise ValueError("size label too small for the 8-way weak-scaling chunking")
+    return (rows_per_gpu * gpus + 2, label_edge + 2)
+
+
+def weak_shape_3d(label_edge: int, gpus: int) -> tuple[int, int, int]:
+    """Global 3D shape at ``gpus`` devices (z-axis slab decomposition)."""
+    planes_per_gpu = label_edge // 8
+    return (planes_per_gpu * gpus + 2, label_edge + 2, label_edge + 2)
+
+
+def _stencil_rows(
+    shapes: dict[int, tuple[int, ...]],
+    variants: tuple[str, ...],
+    iterations: int,
+    *,
+    no_compute: bool = False,
+) -> list[Row]:
+    rows = []
+    for gpus, shape in shapes.items():
+        for variant in variants:
+            config = StencilConfig(
+                global_shape=shape, num_gpus=gpus, iterations=iterations,
+                with_data=False, no_compute=no_compute,
+            )
+            res = run_variant(variant, config)
+            rows.append(Row(
+                series=variant,
+                x=gpus,
+                per_iteration_us=res.per_iteration_us,
+                comm_us_per_iter=res.comm_time_us / iterations,
+                overlap_ratio=res.overlap_ratio,
+            ))
+    return rows
+
+
+# ------------------------------ Figure 2.2 ---------------------------------------
+
+
+def fig22_motivation(iterations: int = 40) -> tuple[FigureData, FigureData]:
+    """Fig 2.2: (a) pure communication/synchronization overhead with no
+    computation, 2-8 GPUs; (b) communication fraction and overlap of
+    the CPU-controlled overlapping stencil versus CPU-Free."""
+    shapes = {g: weak_shape_2d(SIZE_CLASSES_2D["small"], g) for g in (2, 4, 8)}
+    a_rows = _stencil_rows(shapes, ("baseline_overlap", "cpufree"), iterations,
+                           no_compute=True)
+    fig_a = FigureData("2.2a", "Pure communication overhead (no compute)", a_rows)
+
+    b_rows = []
+    headlines: dict[str, float] = {}
+    shape8 = weak_shape_2d(SIZE_CLASSES_2D["small"], 8)
+    for variant in ("baseline_overlap", "cpufree"):
+        full = run_variant(variant, StencilConfig(
+            global_shape=shape8, num_gpus=8, iterations=iterations, with_data=False))
+        nocomp = run_variant(variant, StencilConfig(
+            global_shape=shape8, num_gpus=8, iterations=iterations,
+            with_data=False, no_compute=True))
+        comm_fraction = min(1.0, nocomp.total_time_us / full.total_time_us)
+        b_rows.append(Row(
+            series=variant, x=8,
+            per_iteration_us=full.per_iteration_us,
+            comm_us_per_iter=nocomp.per_iteration_us,
+            overlap_ratio=full.overlap_ratio,
+            extra={"comm_fraction": comm_fraction},
+        ))
+        headlines[f"{variant}_comm_fraction"] = comm_fraction
+        headlines[f"{variant}_overlap_ratio"] = full.overlap_ratio
+    fig_b = FigureData("2.2b", "Communication fraction and overlap at 8 GPUs",
+                       b_rows, headlines)
+    return fig_a, fig_b
+
+
+# ------------------------------ Figure 6.1 ---------------------------------------
+
+
+def fig61_weak_2d(
+    size: str,
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    iterations: int = 40,
+    variants: tuple[str, ...] = STENCIL_VARIANTS,
+) -> FigureData:
+    """Fig 6.1: 2D Jacobi weak scaling for one size class."""
+    label_edge = SIZE_CLASSES_2D[size]
+    shapes = {g: weak_shape_2d(label_edge, g) for g in gpu_counts}
+    rows = _stencil_rows(shapes, variants, iterations)
+    fig = FigureData("6.1", f"2D Jacobi weak scaling ({size}: {label_edge}^2 at 8 GPUs)", rows)
+    top = max(gpu_counts)
+    fig.headlines = {
+        "speedup_vs_nvshmem_%": fig.speedup("cpufree", "baseline_nvshmem", top),
+        "speedup_vs_copy_%": fig.speedup("cpufree", "baseline_copy", top),
+        "speedup_vs_overlap_%": fig.speedup("cpufree", "baseline_overlap", top),
+        "perks_vs_best_baseline_%": _perks_vs_best(fig, variants, top),
+        "perks_weak_scaling_dropoff_%": _weak_dropoff(fig, "cpufree_perks", gpu_counts),
+    }
+    return fig
+
+
+def _perks_vs_best(fig: FigureData, variants: tuple[str, ...], x: int) -> float:
+    baselines = [v for v in variants if v.startswith("baseline")]
+    best = min(baselines, key=lambda v: fig.at(v, x).per_iteration_us)
+    return fig.speedup("cpufree_perks", best, x)
+
+
+def _weak_dropoff(fig: FigureData, series: str, gpu_counts: tuple[int, ...]) -> float:
+    """Weak-scaling dropoff: per-iteration growth from 1 to max GPUs."""
+    lo, hi = min(gpu_counts), max(gpu_counts)
+    t1 = fig.at(series, lo).per_iteration_us
+    tn = fig.at(series, hi).per_iteration_us
+    return (tn - t1) / t1 * 100.0
+
+
+# ------------------------------ Figure 6.2 ---------------------------------------
+
+
+def fig62_3d(
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    iterations: int = 30,
+    variants: tuple[str, ...] = STENCIL_VARIANTS,
+) -> dict[str, FigureData]:
+    """Fig 6.2: 3D Jacobi — weak scaling, weak-scaling no-compute,
+    strong scaling, strong-scaling no-compute."""
+    weak_shapes = {g: weak_shape_3d(SIZE_3D, g) for g in gpu_counts}
+    strong_shape = weak_shape_3d(SIZE_3D, 8)
+    strong_shapes = {g: strong_shape for g in gpu_counts}
+
+    out: dict[str, FigureData] = {}
+    out["weak"] = FigureData(
+        "6.2-weak", "3D Jacobi weak scaling",
+        _stencil_rows(weak_shapes, variants, iterations))
+    out["weak_nocompute"] = FigureData(
+        "6.2-weak-nc", "3D Jacobi weak scaling, no compute (comm latency)",
+        _stencil_rows(weak_shapes, variants, iterations, no_compute=True))
+    out["strong"] = FigureData(
+        "6.2-strong", "3D Jacobi strong scaling (fixed 512^3 domain)",
+        _stencil_rows(strong_shapes, variants, iterations))
+    out["strong_nocompute"] = FigureData(
+        "6.2-strong-nc", "3D Jacobi strong scaling, no compute",
+        _stencil_rows(strong_shapes, variants, iterations, no_compute=True))
+
+    top = max(gpu_counts)
+    nc = out["weak_nocompute"]
+    host_controlled = [v for v in variants
+                       if v.startswith("baseline") and v != "baseline_nvshmem"]
+    best_host = min(host_controlled, key=lambda v: nc.at(v, top).per_iteration_us)
+    nc.headlines = {
+        "comm_improvement_vs_best_host_controlled_%": nc.speedup("cpufree", best_host, top),
+        "comm_improvement_vs_nvshmem_%": nc.speedup("cpufree", "baseline_nvshmem", top),
+    }
+    strong = out["strong_nocompute"]
+    # flatness measured from 2 GPUs (a single GPU has no communication)
+    lo = min(g for g in gpu_counts if g >= 2)
+    strong.headlines = {
+        "cpufree_growth_%": (strong.at("cpufree", top).per_iteration_us
+                             / strong.at("cpufree", lo).per_iteration_us - 1) * 100,
+        "copy_growth_%": (strong.at("baseline_copy", top).per_iteration_us
+                          / strong.at("baseline_copy", lo).per_iteration_us - 1) * 100,
+    }
+    return out
+
+
+# ------------------------------ Figure 6.3 ---------------------------------------
+
+
+def _strip_arrays(args: list[dict]) -> list[dict]:
+    return [{k: v for k, v in a.items() if k not in ("A", "B")} for a in args]
+
+
+def _run_dace(build, pipeline_args, decomp_args, ranks: int) -> "ReportLike":
+    from repro.sdfg.codegen.executor import ExecutionReport  # local alias
+
+    sdfg = build()
+    kind, conjugates = pipeline_args
+    if kind == "baseline":
+        sdfg = baseline_pipeline(sdfg)
+    else:
+        sdfg = cpufree_pipeline(sdfg, conjugates)
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+    executor = SDFGExecutor(sdfg, ctx, with_data=False)
+    return executor.run(decomp_args)
+
+
+def fig63a_dace_1d(
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    per_gpu_n: int = 1_000_000,
+    tsteps: int = 11,
+) -> FigureData:
+    """Fig 6.3a: DaCe Jacobi 1D, discrete MPI baseline vs generated
+    CPU-Free, weak scaling (constant elements per GPU)."""
+    rows = []
+    for gpus in gpu_counts:
+        n_global = per_gpu_n * gpus
+        decomp = SlabDecomposition1D(n_global, gpus)
+        args = _strip_arrays(decomp.rank_args(np.zeros(n_global + 2), tsteps))
+        for kind in ("baseline", "cpufree"):
+            report = _run_dace(build_jacobi_1d_sdfg, (kind, CONJUGATES_1D), args, gpus)
+            rows.append(Row(
+                series=f"dace_{kind}", x=gpus,
+                per_iteration_us=report.per_iteration_us,
+                comm_us_per_iter=report.comm_time_us / report.iterations,
+            ))
+    fig = FigureData("6.3a", "DaCe Jacobi 1D: baseline vs CPU-Free", rows)
+    top = max(gpu_counts)
+    base, free = fig.at("dace_baseline", top), fig.at("dace_cpufree", top)
+    fig.headlines = {
+        "total_improvement_%": fig.speedup("dace_cpufree", "dace_baseline", top),
+        "comm_improvement_%": (base.comm_us_per_iter - free.comm_us_per_iter)
+        / base.comm_us_per_iter * 100.0,
+    }
+    return fig
+
+
+def fig63b_dace_2d(
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    base_edge: int = 2048,
+    tsteps: int = 6,
+) -> FigureData:
+    """Fig 6.3b: DaCe Jacobi 2D with strided east/west halos.
+
+    The global domain grows axis-0-first while the process grid is
+    wide (py <= px), so P = 2 and 8 produce rectangular tiles with
+    long strided columns — the baseline's unbalanced-partition bump.
+    """
+    rows = []
+    for gpus in gpu_counts:
+        gy, gx = base_edge, base_edge
+        q, axis = gpus, 0
+        while q > 1:
+            if axis == 0:
+                gy *= 2
+            else:
+                gx *= 2
+            axis ^= 1
+            q //= 2
+        decomp = GridDecomposition2D(gy, gx, gpus)
+        args = _strip_arrays(decomp.rank_args(np.zeros((gy + 2, gx + 2)), tsteps))
+        for kind in ("baseline", "cpufree"):
+            report = _run_dace(build_jacobi_2d_sdfg, (kind, CONJUGATES_2D), args, gpus)
+            rows.append(Row(
+                series=f"dace_{kind}", x=gpus,
+                per_iteration_us=report.per_iteration_us,
+                comm_us_per_iter=report.comm_time_us / report.iterations,
+                extra={"tile": decomp.tile, "grid": decomp.grid},
+            ))
+    fig = FigureData("6.3b", "DaCe Jacobi 2D: baseline vs CPU-Free (strided halos)", rows)
+    top, lo = max(gpu_counts), min(gpu_counts)
+    base = fig.at("dace_baseline", top)
+    fig.headlines = {
+        "total_improvement_%": fig.speedup("dace_cpufree", "dace_baseline", top),
+        "baseline_comm_fraction_%": min(
+            100.0, base.comm_us_per_iter / base.per_iteration_us * 100.0),
+        "cpufree_weak_scaling_efficiency_%": (
+            fig.at("dace_cpufree", lo).per_iteration_us
+            / fig.at("dace_cpufree", top).per_iteration_us * 100.0),
+    }
+    return fig

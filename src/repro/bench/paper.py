@@ -1,0 +1,142 @@
+"""Paper headline claims and automated paper-vs-measured comparison.
+
+Encodes every quantitative claim from the paper's evaluation prose as
+a :class:`Claim` with a tolerance band, runs the corresponding
+experiment, and emits a verdict table — the automated core of
+EXPERIMENTS.md.  ``python -m repro.bench --paper`` prints it.
+
+Tolerances encode the reproduction contract: we match *shape* (sign,
+ordering, rough factor), not testbed-absolute numbers, so bands are
+generous but directional — a claim fails if the effect disappears or
+flips, not if it is 10 points off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bench.figures import (
+    fig22_motivation,
+    fig61_weak_2d,
+    fig62_3d,
+    fig63a_dace_1d,
+    fig63b_dace_2d,
+)
+
+__all__ = ["Claim", "ClaimResult", "evaluate_claims", "render_claims", "PAPER_CLAIMS"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper."""
+
+    figure: str
+    description: str
+    paper_value: float
+    unit: str
+    lo: float        #: acceptance band (inclusive)
+    hi: float
+    extract: Callable[[dict], float]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        return self.claim.lo <= self.measured <= self.claim.hi
+
+
+def _figures(iterations: int = 30) -> dict:
+    """Run every experiment once; claims extract from this dict."""
+    fig22a, fig22b = fig22_motivation(iterations)
+    return {
+        "2.2a": fig22a,
+        "2.2b": fig22b,
+        "6.1-small": fig61_weak_2d("small", iterations=iterations),
+        "6.1-medium": fig61_weak_2d("medium", iterations=iterations),
+        "6.1-large": fig61_weak_2d("large", iterations=iterations),
+        "6.2": fig62_3d(iterations=iterations),
+        "6.3a": fig63a_dace_1d(),
+        "6.3b": fig63b_dace_2d(),
+    }
+
+
+PAPER_CLAIMS: tuple[Claim, ...] = (
+    Claim("2.2b", "communication fraction of CPU-controlled execution",
+          96.0, "%", 85.0, 100.0,
+          lambda f: f["2.2b"].headlines["baseline_overlap_comm_fraction"] * 100),
+    Claim("6.1", "small: CPU-Free speedup vs Baseline NVSHMEM at 8 GPUs",
+          41.6, "%", 25.0, 70.0,
+          lambda f: f["6.1-small"].headlines["speedup_vs_nvshmem_%"]),
+    Claim("6.1", "small: CPU-Free speedup vs Baseline Copy at 8 GPUs",
+          96.2, "%", 88.0, 100.0,
+          lambda f: f["6.1-small"].headlines["speedup_vs_copy_%"]),
+    Claim("6.1", "medium: CPU-Free speedup vs Baseline NVSHMEM at 8 GPUs",
+          48.2, "%", 15.0, 70.0,
+          lambda f: f["6.1-medium"].headlines["speedup_vs_nvshmem_%"]),
+    Claim("6.1", "medium: CPU-Free speedup vs Baseline Overlap at 8 GPUs",
+          95.7, "%", 85.0, 100.0,
+          lambda f: f["6.1-medium"].headlines["speedup_vs_overlap_%"]),
+    Claim("6.1", "large: CPU-Free degrades vs best baseline (negative speedup)",
+          -10.0, "%", -60.0, -0.1,
+          lambda f: f["6.1-large"].headlines["speedup_vs_nvshmem_%"]),
+    Claim("6.1", "large: PERKS speedup vs best baseline at 8 GPUs",
+          18.8, "%", 8.0, 40.0,
+          lambda f: f["6.1-large"].headlines["perks_vs_best_baseline_%"]),
+    Claim("6.2", "3D no-compute comm improvement vs CPU-controlled at 8 GPUs",
+          58.8, "%", 35.0, 85.0,
+          lambda f: f["6.2"]["weak_nocompute"].headlines[
+              "comm_improvement_vs_best_host_controlled_%"]),
+    Claim("6.2", "3D strong-scaling no-compute: CPU-Free growth 2->8 GPUs",
+          0.0, "%", -10.0, 60.0,
+          lambda f: f["6.2"]["strong_nocompute"].headlines["cpufree_growth_%"]),
+    Claim("6.2", "3D strong-scaling no-compute: Baseline Copy growth 2->8 GPUs",
+          300.0, "%", 150.0, 1000.0,
+          lambda f: f["6.2"]["strong_nocompute"].headlines["copy_growth_%"]),
+    Claim("6.3a", "DaCe 1D total improvement at 8 GPUs",
+          44.5, "%", 25.0, 70.0,
+          lambda f: f["6.3a"].headlines["total_improvement_%"]),
+    Claim("6.3a", "DaCe 1D communication improvement at 8 GPUs",
+          26.8, "%", 10.0, 80.0,
+          lambda f: f["6.3a"].headlines["comm_improvement_%"]),
+    Claim("6.3b", "DaCe 2D total improvement at 8 GPUs",
+          96.8, "%", 85.0, 100.0,
+          lambda f: f["6.3b"].headlines["total_improvement_%"]),
+    Claim("6.3b", "DaCe 2D baseline communication dominance",
+          99.0, "%", 85.0, 100.0,
+          lambda f: f["6.3b"].headlines["baseline_comm_fraction_%"]),
+    Claim("6.3b", "DaCe 2D CPU-Free weak-scaling efficiency",
+          81.2, "%", 50.0, 100.0,
+          lambda f: f["6.3b"].headlines["cpufree_weak_scaling_efficiency_%"]),
+)
+
+
+def evaluate_claims(iterations: int = 30,
+                    claims: tuple[Claim, ...] = PAPER_CLAIMS) -> list[ClaimResult]:
+    """Run the experiments and evaluate every claim."""
+    figures = _figures(iterations)
+    return [ClaimResult(claim, claim.extract(figures)) for claim in claims]
+
+
+def render_claims(results: list[ClaimResult]) -> str:
+    """Markdown-ish verdict table."""
+    lines = [
+        f"{'fig':>6} | {'paper':>7} | {'measured':>8} | {'band':>16} | verdict | claim",
+        "-" * 100,
+    ]
+    for r in results:
+        c = r.claim
+        verdict = "OK " if r.ok else "MISS"
+        lines.append(
+            f"{c.figure:>6} | {c.paper_value:>6.1f}{c.unit} | "
+            f"{r.measured:>7.1f}{c.unit} | "
+            f"[{c.lo:>6.1f}, {c.hi:>6.1f}] | {verdict:^7} | {c.description}"
+        )
+    passed = sum(1 for r in results if r.ok)
+    lines.append("-" * 100)
+    lines.append(f"{passed}/{len(results)} paper claims reproduced within band")
+    return "\n".join(lines)

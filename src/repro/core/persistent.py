@@ -1,0 +1,96 @@
+"""Persistent-kernel harness with specialized thread-block groups.
+
+One cooperative launch hosts the whole application (paper Listing 4.1):
+the kernel body spawns one simulator process per *TB group* (e.g.
+``comm_top``, ``comm_bottom``, ``inner``), each running its own loop
+with GPU-initiated communication, and a shared :class:`GridBarrier`
+provides ``grid.sync()`` between time steps.
+
+The launch path inherits the cooperative co-residency check, so a
+persistent kernel that requests more blocks than fit raises
+:class:`~repro.runtime.kernel.CooperativeLaunchError` (§4.1.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.sync import GridBarrier
+from repro.runtime.context import HostThread
+from repro.runtime.kernel import DeviceKernelContext, KernelSpec
+from repro.runtime.stream import Event, Stream
+from repro.sim import WaitProcess
+
+__all__ = ["PersistentKernel", "TBGroup", "launch_persistent"]
+
+
+#: A TB-group body: takes (device kernel context, grid barrier), yields.
+GroupBody = Callable[[DeviceKernelContext, GridBarrier], Generator[Any, Any, Any]]
+
+
+@dataclass(frozen=True)
+class TBGroup:
+    """A named group of specialized thread blocks inside one kernel."""
+
+    name: str
+    blocks: int
+    body: GroupBody
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0:
+            raise ValueError(f"TB group {self.name!r} needs at least one block")
+
+
+@dataclass(frozen=True)
+class PersistentKernel:
+    """Handle for a launched persistent kernel."""
+
+    event: Event
+    spec: KernelSpec
+    barrier: GridBarrier
+
+
+def launch_persistent(
+    host: HostThread,
+    stream: Stream,
+    name: str,
+    groups: list[TBGroup],
+    *,
+    threads_per_block: int = 1024,
+) -> Generator[Any, Any, PersistentKernel]:
+    """Cooperatively launch one persistent kernel with specialized groups.
+
+    Host involvement ends here — this is the single launch of the
+    CPU-Free model.  Returns a handle whose ``event`` completes when
+    every group's loop finishes (kernel teardown).
+    """
+    if not groups:
+        raise ValueError("persistent kernel needs at least one TB group")
+    total_blocks = sum(g.blocks for g in groups)
+    spec = KernelSpec(name, blocks=total_blocks,
+                      threads_per_block=threads_per_block, cooperative=True)
+    ctx = host.ctx
+    barrier = GridBarrier(
+        ctx.sim, parties=len(groups), cost_us=ctx.cost.grid_sync_us,
+        lane=f"{stream.lane}.{name}",
+    )
+
+    def kernel_body(dev: DeviceKernelContext) -> Generator[Any, Any, None]:
+        procs = []
+        for group in groups:
+            group_dev = DeviceKernelContext(
+                dev.ctx, dev.device, spec, f"{stream.lane}.{group.name}"
+            )
+            procs.append(
+                ctx.sim.spawn(
+                    group.body(group_dev, barrier),
+                    name=f"gpu{dev.device}.{name}.{group.name}",
+                )
+            )
+        for proc in procs:
+            yield WaitProcess(proc)
+
+    event = yield from host.launch(stream, spec, kernel_body)
+    return PersistentKernel(event=event, spec=spec, barrier=barrier)

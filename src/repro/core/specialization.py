@@ -1,0 +1,99 @@
+"""Thread-block specialization: splitting the device between roles.
+
+Implements the work-allocation formula of paper §4.1.2::
+
+    boundary_TB_num = TB_total * boundary_size
+                      ---------------------------------
+                      inner_size + 2 * boundary_size
+
+    inner_TB_num = TB_total - 2 * boundary_TB_num
+
+Boundary blocks handle halo communication plus boundary-row compute for
+one side each (top/bottom in a 1-D decomposition); the rest of the
+device processes the inner domain.  Splitting proportionally to work is
+what keeps small/unbalanced 3D domains from being bound by the boundary
+phase (§4.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SpecializationPlan", "plan_blocks"]
+
+
+@dataclass(frozen=True)
+class SpecializationPlan:
+    """How a persistent kernel's co-resident blocks are specialized."""
+
+    tb_total: int
+    boundary_tb_per_side: int
+    sides: int
+
+    def __post_init__(self) -> None:
+        if self.tb_total <= 0:
+            raise ValueError("tb_total must be positive")
+        if self.boundary_tb_per_side < 0 or self.sides < 0:
+            raise ValueError("negative block counts")
+        if self.inner_tb < 1:
+            raise ValueError(
+                f"no blocks left for the inner domain "
+                f"(total={self.tb_total}, boundary={self.boundary_tb_per_side}x{self.sides})"
+            )
+
+    @property
+    def boundary_tb_total(self) -> int:
+        return self.boundary_tb_per_side * self.sides
+
+    @property
+    def inner_tb(self) -> int:
+        return self.tb_total - self.boundary_tb_per_side * self.sides
+
+    @property
+    def inner_fraction(self) -> float:
+        """Share of device throughput available to inner compute."""
+        return self.inner_tb / self.tb_total
+
+    @property
+    def boundary_fraction_per_side(self) -> float:
+        """Share of device throughput for one side's boundary blocks."""
+        return self.boundary_tb_per_side / self.tb_total
+
+
+def plan_blocks(
+    tb_total: int,
+    inner_size: int,
+    boundary_size: int,
+    *,
+    sides: int = 2,
+    min_boundary_tb: int = 1,
+) -> SpecializationPlan:
+    """Paper §4.1.2 proportional split.
+
+    ``inner_size`` / ``boundary_size`` are element counts of the inner
+    domain and of *one* boundary region.  ``sides`` is the number of
+    boundary regions (2 for a 1-D slab decomposition: top and bottom).
+    A rank with no neighbors (single GPU) passes ``sides=0``.
+    """
+    if tb_total <= 0:
+        raise ValueError("tb_total must be positive")
+    if inner_size < 0 or boundary_size < 0:
+        raise ValueError("sizes must be non-negative")
+    if sides == 0 or boundary_size == 0:
+        return SpecializationPlan(tb_total=tb_total, boundary_tb_per_side=0, sides=0)
+    total_work = inner_size + sides * boundary_size
+    # Round *up*: under-provisioning the boundary makes it the critical
+    # path on unbalanced 3D domains (the failure §4.1.2 warns about).
+    boundary_tb = math.ceil(tb_total * boundary_size / total_work)
+    boundary_tb = max(min_boundary_tb, boundary_tb)
+    # Never starve the inner domain: cap boundary blocks so at least one
+    # block (and at least half the device for realistic splits) remains.
+    max_boundary = (tb_total - 1) // sides
+    boundary_tb = min(boundary_tb, max_boundary)
+    if boundary_tb < min_boundary_tb:
+        raise ValueError(
+            f"cannot reserve {min_boundary_tb} boundary block(s) per side on "
+            f"{tb_total} total blocks with {sides} sides"
+        )
+    return SpecializationPlan(tb_total=tb_total, boundary_tb_per_side=boundary_tb, sides=sides)

@@ -1,0 +1,81 @@
+"""Device-side synchronization primitives.
+
+:class:`GridBarrier` models cooperative-groups ``grid.sync()`` — the
+device-wide barrier persistent kernels use between time steps (§3.1.2).
+In the simulator a persistent kernel is a set of TB-group processes;
+the barrier synchronizes those groups and charges the calibrated
+``grid_sync_us``.
+
+:class:`LocalSpinFlag` models busy-waiting on a word in local device
+memory — how the paper synchronizes *co-resident kernels in separate
+streams* (the alternative design of §4): "Synchronizing local
+concurrent kernels, if needed, is done by busy waiting on a flag in
+local device memory."
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Generator
+from typing import Any
+
+from repro.sim import Delay, Flag, Simulator, WaitFlag
+
+__all__ = ["GridBarrier", "LocalSpinFlag"]
+
+
+class GridBarrier:
+    """Reusable barrier across the TB groups of one persistent kernel."""
+
+    def __init__(self, sim: Simulator, parties: int, cost_us: float, lane: str = "grid") -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.sim = sim
+        self.parties = parties
+        self.cost_us = cost_us
+        self.lane = lane
+        self._arrivals = Flag(sim, 0, name=f"{lane}.barrier")
+        self.rounds_completed = 0
+
+    def wait(self, extra_us: float = 0.0) -> Generator[Any, Any, None]:
+        """``grid.sync()``: arrive, block until all groups arrive.
+
+        ``extra_us`` adds per-round device-loop bookkeeping (iteration
+        counter, pointer swap) on top of the barrier cost.
+        """
+        n = self._arrivals.add(1)
+        round_no = math.ceil(n / self.parties)
+        target = round_no * self.parties
+        yield WaitFlag(self._arrivals, lambda v: v >= target)
+        if self.cost_us + extra_us > 0:
+            yield Delay(self.cost_us + extra_us)
+        self.rounds_completed = max(self.rounds_completed, round_no)
+
+
+class LocalSpinFlag:
+    """A flag word in local device memory, polled by a spinning TB.
+
+    ``wait_until(value)`` charges poll time while blocked; ``post``
+    is a plain store (release) by the producing kernel.
+    """
+
+    def __init__(self, sim: Simulator, poll_us: float, name: str = "spin") -> None:
+        if poll_us < 0:
+            raise ValueError("poll cost must be non-negative")
+        self.sim = sim
+        self.poll_us = poll_us
+        self._flag = Flag(sim, 0, name=name)
+
+    @property
+    def value(self) -> int:
+        return self._flag.value
+
+    def post(self, value: int) -> None:
+        """Release-store ``value`` (visible immediately on-device)."""
+        self._flag.set(value)
+
+    def wait_until(self, value: int) -> Generator[Any, Any, None]:
+        """Spin until the flag reaches at least ``value``."""
+        if self.poll_us > 0:
+            yield Delay(self.poll_us)
+        yield WaitFlag(self._flag, lambda v: v >= value)

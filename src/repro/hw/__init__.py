@@ -1,0 +1,34 @@
+"""Hardware models: GPU specs, node topology, interconnect, memory.
+
+This package is the simulated stand-in for the paper's testbed — an
+NVIDIA HGX node with 8 A100 GPUs connected all-to-all through
+NVLink/NVSwitch.  It provides:
+
+- :class:`~repro.hw.spec.GPUSpec` — per-device capabilities (SM count,
+  HBM bandwidth, occupancy limits) with the A100-SXM4-80GB preset,
+- :class:`~repro.hw.interconnect.NodeTopology` — link graph with
+  per-pair bandwidth/latency and transfer-time computation,
+- :class:`~repro.hw.memory.DeviceBuffer` / ``MemoryManager`` — device
+  allocations with storage classes (global vs. NVSHMEM symmetric heap),
+- :class:`~repro.hw.calibration.CostModel` — every latency constant the
+  discrete-event simulation charges, documented against the paper.
+"""
+
+from repro.hw.calibration import CostModel, DEFAULT_COST_MODEL
+from repro.hw.interconnect import Link, NodeTopology
+from repro.hw.memory import DeviceBuffer, MemoryManager, Storage
+from repro.hw.spec import A100_SXM4_80GB, GPUSpec, HGX_A100_8GPU, NodeSpec
+
+__all__ = [
+    "A100_SXM4_80GB",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DeviceBuffer",
+    "GPUSpec",
+    "HGX_A100_8GPU",
+    "Link",
+    "MemoryManager",
+    "NodeSpec",
+    "NodeTopology",
+    "Storage",
+]

@@ -1,0 +1,90 @@
+"""Inter-GPU link topology and transfer-time computation.
+
+On the paper's HGX testbed every GPU pair communicates at full NVLink
+bandwidth through NVSwitch ("connected all-to-all through NVLink",
+§6).  We model that as a complete graph of :class:`Link` objects plus a
+host link per device (PCIe) for staged copies.
+
+Transfers are *modeled*, not byte-simulated: the time for ``n`` bytes
+over a link is ``latency + n / bandwidth``.  Contention is modeled by
+an optional per-link concurrency divisor used when several transfers
+share a link in the same iteration window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import NodeSpec
+
+__all__ = ["Link", "NodeTopology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional channel: ``bandwidth_gbps`` GB/s, ``latency_us`` µs."""
+
+    bandwidth_gbps: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_us(self, nbytes: float, *, sharers: int = 1) -> float:
+        """Time to move ``nbytes``; ``sharers`` concurrent transfers
+        split the bandwidth evenly (NVSwitch is non-blocking across
+        distinct pairs, so sharers>1 only applies to the same pair)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if sharers < 1:
+            raise ValueError("sharers must be >= 1")
+        if nbytes == 0:
+            return 0.0
+        effective = self.bandwidth_gbps / sharers
+        return self.latency_us + nbytes / (effective * 1000.0)
+
+
+HOST = -1  #: pseudo device id for the host in topology queries
+
+
+class NodeTopology:
+    """Complete-graph GPU topology with a host link per device."""
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+        self.num_gpus = node.num_gpus
+        self._peer = Link(node.nvlink_bandwidth_gbps, node.nvlink_latency_us)
+        self._host = Link(node.host_link_bandwidth_gbps, node.host_link_latency_us)
+        #: loopback: same-device copies run at HBM bandwidth, negligible latency
+        self._local = Link(node.gpu.hbm_bandwidth_gbps, 0.2)
+
+    def link(self, src: int, dst: int) -> Link:
+        """The link used for a ``src -> dst`` transfer.
+
+        ``HOST`` (-1) designates the host on either end.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return self._local
+        if src == HOST or dst == HOST:
+            return self._host
+        return self._peer
+
+    def peers(self, device: int) -> list[int]:
+        """All GPUs reachable from ``device`` (everyone, on HGX)."""
+        self._check(device)
+        if device == HOST:
+            return list(range(self.num_gpus))
+        return [d for d in range(self.num_gpus) if d != device]
+
+    def transfer_us(self, src: int, dst: int, nbytes: float, *, sharers: int = 1) -> float:
+        """Modeled duration of a ``src -> dst`` copy of ``nbytes``."""
+        return self.link(src, dst).transfer_us(nbytes, sharers=sharers)
+
+    def _check(self, device: int) -> None:
+        if device != HOST and not 0 <= device < self.num_gpus:
+            raise ValueError(f"device {device} out of range (num_gpus={self.num_gpus})")

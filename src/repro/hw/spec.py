@@ -1,0 +1,112 @@
+"""GPU and node capability descriptions.
+
+The co-residency arithmetic here implements the constraint the paper's
+§4.1.4 calls out: cooperative (persistent) kernels may launch *at most*
+as many thread blocks as can be simultaneously resident on the device,
+which forbids the oversubscription discrete kernels rely on and forces
+software tiling for large domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["A100_SXM4_80GB", "GPUSpec", "HGX_A100_8GPU", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Capabilities of one GPU.
+
+    Bandwidth figures are in GB/s; memory sizes in bytes.
+    """
+
+    name: str
+    sm_count: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    hbm_bandwidth_gbps: float
+    hbm_capacity_bytes: int
+    shared_mem_per_sm_bytes: int
+    registers_per_sm: int
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ValueError("sm_count must be positive")
+        if self.max_threads_per_block <= 0:
+            raise ValueError("max_threads_per_block must be positive")
+        if self.max_threads_per_sm < self.max_threads_per_block:
+            raise ValueError("an SM must fit at least one full block")
+
+    def max_coresident_blocks(self, threads_per_block: int) -> int:
+        """Blocks that can be *simultaneously* resident device-wide.
+
+        This is the hard launch bound for cooperative-groups kernels
+        (persistent kernels in the CPU-Free model).  Per SM, residency
+        is limited both by the thread budget and the block-slot budget.
+        """
+        if not 0 < threads_per_block <= self.max_threads_per_block:
+            raise ValueError(
+                f"threads_per_block must be in (0, {self.max_threads_per_block}], "
+                f"got {threads_per_block}"
+            )
+        per_sm = min(self.max_threads_per_sm // threads_per_block, self.max_blocks_per_sm)
+        return self.sm_count * per_sm
+
+    def saturation_elements(self, threads_per_block: int = 1024) -> int:
+        """Number of grid elements that exactly saturates the device
+        with one element per thread — the boundary the paper uses to
+        define *small* vs *medium* vs *large* domains (§6.1.1)."""
+        return self.max_coresident_blocks(threads_per_block) * threads_per_block
+
+    def with_(self, **changes) -> "GPUSpec":
+        """Return a modified copy (convenience for ablations)."""
+        return replace(self, **changes)
+
+
+#: NVIDIA A100-SXM4-80GB, the paper's device (108 SMs, 2039 GB/s HBM2e).
+A100_SXM4_80GB = GPUSpec(
+    name="NVIDIA A100-SXM4-80GB",
+    sm_count=108,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    hbm_bandwidth_gbps=2039.0,
+    hbm_capacity_bytes=80 * 1024**3,
+    shared_mem_per_sm_bytes=164 * 1024,
+    registers_per_sm=65536,
+)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-GPU node: N identical GPUs plus interconnect parameters.
+
+    ``nvlink_bandwidth_gbps`` is the per-direction bandwidth available
+    between any pair of GPUs through NVSwitch (all-to-all on HGX).
+    """
+
+    gpu: GPUSpec
+    num_gpus: int
+    nvlink_bandwidth_gbps: float
+    nvlink_latency_us: float
+    host_link_bandwidth_gbps: float = 25.0  # PCIe Gen4 x16 effective
+    host_link_latency_us: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+
+    def scaled_to(self, num_gpus: int) -> "NodeSpec":
+        """Same node with a different GPU count (scaling sweeps)."""
+        return replace(self, num_gpus=num_gpus)
+
+
+#: The paper's testbed: 8×A100 with third-gen NVLink through NVSwitch.
+HGX_A100_8GPU = NodeSpec(
+    gpu=A100_SXM4_80GB,
+    num_gpus=8,
+    nvlink_bandwidth_gbps=300.0,  # per direction per pair
+    nvlink_latency_us=1.3,
+)

@@ -1,0 +1,40 @@
+"""NVSHMEM-like GPU-initiated communication library (simulated).
+
+Implements the OpenSHMEM-for-GPUs subset the paper's CPU-Free model is
+built on (§3.1.4, §4.1.1, §5.3):
+
+- a PGAS **symmetric heap**: collective allocations that exist at the
+  same "address" (name) on every PE — :class:`SymmetricArray`,
+- **signals**: symmetric flag words with atomic signal operations —
+  :class:`SignalArray`,
+- device-side one-sided operations: ``putmem`` / ``putmem_nbi`` /
+  ``putmem_signal[_nbi]`` (and the block-cooperative ``x_…_block``
+  variants), strided ``iput``, single-element ``p``, ``signal_op``,
+  ``signal_wait_until``, ``quiet``, ``fence``, ``barrier_all``.
+
+Fidelity notes that matter for the reproduction:
+
+- non-blocking (``nbi``) operations return immediately and complete
+  asynchronously; **signal delivery is ordered after data delivery**
+  for the composite put-with-signal calls, exactly the guarantee the
+  paper's halo protocol relies on;
+- a bare ``signal_op`` after an ``iput`` with **no intervening
+  ``quiet``** genuinely races with the data (the signal travels on its
+  own lower-latency path) — the §5.3.1 requirement that generated code
+  emit ``nvshmem_quiet()`` is enforced by observable data corruption,
+  and the failure-injection tests exercise it.
+"""
+
+from repro.nvshmem.api import NVSHMEMRuntime
+from repro.nvshmem.device import NVSHMEMDevice, SignalOp, WaitCond
+from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
+
+__all__ = [
+    "NVSHMEMDevice",
+    "NVSHMEMRuntime",
+    "SignalArray",
+    "SignalOp",
+    "SymmetricArray",
+    "SymmetricHeap",
+    "WaitCond",
+]

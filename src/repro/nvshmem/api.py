@@ -1,0 +1,82 @@
+"""Host-side NVSHMEM runtime: init, symmetric allocation, barriers.
+
+Mirrors the host API surface the paper's code uses: ``nvshmem_init``
+(implicit in construction), ``nvshmem_malloc``, host ``barrier_all``,
+and handing device kernels their per-PE device context
+(:class:`~repro.nvshmem.device.NVSHMEMDevice`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+import numpy as np
+
+from repro.nvshmem.device import NVSHMEMDevice
+from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
+from repro.runtime.context import MultiGPUContext
+from repro.runtime.mpi import HostBarrier
+from repro.sim import Flag
+
+__all__ = ["NVSHMEMRuntime"]
+
+
+class NVSHMEMRuntime:
+    """One NVSHMEM job: ``n_pes`` processing elements on one node."""
+
+    def __init__(self, ctx: MultiGPUContext, n_pes: int | None = None) -> None:
+        self.ctx = ctx
+        self.n_pes = n_pes if n_pes is not None else ctx.num_gpus
+        if self.n_pes > ctx.num_gpus:
+            raise ValueError("more PEs than GPUs on the node")
+        self.heap = SymmetricHeap(ctx.memory, ctx.sim, self.n_pes)
+        #: per-PE count of in-flight non-blocking deliveries (for quiet)
+        self._pending = [
+            Flag(ctx.sim, 0, name=f"nvshmem.pending.pe{pe}") for pe in range(self.n_pes)
+        ]
+        self._host_barrier = HostBarrier(
+            ctx.sim, self.n_pes, ctx.cost.nvshmem_host_barrier_us, name="nvshmem.host"
+        )
+        self._device_barrier = HostBarrier(
+            ctx.sim, self.n_pes, ctx.cost.grid_sync_us, name="nvshmem.device"
+        )
+
+    # -- allocation ------------------------------------------------------------
+
+    def malloc(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        fill: float | None = 0.0,
+    ) -> SymmetricArray:
+        """``nvshmem_malloc``: collective symmetric allocation."""
+        return self.heap.malloc(name, shape, dtype, fill)
+
+    def malloc_signals(self, name: str, n_signals: int) -> SignalArray:
+        """Allocate symmetric signal words (flags in the symmetric heap)."""
+        return self.heap.malloc_signals(name, n_signals)
+
+    # -- device access ------------------------------------------------------------
+
+    def device(self, pe: int, lane: str | None = None) -> NVSHMEMDevice:
+        """Device-side API handle for PE ``pe`` (pass into kernel bodies)."""
+        if not 0 <= pe < self.n_pes:
+            raise ValueError(f"PE {pe} out of range (n_pes={self.n_pes})")
+        return NVSHMEMDevice(self, pe, lane or f"gpu{pe}.nvshmem")
+
+    def pending(self, pe: int) -> Flag:
+        """In-flight delivery counter for PE ``pe`` (used by quiet)."""
+        return self._pending[pe]
+
+    def device_barrier(self) -> HostBarrier:
+        return self._device_barrier
+
+    # -- host collectives ------------------------------------------------------------
+
+    def host_barrier_all(self, rank: int) -> Generator[Any, Any, None]:
+        """``nvshmem_barrier_all`` issued from the host."""
+        start = self.ctx.sim.now
+        yield from self._host_barrier.wait()
+        self.ctx.trace(f"host{rank}", "nvshmem_barrier_all", "sync", start, self.ctx.sim.now)

@@ -1,0 +1,412 @@
+"""Device-side NVSHMEM operations (issued from inside kernels).
+
+Each op is a generator helper to be ``yield from``-ed inside a device
+process (a thread-block group of a persistent kernel, or a discrete
+kernel body).  Cost semantics:
+
+========================  ===================================================
+``putmem`` (blocking)      caller pays initiation + full wire time
+``putmem_nbi``             caller pays initiation only; delivery completes
+                           asynchronously (tracked for ``quiet``)
+``putmem_signal[_nbi]``    as above; the signal is updated *after* the data
+                           lands (NVSHMEM delivery-ordering guarantee)
+``iput``                   strided: per-element issue cost, poor bandwidth
+``p``                      single element, one thread
+``signal_op``              separate tiny message: races with in-flight
+                           ``nbi`` data unless ``quiet`` is called first
+``signal_wait_until``      blocks on the local signal word (DES flag)
+``quiet``                  blocks until all this PE's pending deliveries
+                           complete
+========================  ===================================================
+
+Bandwidth depends on the *scope* of the issuing group: a single thread
+cannot saturate NVLink, a warp does better, a full block (the
+``nvshmemx_…_block`` extended API) reaches full link bandwidth.  This
+is exactly why the paper's hand-written kernels use the block variants
+while the DaCe-generated single-thread-scheduled code leaves bandwidth
+on the table (§5.3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.sim import Delay, Flag, WaitFlag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nvshmem.api import NVSHMEMRuntime
+    from repro.nvshmem.heap import SignalArray, SymmetricArray
+
+__all__ = ["NVSHMEMDevice", "Scope", "SignalOp", "WaitCond"]
+
+
+class SignalOp(enum.Enum):
+    """Atomic op applied to the destination signal word."""
+
+    SET = "set"
+    ADD = "add"
+
+
+class WaitCond(enum.Enum):
+    """Comparison for ``signal_wait_until`` (NVSHMEM_CMP_*)."""
+
+    EQ = "eq"
+    NE = "ne"
+    GT = "gt"
+    GE = "ge"
+    LT = "lt"
+    LE = "le"
+
+    def check(self, value: int, target: int) -> bool:
+        return {
+            WaitCond.EQ: value == target,
+            WaitCond.NE: value != target,
+            WaitCond.GT: value > target,
+            WaitCond.GE: value >= target,
+            WaitCond.LT: value < target,
+            WaitCond.LE: value <= target,
+        }[self]
+
+
+class Scope(enum.Enum):
+    """Issuing-group scope of an extended (``nvshmemx_``) call."""
+
+    THREAD = "thread"
+    WARP = "warp"
+    BLOCK = "block"
+
+
+class NVSHMEMDevice:
+    """Device-side API surface for one PE inside one kernel."""
+
+    def __init__(self, runtime: "NVSHMEMRuntime", pe: int, lane: str) -> None:
+        self.runtime = runtime
+        self.pe = pe
+        self.lane = lane
+
+    # -- internals -------------------------------------------------------------
+
+    @property
+    def _ctx(self):
+        return self.runtime.ctx
+
+    @property
+    def _cost(self):
+        return self.runtime.ctx.cost
+
+    def _bw_fraction(self, scope: Scope) -> float:
+        return {
+            Scope.THREAD: self._cost.put_thread_bw_fraction,
+            Scope.WARP: self._cost.put_warp_bw_fraction,
+            Scope.BLOCK: 1.0,
+        }[scope]
+
+    def _wire_time(self, dest_pe: int, nbytes: int, scope: Scope) -> float:
+        link = self._ctx.topology.link(self.pe, dest_pe)
+        return link.latency_us + nbytes / (link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
+
+    def _apply_signal(self, flag: Flag, value: int, op: SignalOp) -> None:
+        if op is SignalOp.SET:
+            flag.set(value)
+        else:
+            flag.add(value)
+
+    def _trace(self, name: str, category: str, start: float) -> None:
+        self._ctx.trace(self.lane, name, category, start, self._ctx.sim.now)
+
+    def _deliver_async(
+        self,
+        dest_pe: int,
+        wire_us: float,
+        write: Any,
+        signal: tuple[Flag, int, SignalOp] | None,
+        name: str,
+    ) -> None:
+        """Spawn the asynchronous delivery leg of an ``nbi`` operation."""
+        pending = self.runtime.pending(self.pe)
+        pending.add(1)
+        sim = self._ctx.sim
+
+        def delivery() -> Generator[Any, Any, None]:
+            start = sim.now
+            yield Delay(wire_us)
+            if write is not None:
+                write()
+            if signal is not None:
+                flag, value, op = signal
+                self._apply_signal(flag, value, op)
+            pending.add(-1)
+            self._ctx.trace(f"wire.pe{self.pe}->pe{dest_pe}", name, "comm", start, sim.now)
+
+        sim.spawn(delivery(), name=f"nvshmem.{name}.pe{self.pe}->pe{dest_pe}")
+
+    @staticmethod
+    def _writer(dst: "SymmetricArray", dst_index: Any, values: np.ndarray, dest_pe: int):
+        """Deferred store of ``values`` into PE ``dest_pe``'s copy of ``dst``."""
+        if dst is None:
+            return None
+
+        def write() -> None:
+            dst.on(dest_pe).data[dst_index] = values
+
+        return write
+
+    # -- contiguous puts ---------------------------------------------------------
+
+    def putmem(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray | float,
+        dest_pe: int,
+        *,
+        nbytes: int | None = None,
+        scope: Scope = Scope.BLOCK,
+        name: str = "putmem",
+    ) -> Generator[Any, Any, None]:
+        """Blocking contiguous put to ``dest_pe``.
+
+        ``dst=None`` with explicit ``nbytes`` is the timing-only form
+        used by no-compute experiments.
+        """
+        values = np.asarray(values)
+        size = int(nbytes) if nbytes is not None else values.nbytes
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        write = self._writer(dst, dst_index, values, dest_pe)
+        if write is not None:
+            write()
+        self._trace(name, "comm", start)
+
+    def putmem_nbi(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray | float,
+        dest_pe: int,
+        *,
+        nbytes: int | None = None,
+        scope: Scope = Scope.BLOCK,
+        name: str = "putmem_nbi",
+    ) -> Generator[Any, Any, None]:
+        """Non-blocking put: returns after initiation; complete at ``quiet``."""
+        values = np.array(values, copy=True)  # snapshot source at issue
+        size = int(nbytes) if nbytes is not None else values.nbytes
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_put_latency_us)
+        self._trace(f"{name}:issue", "comm", start)
+        wire = self._wire_time(dest_pe, size, scope)
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name)
+
+    def putmem_signal(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray | float,
+        signal: "SignalArray",
+        signal_index: int,
+        signal_value: int,
+        dest_pe: int,
+        *,
+        nbytes: int | None = None,
+        sig_op: SignalOp = SignalOp.SET,
+        scope: Scope = Scope.BLOCK,
+        name: str = "putmem_signal",
+    ) -> Generator[Any, Any, None]:
+        """Blocking put + signal: data lands, then the signal updates."""
+        values = np.asarray(values)
+        size = int(nbytes) if nbytes is not None else values.nbytes
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        write = self._writer(dst, dst_index, values, dest_pe)
+        if write is not None:
+            write()
+        yield Delay(self._cost.nvshmem_signal_us)
+        self._apply_signal(signal.flag(dest_pe, signal_index), signal_value, sig_op)
+        self._trace(name, "comm", start)
+
+    def putmem_signal_nbi(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray | float,
+        signal: "SignalArray",
+        signal_index: int,
+        signal_value: int,
+        dest_pe: int,
+        *,
+        nbytes: int | None = None,
+        sig_op: SignalOp = SignalOp.SET,
+        scope: Scope = Scope.BLOCK,
+        name: str = "putmem_signal_nbi",
+    ) -> Generator[Any, Any, None]:
+        """The paper's workhorse: ``nvshmemx_putmem_signal_nbi_block``.
+
+        Issue cost only; asynchronously the data is delivered and *then*
+        the destination signal word is updated (§4.1.1 semaphore flow).
+        """
+        values = np.array(values, copy=True)
+        size = int(nbytes) if nbytes is not None else values.nbytes
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_put_latency_us)
+        self._trace(f"{name}:issue", "comm", start)
+        wire = self._wire_time(dest_pe, size, scope) + self._cost.nvshmem_signal_us
+        self._deliver_async(
+            dest_pe,
+            wire,
+            self._writer(dst, dst_index, values, dest_pe),
+            (signal.flag(dest_pe, signal_index), signal_value, sig_op),
+            name,
+        )
+
+    # -- strided / single-element --------------------------------------------------
+
+    def iput(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray,
+        dest_pe: int,
+        *,
+        elements: int | None = None,
+        name: str = "iput",
+    ) -> Generator[Any, Any, None]:
+        """Strided put (``nvshmem_TYPE_iput``): per-element issue cost.
+
+        Always issued by a single thread in NVSHMEM; no signal variant
+        exists (§5.3.1), so generated code must follow with
+        ``signal_op`` *after* a ``quiet``.  Non-blocking semantics.
+        """
+        values = np.array(values, copy=True)
+        n = int(elements) if elements is not None else values.size
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_put_latency_us)
+        self._trace(f"{name}:issue", "comm", start)
+        link = self._ctx.topology.link(self.pe, dest_pe)
+        wire = link.latency_us + n * self._cost.nvshmem_iput_element_us
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name)
+
+    def p(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        value: float,
+        dest_pe: int,
+        *,
+        name: str = "p",
+    ) -> Generator[Any, Any, None]:
+        """Single-element put (``nvshmem_TYPE_p``), non-blocking."""
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_p_us)
+        self._trace(f"{name}:issue", "comm", start)
+        link = self._ctx.topology.link(self.pe, dest_pe)
+
+        def write() -> None:
+            if dst is not None:
+                dst.on(dest_pe).data[dst_index] = value
+
+        self._deliver_async(dest_pe, link.latency_us, write, None, name)
+
+    def p_mapped(
+        self,
+        dst: "SymmetricArray | None",
+        dst_index: Any,
+        values: np.ndarray | float,
+        dest_pe: int,
+        *,
+        elements: int | None = None,
+        threads: int = 1024,
+        name: str = "p_mapped",
+    ) -> Generator[Any, Any, None]:
+        """Map-scheduled single-element puts (paper §5.3.2).
+
+        Many GPU threads each issue ``nvshmem_TYPE_p`` for one element
+        (grid-stride loop): issue cost is amortized across ``threads``
+        and the aggregate delivery runs at warp-scope bandwidth.
+        Non-blocking; follow with ``quiet`` + ``signal_op`` like
+        ``iput``.
+        """
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        values = np.array(values, copy=True)
+        n = int(elements) if elements is not None else values.size
+        waves = -(-n // threads)
+        start = self._ctx.sim.now
+        yield Delay(waves * self._cost.nvshmem_p_us)
+        self._trace(f"{name}:issue", "comm", start)
+        wire = self._wire_time(dest_pe, n * 8, Scope.WARP)
+        self._deliver_async(
+            dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name
+        )
+
+    # -- signaling -------------------------------------------------------------------
+
+    def signal_op(
+        self,
+        signal: "SignalArray",
+        signal_index: int,
+        value: int,
+        dest_pe: int,
+        *,
+        op: SignalOp = SignalOp.SET,
+        name: str = "signal_op",
+    ) -> Generator[Any, Any, None]:
+        """Standalone remote signal update (``nvshmemx_signal_op``).
+
+        Travels on its own low-latency path: it does NOT wait for
+        previously issued ``nbi`` data.  Call :meth:`quiet` first when
+        the signal must publish earlier puts (§5.3.1).
+        """
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_signal_us)
+        self._trace(f"{name}:issue", "comm", start)
+        link = self._ctx.topology.link(self.pe, dest_pe)
+        self._deliver_async(
+            dest_pe, link.latency_us, None,
+            (signal.flag(dest_pe, signal_index), value, op), name,
+        )
+
+    def signal_wait_until(
+        self,
+        signal: "SignalArray",
+        signal_index: int,
+        cond: WaitCond,
+        target: int,
+        *,
+        name: str = "signal_wait_until",
+    ) -> Generator[Any, Any, int]:
+        """Block on this PE's local signal word until ``cond`` holds."""
+        flag = signal.flag(self.pe, signal_index)
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_wait_poll_us)
+        yield WaitFlag(flag, lambda v: cond.check(v, target))
+        self._trace(name, "sync", start)
+        return flag.value
+
+    # -- ordering ---------------------------------------------------------------------
+
+    def quiet(self, *, name: str = "quiet") -> Generator[Any, Any, None]:
+        """Block until all of this PE's pending deliveries complete."""
+        pending = self.runtime.pending(self.pe)
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_quiet_us)
+        yield WaitFlag(pending, lambda v: v == 0)
+        self._trace(name, "sync", start)
+
+    def fence(self, *, name: str = "fence") -> Generator[Any, Any, None]:
+        """Ordering fence.
+
+        Real NVSHMEM ``fence`` only orders deliveries (weaker than
+        ``quiet``); the simulator's delivery legs may complete out of
+        order, so we conservatively model ``fence`` as ``quiet``.
+        """
+        yield from self.quiet(name=name)
+
+    def barrier_all(self) -> Generator[Any, Any, None]:
+        """Device-side barrier across all PEs (includes a quiet)."""
+        yield from self.quiet(name="barrier.quiet")
+        yield from self.runtime.device_barrier().wait()

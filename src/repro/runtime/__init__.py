@@ -1,0 +1,36 @@
+"""CUDA-like host runtime on top of the discrete-event simulator.
+
+The runtime reproduces the *control path* of the traditional
+(CPU-controlled) multi-GPU programming model the paper argues against:
+
+- :class:`~repro.runtime.context.MultiGPUContext` — the per-node
+  runtime: simulator + topology + memory + cost model + tracer,
+- :class:`~repro.runtime.stream.Stream` / ``Event`` — in-order work
+  queues with host-visible completion,
+- kernel launches (discrete and cooperative, with the co-residency
+  check of paper §4.1.4),
+- ``memcpy_async`` over NVLink/PCIe,
+- :mod:`repro.runtime.mpi` — host-side message passing and barriers
+  used by the baselines and the DaCe MPI library nodes.
+
+Every host API call charges the calibrated overhead to the calling
+host process, which is precisely the latency the CPU-Free model
+eliminates.
+"""
+
+from repro.runtime.context import MultiGPUContext
+from repro.runtime.kernel import CooperativeLaunchError, DeviceKernelContext
+from repro.runtime.mpi import Communicator, HostBarrier, Request, VectorType
+from repro.runtime.stream import Event, Stream
+
+__all__ = [
+    "Communicator",
+    "CooperativeLaunchError",
+    "DeviceKernelContext",
+    "Event",
+    "HostBarrier",
+    "MultiGPUContext",
+    "Request",
+    "Stream",
+    "VectorType",
+]

@@ -1,0 +1,225 @@
+"""The multi-GPU runtime context and host-thread API.
+
+:class:`MultiGPUContext` bundles everything one simulated node needs:
+the event loop, topology, memory manager, cost model, and tracer.
+
+:class:`HostThread` is the simulated analogue of one CPU thread driving
+one GPU (the OpenMP-style "one thread per device" pattern of NVIDIA's
+multi-GPU samples).  Every method charges the calibrated host-side API
+overhead to the calling process and traces it on the host's lane —
+making the CPU-controlled baselines pay exactly the latencies the
+paper attributes to them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+import numpy as np
+
+from repro.hw import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    DeviceBuffer,
+    MemoryManager,
+    NodeSpec,
+    NodeTopology,
+    Storage,
+)
+from repro.runtime.kernel import (
+    DeviceKernelContext,
+    KernelSpec,
+    validate_cooperative_launch,
+)
+from repro.runtime.stream import Event, Stream
+from repro.sim import Delay, Simulator, Tracer
+
+__all__ = ["HostThread", "MultiGPUContext"]
+
+
+class MultiGPUContext:
+    """One simulated multi-GPU node plus its runtime state."""
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.node = node
+        self.cost = cost
+        self.sim = Simulator()
+        self.topology = NodeTopology(node)
+        self.memory = MemoryManager(node.num_gpus)
+        self.tracer = tracer
+        self._streams: dict[tuple[int, str], Stream] = {}
+
+    @property
+    def num_gpus(self) -> int:
+        return self.node.num_gpus
+
+    # -- resources -------------------------------------------------------------
+
+    def stream(self, device: int, name: str = "default") -> Stream:
+        """Get-or-create the named stream on ``device``."""
+        key = (device, name)
+        if key not in self._streams:
+            if not 0 <= device < self.num_gpus:
+                raise ValueError(f"device {device} out of range")
+            self._streams[key] = Stream(self.sim, device, name)
+        return self._streams[key]
+
+    def alloc(
+        self,
+        device: int,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        storage: Storage = Storage.GLOBAL,
+        fill: float | None = 0.0,
+    ) -> DeviceBuffer:
+        """Allocate device memory (see :class:`~repro.hw.memory.MemoryManager`)."""
+        return self.memory.alloc(device, name, shape, dtype, storage, fill)
+
+    def host(self, rank: int) -> "HostThread":
+        """The host thread driving GPU ``rank``."""
+        return HostThread(self, rank)
+
+    # -- tracing ----------------------------------------------------------------
+
+    def trace(self, lane: str, name: str, category: str, start: float, end: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record(lane, name, category, start, end)
+
+    # -- orchestration ------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation to completion; returns final time (µs)."""
+        return self.sim.run(until)
+
+
+class HostThread:
+    """Host-side CUDA API surface for one rank.  All methods are
+    generator helpers to be ``yield from``-ed inside a host process."""
+
+    def __init__(self, ctx: MultiGPUContext, rank: int) -> None:
+        self.ctx = ctx
+        self.rank = rank
+        self.lane = f"host{rank}"
+
+    # -- internal ---------------------------------------------------------------
+
+    def _api(self, us: float, name: str) -> Generator[Any, Any, None]:
+        """Charge a host API overhead and trace it."""
+        start = self.ctx.sim.now
+        yield Delay(us)
+        self.ctx.trace(self.lane, name, "api", start, self.ctx.sim.now)
+
+    # -- kernel launch -------------------------------------------------------------
+
+    def launch(
+        self,
+        stream: Stream,
+        spec: KernelSpec,
+        body: Callable[[DeviceKernelContext], Generator[Any, Any, Any]],
+    ) -> Generator[Any, Any, Event]:
+        """``cudaLaunchKernel`` / ``cudaLaunchCooperativeKernel``.
+
+        Charges host launch latency, validates co-residency for
+        cooperative kernels, and enqueues the body on ``stream``.
+        Returns the kernel's completion :class:`Event`.
+        """
+        cost = self.ctx.cost.kernel_launch_us
+        if spec.cooperative:
+            validate_cooperative_launch(self.ctx, spec)
+            cost += self.ctx.cost.cooperative_launch_extra_us
+        yield from self._api(cost, f"launch:{spec.name}")
+        dev = DeviceKernelContext(self.ctx, stream.device, spec, stream.lane)
+        return stream.enqueue(lambda: body(dev), name=spec.name)
+
+    # -- memory movement --------------------------------------------------------------
+
+    def memcpy_async(
+        self,
+        stream: Stream,
+        dst: DeviceBuffer,
+        dst_index: Any,
+        src: DeviceBuffer,
+        src_index: Any,
+        *,
+        name: str = "memcpy",
+    ) -> Generator[Any, Any, Event]:
+        """``cudaMemcpyAsync``: host enqueues, the copy runs in-stream.
+
+        Data actually moves (NumPy assignment) when the stream reaches
+        the copy, preserving in-order semantics.
+        """
+        yield from self._api(self.ctx.cost.memcpy_enqueue_us, f"memcpyAsync:{name}")
+        ctx = self.ctx
+
+        def copy_work() -> Generator[Any, Any, None]:
+            values = np.array(src.data[src_index])
+            cost = ctx.topology.transfer_us(src.device, dst.device, values.nbytes)
+            start = ctx.sim.now
+            yield Delay(cost)
+            dst.data[dst_index] = values
+            ctx.trace(stream.lane, name, "comm", start, ctx.sim.now)
+
+        return stream.enqueue(copy_work, name=name)
+
+    def memcpy_async_modeled(
+        self,
+        stream: Stream,
+        src_device: int,
+        dst_device: int,
+        nbytes: float,
+        *,
+        name: str = "memcpy",
+    ) -> Generator[Any, Any, Event]:
+        """Timing-only copy (no backing data) for no-compute experiments."""
+        yield from self._api(self.ctx.cost.memcpy_enqueue_us, f"memcpyAsync:{name}")
+        ctx = self.ctx
+
+        def copy_work() -> Generator[Any, Any, None]:
+            cost = ctx.topology.transfer_us(src_device, dst_device, nbytes)
+            start = ctx.sim.now
+            yield Delay(cost)
+            ctx.trace(stream.lane, name, "comm", start, ctx.sim.now)
+
+        return stream.enqueue(copy_work, name=name)
+
+    # -- synchronization ---------------------------------------------------------------
+
+    def stream_sync(self, stream: Stream) -> Generator[Any, Any, None]:
+        """``cudaStreamSynchronize``: block the host until drain."""
+        yield from self._api(self.ctx.cost.stream_sync_us, f"streamSync:{stream.name}")
+        start = self.ctx.sim.now
+        yield from stream.drained()
+        if self.ctx.sim.now > start:
+            self.ctx.trace(self.lane, f"wait:{stream.name}", "sync", start, self.ctx.sim.now)
+
+    def device_sync(self, device: int) -> Generator[Any, Any, None]:
+        """``cudaDeviceSynchronize``: drain every stream of ``device``."""
+        yield from self._api(self.ctx.cost.stream_sync_us, "deviceSync")
+        for (dev, _), stream in sorted(self.ctx._streams.items()):
+            if dev == device:
+                yield from stream.drained()
+
+    def event_record(self, stream: Stream, name: str = "event") -> Generator[Any, Any, Event]:
+        """``cudaEventRecord`` on ``stream``."""
+        yield from self._api(self.ctx.cost.event_record_us, f"eventRecord:{name}")
+        return stream.record_event(name)
+
+    def event_sync(self, event: Event) -> Generator[Any, Any, None]:
+        """``cudaEventSynchronize``."""
+        yield from self._api(self.ctx.cost.event_sync_us, f"eventSync:{event.name}")
+        start = self.ctx.sim.now
+        yield from event.wait()
+        if self.ctx.sim.now > start:
+            self.ctx.trace(self.lane, f"wait:{event.name}", "sync", start, self.ctx.sim.now)
+
+    def stream_wait_event(self, stream: Stream, event: Event) -> Generator[Any, Any, None]:
+        """``cudaStreamWaitEvent``: device-side dependency, cheap for host."""
+        yield from self._api(self.ctx.cost.api_enqueue_us, f"streamWaitEvent:{event.name}")
+        stream.wait_event(event)

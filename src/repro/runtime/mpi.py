@@ -1,0 +1,268 @@
+"""Host-side message passing — the baselines' communication layer.
+
+Models the subset of MPI the paper's baselines and DaCe's library nodes
+use: nonblocking point-to-point (``Isend``/``Irecv`` + ``Waitall``),
+blocking send/recv, derived vector datatypes (``MPI_Type_vector``,
+which DaCe emits for strided halo columns), and barriers.
+
+Cost structure (the part that matters for the reproduction):
+
+- every call charges host CPU time to the calling rank's process;
+- each matched message pays ``mpi_message_latency_us`` plus bytes over
+  the peer link (CUDA-aware MPI stays on NVLink within a node);
+- vector datatypes pay a pack/unpack multiplier — the reason the
+  paper's DaCe 2D baseline is "almost completely dominated by
+  communication" (§6.2.3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.runtime.context import MultiGPUContext
+from repro.sim import Delay, Flag, Simulator, WaitFlag
+
+__all__ = ["Communicator", "HostBarrier", "Request", "VectorType"]
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """``MPI_Type_vector(count, blocklength, stride)`` — strided data."""
+
+    count: int
+    blocklength: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.blocklength <= 0:
+            raise ValueError("count and blocklength must be positive")
+        if self.stride < self.blocklength:
+            raise ValueError("stride must be >= blocklength")
+
+    @property
+    def elements(self) -> int:
+        return self.count * self.blocklength
+
+
+class Request:
+    """Handle for a nonblocking operation; complete when flag >= 1."""
+
+    __slots__ = ("flag", "kind")
+
+    def __init__(self, flag: Flag, kind: str) -> None:
+        self.flag = flag
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        return self.flag.value >= 1
+
+
+class HostBarrier:
+    """Reusable host barrier (OpenMP/MPI style) over ``parties`` ranks."""
+
+    def __init__(self, sim: Simulator, parties: int, cost_us: float, name: str = "barrier") -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.sim = sim
+        self.parties = parties
+        self.cost_us = cost_us
+        self._arrivals = Flag(sim, 0, name=f"{name}.arrivals")
+
+    def wait(self) -> Generator[Any, Any, None]:
+        """Arrive and block until the current round completes."""
+        n = self._arrivals.add(1)
+        target = math.ceil(n / self.parties) * self.parties
+        yield WaitFlag(self._arrivals, lambda v: v >= target)
+        if self.cost_us > 0:
+            yield Delay(self.cost_us)
+
+
+@dataclass
+class _PendingSend:
+    data: np.ndarray
+    nbytes: int
+    datatype: VectorType | None
+    request: Request
+
+
+@dataclass
+class _PendingRecv:
+    out: np.ndarray | None
+    nbytes: int
+    datatype: VectorType | None
+    request: Request
+
+
+class Communicator:
+    """Single-node communicator: one rank per GPU.
+
+    Send/recv matching is by ``(source, dest, tag)`` in posting order,
+    as MPI guarantees for a single communicator.
+    """
+
+    def __init__(self, ctx: MultiGPUContext, num_ranks: int | None = None) -> None:
+        self.ctx = ctx
+        self.num_ranks = num_ranks if num_ranks is not None else ctx.num_gpus
+        if self.num_ranks > ctx.num_gpus:
+            raise ValueError("more ranks than GPUs on the node")
+        self._sends: dict[tuple[int, int, int], deque[_PendingSend]] = {}
+        self._recvs: dict[tuple[int, int, int], deque[_PendingRecv]] = {}
+        self._barrier = HostBarrier(
+            ctx.sim, self.num_ranks, ctx.cost.mpi_barrier_us(self.num_ranks), name="mpi"
+        )
+        # allreduce state: per-rank round counters + per-round values
+        self._allreduce_round = [0] * self.num_ranks
+        self._allreduce_values: dict[int, dict[int, float]] = {}
+        self._allreduce_arrivals = Flag(ctx.sim, 0, name="mpi.allreduce")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range (size={self.num_ranks})")
+
+    def _charge(self, rank: int, us: float, name: str) -> Generator[Any, Any, None]:
+        start = self.ctx.sim.now
+        yield Delay(us)
+        self.ctx.trace(f"host{rank}", name, "api", start, self.ctx.sim.now)
+
+    def _message_time_us(self, src: int, dst: int, nbytes: int, datatype: VectorType | None) -> float:
+        cost = self.ctx.cost
+        base = cost.mpi_message_latency_us + self.ctx.topology.transfer_us(src, dst, nbytes)
+        if datatype is not None:
+            # MPI_Type_vector on device memory: both ends pack/unpack
+            # element-wise plus a fixed overhead factor (§6.2.3)
+            base *= 1.0 + cost.mpi_vector_pack_overhead
+            base += datatype.elements * cost.mpi_vector_element_us
+        return base
+
+    def _try_match(self, key: tuple[int, int, int]) -> None:
+        sends = self._sends.get(key)
+        recvs = self._recvs.get(key)
+        while sends and recvs:
+            send = sends.popleft()
+            recv = recvs.popleft()
+            src, dst, _ = key
+            duration = self._message_time_us(src, dst, send.nbytes, send.datatype)
+            sim = self.ctx.sim
+            ctx = self.ctx
+
+            def transfer(send=send, recv=recv, duration=duration, src=src, dst=dst):
+                start = sim.now
+                yield Delay(duration)
+                if recv.out is not None:
+                    recv.out[...] = send.data.reshape(recv.out.shape)
+                send.request.flag.set(1)
+                recv.request.flag.set(1)
+                ctx.trace(f"mpi.{src}->{dst}", "message", "comm", start, sim.now)
+
+            sim.spawn(transfer(), name=f"mpi_xfer_{src}_{dst}")
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def isend(
+        self,
+        rank: int,
+        values: np.ndarray | float,
+        dest: int,
+        tag: int = 0,
+        datatype: VectorType | None = None,
+    ) -> Generator[Any, Any, Request]:
+        """Nonblocking send of ``values`` (snapshot taken at call time)."""
+        self._check_rank(rank)
+        self._check_rank(dest)
+        yield from self._charge(rank, self.ctx.cost.api_enqueue_us, "MPI_Isend")
+        data = np.array(values, copy=True)
+        request = Request(Flag(self.ctx.sim, 0, "isend"), "send")
+        key = (rank, dest, tag)
+        self._sends.setdefault(key, deque()).append(
+            _PendingSend(data, data.nbytes, datatype, request)
+        )
+        self._try_match(key)
+        return request
+
+    def irecv(
+        self,
+        rank: int,
+        out: np.ndarray | None,
+        source: int,
+        tag: int = 0,
+        nbytes: int | None = None,
+        datatype: VectorType | None = None,
+    ) -> Generator[Any, Any, Request]:
+        """Nonblocking receive into the NumPy view ``out``.
+
+        ``out=None`` with explicit ``nbytes`` gives a timing-only
+        receive for no-compute experiments.
+        """
+        self._check_rank(rank)
+        self._check_rank(source)
+        yield from self._charge(rank, self.ctx.cost.api_enqueue_us, "MPI_Irecv")
+        size = out.nbytes if out is not None else int(nbytes or 0)
+        request = Request(Flag(self.ctx.sim, 0, "irecv"), "recv")
+        key = (source, rank, tag)
+        self._recvs.setdefault(key, deque()).append(_PendingRecv(out, size, datatype, request))
+        self._try_match(key)
+        return request
+
+    def wait(self, rank: int, request: Request) -> Generator[Any, Any, None]:
+        """Block the host until ``request`` completes."""
+        self._check_rank(rank)
+        start = self.ctx.sim.now
+        yield WaitFlag(request.flag, lambda v: v >= 1)
+        if self.ctx.sim.now > start:
+            self.ctx.trace(f"host{rank}", f"MPI_Wait:{request.kind}", "sync", start, self.ctx.sim.now)
+
+    def waitall(self, rank: int, requests: list[Request]) -> Generator[Any, Any, None]:
+        """``MPI_Waitall`` over ``requests``."""
+        yield from self._charge(rank, self.ctx.cost.api_enqueue_us, "MPI_Waitall")
+        for request in requests:
+            yield from self.wait(rank, request)
+
+    def send(self, rank, values, dest, tag=0, datatype=None) -> Generator[Any, Any, None]:
+        """Blocking send."""
+        request = yield from self.isend(rank, values, dest, tag, datatype)
+        yield from self.wait(rank, request)
+
+    def recv(self, rank, out, source, tag=0, nbytes=None, datatype=None) -> Generator[Any, Any, None]:
+        """Blocking receive."""
+        request = yield from self.irecv(rank, out, source, tag, nbytes, datatype)
+        yield from self.wait(rank, request)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def barrier(self, rank: int) -> Generator[Any, Any, None]:
+        """``MPI_Barrier`` across all ranks."""
+        self._check_rank(rank)
+        start = self.ctx.sim.now
+        yield from self._barrier.wait()
+        self.ctx.trace(f"host{rank}", "MPI_Barrier", "sync", start, self.ctx.sim.now)
+
+    def allreduce(self, rank: int, value: float) -> Generator[Any, Any, float]:
+        """``MPI_Allreduce(SUM)`` of one scalar across all ranks.
+
+        Deterministic: contributions are summed in rank order, so the
+        result is bit-identical on every rank and across runs.
+        """
+        self._check_rank(rank)
+        start = self.ctx.sim.now
+        round_no = self._allreduce_round[rank]
+        self._allreduce_round[rank] += 1
+        slot = self._allreduce_values.setdefault(round_no, {})
+        slot[rank] = value
+        self._allreduce_arrivals.add(1)
+        target_total = (round_no + 1) * self.num_ranks
+        yield WaitFlag(self._allreduce_arrivals, lambda v: v >= target_total)
+        yield Delay(self.ctx.cost.mpi_allreduce_us(self.num_ranks))
+        total = 0.0
+        for r in sorted(slot):
+            total += slot[r]
+        self.ctx.trace(f"host{rank}", "MPI_Allreduce", "sync", start, self.ctx.sim.now)
+        return total

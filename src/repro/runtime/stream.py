@@ -1,0 +1,108 @@
+"""CUDA streams and events.
+
+A :class:`Stream` is an in-order work queue.  We model ordering by
+*completion chaining*: each enqueued work item waits for the previous
+item's completion flag before running, so items execute back-to-back in
+FIFO order while distinct streams proceed concurrently — exactly the
+semantics the baselines exploit for communication/computation overlap
+(``comp_stream`` / ``comm_stream`` in paper Listing 2.1a).
+
+An :class:`Event` is a snapshot of a stream's tail: host code (or other
+streams) can wait on it, mirroring ``cudaEventRecord`` /
+``cudaStreamWaitEvent`` / ``cudaEventSynchronize``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.sim import Delay, Flag, Simulator, WaitFlag
+
+__all__ = ["Event", "Stream"]
+
+
+class Event:
+    """Completion marker tied to a point in a stream's work queue."""
+
+    __slots__ = ("flag", "name")
+
+    def __init__(self, flag: Flag, name: str = "event") -> None:
+        self.flag = flag
+        self.name = name
+
+    @property
+    def complete(self) -> bool:
+        return self.flag.value >= 1
+
+    def wait(self) -> Generator[Any, Any, None]:
+        """Generator helper: suspend until the event completes."""
+        yield WaitFlag(self.flag, lambda v: v >= 1)
+
+
+class Stream:
+    """An in-order device work queue bound to one GPU.
+
+    Work items are zero-argument generator factories; the stream runs
+    them serially.  ``lane`` names the tracer lane device-side spans
+    are recorded on.
+    """
+
+    def __init__(self, sim: Simulator, device: int, name: str) -> None:
+        self.sim = sim
+        self.device = device
+        self.name = name
+        self.lane = f"gpu{device}.{name}"
+        # Tail = completion flag of the most recently enqueued item.
+        done = Flag(sim, 1, name=f"{self.lane}.origin")
+        self._tail = done
+        self._depth = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when every enqueued item has completed."""
+        return self._tail.value >= 1
+
+    def enqueue(self, work: Callable[[], Generator[Any, Any, Any]], name: str = "work") -> Event:
+        """Append a work item; returns an event for its completion."""
+        prev = self._tail
+        done = Flag(self.sim, 0, name=f"{self.lane}.{name}.done")
+        self._tail = done
+        self._depth += 1
+
+        def runner() -> Generator[Any, Any, None]:
+            yield WaitFlag(prev, lambda v: v >= 1)
+            yield from work()
+            done.set(1)
+
+        self.sim.spawn(runner(), name=f"{self.lane}.{name}")
+        return Event(done, name=name)
+
+    def enqueue_delay(self, duration_us: float, name: str = "delay") -> Event:
+        """Append a pure time cost (e.g. a modeled device-side copy)."""
+
+        def work() -> Generator[Any, Any, None]:
+            yield Delay(duration_us)
+
+        return self.enqueue(work, name=name)
+
+    def record_event(self, name: str = "event") -> Event:
+        """``cudaEventRecord``: completes when all prior work completes.
+
+        The host-side cost of recording is charged by the caller (see
+        :meth:`repro.runtime.context.MultiGPUContext.event_record`).
+        """
+        return Event(self._tail, name=name)
+
+    def wait_event(self, event: Event) -> None:
+        """``cudaStreamWaitEvent``: subsequent items also wait on ``event``."""
+
+        def work() -> Generator[Any, Any, None]:
+            yield from event.wait()
+
+        self.enqueue(work, name=f"wait_{event.name}")
+
+    def drained(self) -> Generator[Any, Any, None]:
+        """Generator helper: suspend until the queue is fully drained."""
+        tail = self._tail
+        yield WaitFlag(tail, lambda v: v >= 1)

@@ -1,0 +1,543 @@
+"""Execute a (transformed) SDFG on the multi-GPU simulator.
+
+The executor is the "runtime" half of code generation: it walks the
+SDFG exactly as the emitted CUDA/C++ would execute and drives the
+simulator accordingly.
+
+Discrete mode (states scheduled ``GPU_DEVICE``) reproduces the DaCe
+baseline of Fig. 5.1: per iteration, one kernel launch per compute
+state; each MPI library node is preceded by a ``cudaStreamSynchronize``
+and a device-to-device staging copy, then the host MPI call (with an
+``MPI_Type_vector`` penalty for strided views); ``Waitall`` blocks the
+host on all pending requests.
+
+Persistent mode (loop scheduled ``GPU_PERSISTENT``) reproduces the
+generated CPU-Free code of §5.3.2: a single cooperative kernel per
+rank whose device loop runs the states back-to-back, communication
+"scheduled in a single thread followed by a grid sync" — NVSHMEM ops
+issue at *thread* scope (the generated code cannot use the
+block-cooperative calls, §5.4), with barriers only on the relaxed
+subgraph edges computed by the transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core import LocalSpinFlag, TBGroup, launch_persistent
+from repro.nvshmem import NVSHMEMRuntime, WaitCond
+from repro.nvshmem.device import Scope
+from repro.runtime import Communicator, MultiGPUContext, VectorType
+from repro.runtime.kernel import KernelSpec
+from repro.sdfg.graph import LoopRegion, Region, SDFG, Schedule, State
+from repro.sdfg.libnodes.mpi import MPI_PROC_NULL, MPIBarrier, MPIIrecv, MPIIsend, MPIWaitall
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.memlet import AccessKind, Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, Tasklet
+from repro.sdfg.symbols import evaluate_expr
+from repro.sdfg.transforms.mpi_to_nvshmem import FLAGS_ARRAY
+from repro.hw.memory import Storage
+from repro.sim import Tracer
+
+__all__ = ["ExecutionReport", "SDFGExecutor"]
+
+
+@dataclass
+class ExecutionReport:
+    """Timing and (optionally) data results of one SDFG execution."""
+
+    total_time_us: float
+    comm_time_us: float
+    sync_time_us: float
+    api_time_us: float
+    iterations: int
+    tracer: Tracer
+    arrays: list[dict[str, np.ndarray]] | None
+
+    @property
+    def per_iteration_us(self) -> float:
+        return self.total_time_us / max(1, self.iterations)
+
+
+@dataclass
+class _RankState:
+    bindings: dict[str, int]
+    arrays: dict[str, np.ndarray]
+    pending: list = field(default_factory=list)
+
+
+class SDFGExecutor:
+    """Runs one SDFG SPMD across the node's GPUs."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        ctx: MultiGPUContext,
+        *,
+        with_data: bool = True,
+        comm_scope: Scope = Scope.THREAD,
+    ) -> None:
+        self.sdfg = sdfg
+        self.ctx = ctx
+        self.with_data = with_data
+        #: issuing-group scope for generated puts.  THREAD reproduces
+        #: §5.3.2's single-thread scheduling; BLOCK models the §5.4
+        #: future-work cooperative scheduling (ablation benchmarks).
+        self.comm_scope = comm_scope
+        self.persistent = any(
+            r.schedule is Schedule.GPU_PERSISTENT for r in sdfg.walk_regions()
+        )
+        self.nvshmem = NVSHMEMRuntime(ctx) if self._uses_nvshmem() else None
+        self.comm = Communicator(ctx) if self._uses_mpi() else None
+        self._signals = None
+        self._sym_arrays: dict[str, Any] = {}
+        self._iterations = 0
+
+    def _uses_nvshmem(self) -> bool:
+        return any(
+            isinstance(n, (PutmemSignal, SignalWait))
+            for s in self.sdfg.walk_states() for n in s.library_nodes
+        )
+
+    def _uses_mpi(self) -> bool:
+        return any(
+            n.library == "MPI"
+            for s in self.sdfg.walk_states() for n in s.library_nodes
+        )
+
+    # -- entry point --------------------------------------------------------------
+
+    def run(self, rank_args: list[dict[str, Any]]) -> ExecutionReport:
+        """``rank_args[r]`` maps array names to initial NumPy arrays and
+        param/symbol names to ints for rank ``r``."""
+        num_ranks = len(rank_args)
+        if num_ranks > self.ctx.num_gpus:
+            raise ValueError("more ranks than GPUs")
+        self._check_symmetric_shapes(rank_args)
+        ranks = [self._prepare_rank(r, rank_args[r], num_ranks) for r in range(num_ranks)]
+        self._count_iterations(ranks[0].bindings)
+        for rank in range(num_ranks):
+            if self.persistent:
+                prog = self._persistent_host_program(rank, ranks[rank])
+            else:
+                prog = self._discrete_host_program(rank, ranks[rank])
+            self.ctx.sim.spawn(prog, name=f"sdfg.host{rank}")
+        total = self.ctx.run()
+        tracer = self.ctx.tracer or Tracer()
+        return ExecutionReport(
+            total_time_us=total,
+            comm_time_us=tracer.total("comm"),
+            sync_time_us=tracer.total("sync"),
+            api_time_us=tracer.total("api"),
+            iterations=self._iterations,
+            tracer=tracer,
+            arrays=[r.arrays for r in ranks] if self.with_data else None,
+        )
+
+    # -- setup ------------------------------------------------------------------------
+
+    def _check_symmetric_shapes(self, rank_args: list[dict[str, Any]]) -> None:
+        """Symmetric (NVSHMEM) allocations must be identically shaped on
+        every PE, which means every symbol a symmetric array's shape
+        uses must agree across ranks.  Unequal slabs would silently
+        corrupt remote writes, so reject them loudly (pad your domains,
+        as real NVSHMEM codes do)."""
+        from repro.sdfg.symbols import BinOp, Sym
+
+        def collect(expr, out: set[str]) -> None:
+            if isinstance(expr, Sym):
+                out.add(expr.name)
+            elif isinstance(expr, BinOp):
+                collect(expr.lhs, out)
+                collect(expr.rhs, out)
+
+        symmetric_symbols: set[str] = set()
+        for desc in self.sdfg.arrays.values():
+            if desc.storage is Storage.SYMMETRIC and not desc.transient:
+                for dim in desc.shape:
+                    collect(dim, symmetric_symbols)
+        for symbol in symmetric_symbols:
+            values = {int(a[symbol]) for a in rank_args if symbol in a}
+            if len(values) > 1:
+                raise ValueError(
+                    f"symmetric arrays require symbol {symbol!r} to be equal on "
+                    f"every rank (got {sorted(values)}); pad the decomposition"
+                )
+
+    def _prepare_rank(self, rank: int, args: dict[str, Any], num_ranks: int) -> _RankState:
+        bindings: dict[str, int] = {}
+        arrays: dict[str, np.ndarray] = {}
+        for name in list(self.sdfg.symbols) + self.sdfg.params:
+            if name in args:
+                bindings[name] = int(args[name])
+        if self.with_data:
+            for name, desc in self.sdfg.arrays.items():
+                if desc.transient and name == FLAGS_ARRAY:
+                    continue
+                shape = tuple(evaluate_expr(s, bindings) for s in desc.shape)
+                if desc.storage is Storage.SYMMETRIC and self.nvshmem is not None:
+                    sym = self._sym_arrays.get(name)
+                    if sym is None:
+                        sym = self.nvshmem.malloc(name, shape, desc.dtype)
+                        self._sym_arrays[name] = sym
+                    view = sym.local(rank)
+                else:
+                    view = np.zeros(shape, dtype=desc.dtype)
+                if name in args:
+                    view[...] = args[name]
+                arrays[name] = view
+        # flags array (allocated by MPIToNVSHMEM) -> signal words
+        if self.nvshmem is not None and FLAGS_ARRAY in self.sdfg.arrays and self._signals is None:
+            n_flags = evaluate_expr(self.sdfg.arrays[FLAGS_ARRAY].shape[0], bindings)
+            self._signals = self.nvshmem.malloc_signals("sdfg_flags", n_flags)
+        return _RankState(bindings=bindings, arrays=arrays)
+
+    def _count_iterations(self, bindings: dict[str, int]) -> None:
+        loops = self.sdfg.loop_regions()
+        if loops:
+            loop = loops[0]
+            lo = evaluate_expr(loop.start, bindings)
+            hi = evaluate_expr(loop.end, bindings)
+            self._iterations = max(1, hi - lo)
+        else:
+            self._iterations = 1
+
+    def _shape_of(self, name: str, bindings: dict[str, int]) -> tuple[int, ...]:
+        desc = self.sdfg.arrays[name]
+        return tuple(evaluate_expr(s, bindings) for s in desc.shape)
+
+    def _peer_rank(self, peer: str | int, bindings: dict[str, int]) -> int:
+        return bindings[peer] if isinstance(peer, str) else int(peer)
+
+    # ======================= discrete (baseline) path =======================
+
+    def _discrete_host_program(self, rank: int, rs: _RankState):
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+
+        def run_region(region: Region):
+            for el in region.elements:
+                if isinstance(el, LoopRegion):
+                    lo = evaluate_expr(el.start, rs.bindings)
+                    hi = evaluate_expr(el.end, rs.bindings)
+                    for t in range(lo, hi):
+                        rs.bindings[el.var] = t
+                        yield from run_region(el)
+                    rs.bindings.pop(el.var, None)
+                else:
+                    yield from self._run_state_host(el, rank, rs, host, stream)
+
+        def body():
+            yield from run_region(self.sdfg.body)
+            # drain the device before reporting completion
+            yield from host.stream_sync(stream)
+
+        return body()
+
+    def _run_state_host(self, state: State, rank: int, rs: _RankState, host, stream):
+        tasklets = state.tasklets
+        if tasklets and state.map_entries:
+            yield from self._launch_compute_kernel(state, rank, rs, host, stream)
+            return
+        for node in state.library_nodes:
+            if isinstance(node, (MPIIsend, MPIIrecv)):
+                yield from self._run_mpi_p2p(node, state, rank, rs, host, stream)
+            elif isinstance(node, MPIWaitall):
+                assert self.comm is not None
+                yield from self.comm.waitall(rank, rs.pending)
+                rs.pending.clear()
+            elif isinstance(node, MPIBarrier):
+                assert self.comm is not None
+                yield from self.comm.barrier(rank)
+            else:
+                raise TypeError(f"host path cannot execute {node!r}")
+
+    def _launch_compute_kernel(self, state: State, rank: int, rs: _RankState, host, stream):
+        volume = self._state_volume(state, rs.bindings)
+        blocks = max(1, -(-volume // 1024))
+        bindings_snapshot = dict(rs.bindings)
+
+        def kernel(dev):
+            yield from dev.compute(volume, name=state.name)
+            if self.with_data:
+                self._execute_tasklets(state, rs, bindings_snapshot)
+
+        yield from host.launch(stream, KernelSpec(state.name, blocks=blocks), kernel)
+
+    def _state_volume(self, state: State, bindings: dict[str, int]) -> int:
+        """Elements written by this state's tasklets (timing basis)."""
+        volume = 0
+        for edge in state.edges:
+            if isinstance(edge.dst, AccessNode) and edge.memlet is not None:
+                shape = self._shape_of(edge.memlet.data, bindings)
+                volume += edge.memlet.volume(shape, bindings)
+        return max(1, volume)
+
+    def _execute_tasklets(self, state: State, rs: _RankState, bindings: dict[str, int]) -> None:
+        for tasklet in state.tasklets:
+            out_edge = next(
+                e for e in state.edges
+                if isinstance(e.dst, AccessNode) and e.memlet is not None
+                and e.memlet.data == tasklet.output
+            )
+            memlet = out_edge.memlet
+            shape = self._shape_of(memlet.data, bindings)
+            index = memlet.resolve(shape, bindings)
+            namespace = {"np": np, **rs.arrays, **bindings}
+            value = eval(tasklet.expr_source, {"__builtins__": {}}, namespace)  # noqa: S307
+            rs.arrays[memlet.data][index] = value
+
+    def _run_mpi_p2p(self, node, state: State, rank: int, rs: _RankState, host, stream):
+        assert self.comm is not None
+        peer = self._peer_rank(node.peer, rs.bindings)
+        if peer == MPI_PROC_NULL:
+            return
+        expansion = node.expand(self.sdfg, rs.bindings)
+        shape = self._shape_of(node.buffer.data, rs.bindings)
+        nbytes = node.buffer.volume(shape, rs.bindings) * 8
+        # Fig 5.1: generated stream sync + staging copy around each call
+        if expansion.stream_sync:
+            yield from host.stream_sync(stream)
+        if expansion.staging_copy:
+            yield from host.memcpy_async_modeled(stream, rank, rank, nbytes, name="stage")
+            yield from host.stream_sync(stream)
+        datatype = None
+        if expansion.vector_datatype:
+            lengths = node.buffer.dim_lengths(shape, rs.bindings)
+            count = max(n for n in lengths)
+            datatype = VectorType(count=count, blocklength=1, stride=shape[-1])
+        if isinstance(node, MPIIsend):
+            if self.with_data:
+                index = node.buffer.resolve(shape, rs.bindings)
+                values = np.array(rs.arrays[node.buffer.data][index])
+            else:
+                values = np.zeros(max(1, nbytes // 8))
+            req = yield from self.comm.isend(rank, values, peer, node.tag, datatype)
+        else:
+            out = None
+            if self.with_data:
+                index = node.buffer.resolve(shape, rs.bindings)
+                target = rs.arrays[node.buffer.data]
+                view = target[index]
+                out = view if isinstance(view, np.ndarray) else _ScalarProxy(target, index)
+            req = yield from self.comm.irecv(
+                rank, out, peer, node.tag, nbytes=nbytes, datatype=datatype
+            )
+        rs.pending.append(req)
+
+    # ======================= persistent (CPU-Free) path =======================
+
+    def _persistent_host_program(self, rank: int, rs: _RankState):
+        elements = self.sdfg.body.elements
+        if (len(elements) == 1 and isinstance(elements[0], LoopRegion)
+                and getattr(elements[0], "comm_specialized", False)):
+            return self._specialized_host_program(rank, rs, elements[0])
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+        executor = self
+
+        def group_body(dev, grid):
+            def run_region(region: Region):
+                for el in region.elements:
+                    if isinstance(el, LoopRegion):
+                        lo = evaluate_expr(el.start, rs.bindings)
+                        hi = evaluate_expr(el.end, rs.bindings)
+                        for t in range(lo, hi):
+                            rs.bindings[el.var] = t
+                            yield from run_region(el)
+                        rs.bindings.pop(el.var, None)
+                    else:
+                        yield from executor._run_state_device(el, rank, rs, dev, grid)
+
+            yield from run_region(self.sdfg.body)
+
+        def body():
+            blocks = self.ctx.node.gpu.max_coresident_blocks(1024)
+            kernel = yield from launch_persistent(
+                host, stream, f"{self.sdfg.name}_persistent",
+                [TBGroup("program", blocks, group_body)],
+            )
+            yield from host.event_sync(kernel.event)
+
+        return body()
+
+    # -- §5.4 future work: TB-specialized generated code -------------------------
+
+    def _specialized_host_program(self, rank: int, rs: _RankState, loop: LoopRegion):
+        """Two specialized TB groups inside the generated persistent
+        kernel: a comm group running the NVSHMEM states and a compute
+        group running the map states, ordered by local-memory progress
+        flags instead of grid-wide barriers (cf. §4.1.2 and §5.4)."""
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+        executor = self
+
+        # partition the loop body into alternating comm/comp runs
+        runs: list[tuple[str, list[State]]] = []
+        for el in loop.elements:
+            if not isinstance(el, State):
+                raise TypeError("comm-specialized loops cannot nest regions")
+            group = getattr(el, "tb_group", "comp")
+            if runs and runs[-1][0] == group:
+                runs[-1][1].append(el)
+            else:
+                runs.append((group, [el]))
+        per_iter = {"comm": sum(1 for g, _ in runs if g == "comm"),
+                    "comp": sum(1 for g, _ in runs if g == "comp")}
+        poll = self.ctx.cost.host_flag_poll_us
+        progress = {
+            "comm": LocalSpinFlag(self.ctx.sim, poll, name=f"gpu{rank}.comm_prog"),
+            "comp": LocalSpinFlag(self.ctx.sim, poll, name=f"gpu{rank}.comp_prog"),
+        }
+        lo = evaluate_expr(loop.start, rs.bindings)
+        hi = evaluate_expr(loop.end, rs.bindings)
+        # per-group loop-variable bindings (the groups progress
+        # independently through iterations)
+        group_bindings = {g: dict(rs.bindings) for g in ("comm", "comp")}
+
+        def make_group(which: str):
+            other = "comm" if which == "comp" else "comp"
+
+            def body(dev, grid):
+                done = 0
+                for k, t in enumerate(range(lo, hi)):
+                    group_bindings[which][loop.var] = t
+                    earlier_other = 0
+                    for group, states in runs:
+                        if group != which:
+                            earlier_other += 1
+                            continue
+                        # all earlier other-group runs (this and past
+                        # iterations) must have completed
+                        yield from progress[other].wait_until(
+                            k * per_iter[other] + earlier_other
+                        )
+                        local = _RankState(group_bindings[which], rs.arrays, rs.pending)
+                        for state in states:
+                            yield from executor._run_state_device(
+                                state, rank, local, dev, grid, use_grid_sync=False
+                            )
+                        done += 1
+                        progress[which].post(done)
+                # drain: let the other group finish its final runs
+                yield from progress[other].wait_until((hi - lo) * per_iter[other])
+
+            return body
+
+        def host_body():
+            total = self.ctx.node.gpu.max_coresident_blocks(1024)
+            comm_blocks = max(1, min(4, total - 1))
+            groups = [
+                TBGroup("comm", comm_blocks, make_group("comm")),
+                TBGroup("comp", total - comm_blocks, make_group("comp")),
+            ]
+            kernel = yield from launch_persistent(
+                host, stream, f"{self.sdfg.name}_persistent_specialized", groups
+            )
+            yield from host.event_sync(kernel.event)
+
+        return host_body()
+
+    def _run_state_device(self, state: State, rank: int, rs: _RankState, dev, grid,
+                          use_grid_sync: bool = True):
+        if state.tasklets and state.map_entries:
+            volume = self._state_volume(state, rs.bindings)
+            yield from dev.compute(volume, name=state.name)
+            if self.with_data:
+                self._execute_tasklets(state, rs, dict(rs.bindings))
+        for node in state.library_nodes:
+            if isinstance(node, PutmemSignal):
+                yield from self._run_putmem_signal(node, rank, rs, dev)
+            elif isinstance(node, SignalWait):
+                yield from self._run_signal_wait(node, rank, rs, dev)
+            else:
+                raise TypeError(f"device path cannot execute {node!r}")
+        if use_grid_sync and getattr(state, "sync_after", True):
+            yield from grid.wait()
+
+    def _run_putmem_signal(self, node: PutmemSignal, rank: int, rs: _RankState, dev):
+        assert self.nvshmem is not None and self._signals is not None
+        peer = self._peer_rank(node.pe, rs.bindings)
+        if peer == MPI_PROC_NULL:
+            return
+        nv = self.nvshmem.device(rank, lane=dev.lane)
+        expansion = node.expand(self.sdfg, rs.bindings)
+        src_shape = self._shape_of(node.src.data, rs.bindings)
+        dst_shape = self._shape_of(node.dst.data, rs.bindings)
+        nbytes = node.src.volume(src_shape, rs.bindings) * 8
+        value = evaluate_expr(node.signal_value, rs.bindings)
+        dst_sym = self._sym_arrays.get(node.dst.data) if self.with_data else None
+        dst_index = node.dst.resolve(dst_shape, rs.bindings) if self.with_data else None
+        if self.with_data:
+            src_index = node.src.resolve(src_shape, rs.bindings)
+            values = np.array(rs.arrays[node.src.data][src_index])
+        else:
+            values = 0.0
+        # §5.3.2: generated code issues from a single thread by default
+        if expansion.access is AccessKind.CONTIGUOUS:
+            put = nv.putmem_signal_nbi if node.nbi else nv.putmem_signal
+            yield from put(
+                dst_sym, dst_index, values, self._signals, node.flag_index,
+                value, dest_pe=peer, nbytes=nbytes, scope=self.comm_scope,
+                name=f"put:{node.src.data}",
+            )
+        elif expansion.kind == "p_mapped":
+            yield from nv.p_mapped(
+                dst_sym, dst_index,
+                np.atleast_1d(values).ravel() if self.with_data else values,
+                dest_pe=peer, elements=max(1, nbytes // 8),
+                name=f"p_mapped:{node.src.data}",
+            )
+            yield from nv.quiet()
+            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+        elif expansion.access is AccessKind.STRIDED:
+            yield from nv.iput(
+                dst_sym, dst_index, np.atleast_1d(values).ravel() if self.with_data else values,
+                dest_pe=peer, elements=max(1, nbytes // 8), name=f"iput:{node.src.data}",
+            )
+            yield from nv.quiet()
+            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+        else:  # scalar
+            scalar = float(np.asarray(values).reshape(-1)[0]) if self.with_data else 0.0
+            yield from nv.p(dst_sym, dst_index, scalar, dest_pe=peer,
+                            name=f"p:{node.src.data}")
+            yield from nv.quiet()
+            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+
+    def _run_signal_wait(self, node: SignalWait, rank: int, rs: _RankState, dev):
+        assert self.nvshmem is not None and self._signals is not None
+        # SPMD: skip the wait when the matching sender is PROC_NULL —
+        # generated code guards on the peer parameter. The peer of a
+        # wait is the conjugate side's parameter; we detect "no sender"
+        # by checking whether any signal could arrive: the flag stays 0
+        # for edge ranks. Generated code uses the same guard variable
+        # as the original Irecv; we reconstruct it from the pairing
+        # stored at transform time when available.
+        guard = getattr(node, "peer_param", None)
+        if guard is not None:
+            if self._peer_rank(guard, rs.bindings) == MPI_PROC_NULL:
+                return
+        nv = self.nvshmem.device(rank, lane=dev.lane)
+        value = evaluate_expr(node.value, rs.bindings)
+        yield from nv.signal_wait_until(
+            self._signals, node.flag_index, WaitCond.GE, value
+        )
+
+
+class _ScalarProxy:
+    """NumPy-ish single-element receive target (``A[0] = value``)."""
+
+    def __init__(self, array: np.ndarray, index: Any) -> None:
+        self.array = array
+        self.index = index
+        self.nbytes = array.dtype.itemsize
+
+    def __setitem__(self, _ignored: Any, value: Any) -> None:
+        self.array[self.index] = np.asarray(value).reshape(-1)[0]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return (1,)

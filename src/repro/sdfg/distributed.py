@@ -1,0 +1,188 @@
+"""SPMD launch helpers: decompose a global domain into per-rank
+arguments for the SDFG executor, and reassemble results.
+
+The 1-D benchmark uses slab decomposition (two neighbors); the 2-D
+benchmark uses a process grid from
+:func:`repro.stencil.grid.best_process_grid`, which is square at P=4
+and rectangular at P∈{2, 8} — the source of the baseline's unbalanced
+partition bump in Fig. 6.3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sdfg.libnodes.mpi import MPI_PROC_NULL
+from repro.stencil.grid import slab_partition, wide_process_grid
+
+__all__ = ["GridDecomposition2D", "SlabDecomposition1D", "SlabDecomposition3D"]
+
+
+@dataclass(frozen=True)
+class SlabDecomposition1D:
+    """1-D array of ``n_global`` interior points over ``ranks`` slabs."""
+
+    n_global: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_global < self.ranks:
+            raise ValueError("domain too small")
+
+    def local_n(self, rank: int) -> int:
+        lo, hi = slab_partition(self.n_global, self.ranks)[rank]
+        return (hi - lo) + 2  # interior + 2 halo cells
+
+    def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
+        """Executor arguments per rank for the jacobi_1d program.
+
+        ``u0`` has ``n_global + 2`` entries (interior + Dirichlet ends).
+        """
+        if u0.shape != (self.n_global + 2,):
+            raise ValueError(f"u0 must have {self.n_global + 2} entries")
+        ranges = slab_partition(self.n_global, self.ranks)
+        args = []
+        for rank, (lo, hi) in enumerate(ranges):
+            chunk = np.array(u0[lo : hi + 2])  # includes halo cells
+            args.append({
+                "A": chunk,
+                "B": np.array(chunk),
+                "N": chunk.shape[0],
+                "TSTEPS": tsteps,
+                "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
+                "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
+            })
+        return args
+
+    def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,
+               which: str = "A") -> np.ndarray:
+        out = np.array(u0)
+        for rank, (lo, hi) in enumerate(slab_partition(self.n_global, self.ranks)):
+            out[lo + 1 : hi + 1] = arrays[rank][which][1:-1]
+        return out
+
+
+@dataclass(frozen=True)
+class SlabDecomposition3D:
+    """z-axis slab decomposition for the jacobi_3d program.
+
+    ``nz_global`` interior planes of edge ``m`` (the full local arrays
+    are ``(planes + 2, m + 2, m + 2)`` with one halo plane per side).
+    Plane counts must divide evenly: NVSHMEM symmetric allocation in
+    the executor requires identical local shapes.
+    """
+
+    nz_global: int
+    m: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        if self.nz_global % self.ranks:
+            raise ValueError(
+                f"{self.nz_global} planes not divisible by {self.ranks} ranks"
+            )
+
+    @property
+    def planes(self) -> int:
+        return self.nz_global // self.ranks
+
+    def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
+        expected = (self.nz_global + 2, self.m + 2, self.m + 2)
+        if u0.shape != expected:
+            raise ValueError(f"u0 must be {expected}")
+        args = []
+        for rank in range(self.ranks):
+            lo = rank * self.planes
+            chunk = np.array(u0[lo : lo + self.planes + 2])
+            args.append({
+                "A": chunk,
+                "B": np.array(chunk),
+                "N": self.planes + 2,
+                "M": self.m + 2,
+                "TSTEPS": tsteps,
+                "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
+                "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
+            })
+        return args
+
+    def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,
+               which: str = "A") -> np.ndarray:
+        out = np.array(u0)
+        for rank in range(self.ranks):
+            lo = rank * self.planes + 1
+            out[lo : lo + self.planes] = arrays[rank][which][1:-1]
+        return out
+
+
+@dataclass(frozen=True)
+class GridDecomposition2D:
+    """2-D process grid over a ``(gy, gx)`` interior."""
+
+    gy: int
+    gx: int
+    ranks: int
+
+    def __post_init__(self) -> None:
+        py, px = self.grid
+        if self.gy % py or self.gx % px:
+            raise ValueError(
+                f"interior {self.gy}x{self.gx} not divisible by process grid {py}x{px}"
+            )
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        return wide_process_grid(self.ranks)
+
+    @property
+    def tile(self) -> tuple[int, int]:
+        py, px = self.grid
+        return self.gy // py, self.gx // px
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        _, px = self.grid
+        return divmod(rank, px)
+
+    def neighbors(self, rank: int) -> dict[str, int]:
+        py, px = self.grid
+        ry, rx = self.coords(rank)
+        return {
+            "nn": rank - px if ry > 0 else MPI_PROC_NULL,
+            "ns": rank + px if ry < py - 1 else MPI_PROC_NULL,
+            "nw": rank - 1 if rx > 0 else MPI_PROC_NULL,
+            "ne": rank + 1 if rx < px - 1 else MPI_PROC_NULL,
+        }
+
+    def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
+        """Executor arguments per rank for the jacobi_2d program.
+
+        ``u0`` is ``(gy + 2, gx + 2)`` including the Dirichlet ring.
+        """
+        if u0.shape != (self.gy + 2, self.gx + 2):
+            raise ValueError(f"u0 must be {(self.gy + 2, self.gx + 2)}")
+        th, tw = self.tile
+        args = []
+        for rank in range(self.ranks):
+            ry, rx = self.coords(rank)
+            lo_y, lo_x = ry * th, rx * tw
+            chunk = np.array(u0[lo_y : lo_y + th + 2, lo_x : lo_x + tw + 2])
+            args.append({
+                "A": chunk,
+                "B": np.array(chunk),
+                "N": th + 2,
+                "M": tw + 2,
+                "TSTEPS": tsteps,
+                **self.neighbors(rank),
+            })
+        return args
+
+    def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,
+               which: str = "A") -> np.ndarray:
+        out = np.array(u0)
+        th, tw = self.tile
+        for rank in range(self.ranks):
+            ry, rx = self.coords(rank)
+            lo_y, lo_x = ry * th + 1, rx * tw + 1
+            out[lo_y : lo_y + th, lo_x : lo_x + tw] = arrays[rank][which][1:-1, 1:-1]
+        return out

@@ -1,0 +1,122 @@
+"""Graphviz DOT rendering of SDFGs (the web-viewer stand-in).
+
+``sdfg_to_dot`` renders the full program: one cluster per state (inner
+dataflow as nodes/edges), loop regions as nested clusters, with the
+visual conventions of DaCe's viewer — ellipses for access nodes,
+trapezoid-ish map entries/exits, boxes for tasklets, octagons for
+library nodes.  Render with ``dot -Tsvg program.dot -o program.svg``.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import Storage
+from repro.sdfg.graph import LoopRegion, Region, SDFG, State
+from repro.sdfg.nodes import AccessNode, LibraryNode, MapEntry, MapExit, Tasklet
+from repro.sdfg.symbols import expr_to_str
+
+__all__ = ["sdfg_to_dot"]
+
+_STORAGE_COLORS = {
+    Storage.HOST: "white",
+    Storage.GLOBAL: "lightyellow",
+    Storage.SYMMETRIC: "lightblue",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def sdfg_to_dot(sdfg: SDFG) -> str:
+    """Render the SDFG as a Graphviz digraph."""
+    lines = [
+        f'digraph "{_escape(sdfg.name)}" {{',
+        "    compound=true;",
+        "    node [fontsize=10];",
+        "    rankdir=TB;",
+    ]
+    counter = [0]
+    prev_anchor: list[str | None] = [None]
+
+    def emit_state(state: State, indent: str) -> str:
+        cluster = f"cluster_state_{counter[0]}"
+        counter[0] += 1
+        lines.append(f'{indent}subgraph "{cluster}" {{')
+        label = f"{state.name} [{state.schedule.value}]"
+        if getattr(state, "sync_after", False):
+            label += " +grid.sync"
+        if getattr(state, "tb_group", None):
+            label += f" ({state.tb_group} TBs)"
+        lines.append(f'{indent}    label="{_escape(label)}";')
+        lines.append(f"{indent}    style=rounded;")
+        node_ids: dict[int, str] = {}
+        anchor = None
+        for node in state.nodes:
+            node_id = f"n{counter[0]}"
+            counter[0] += 1
+            node_ids[node.node_id] = node_id
+            if anchor is None:
+                anchor = node_id
+            if isinstance(node, AccessNode):
+                desc = sdfg.arrays.get(node.data)
+                fill = _STORAGE_COLORS.get(desc.storage, "white") if desc else "white"
+                lines.append(
+                    f'{indent}    {node_id} [shape=ellipse, style=filled, '
+                    f'fillcolor={fill}, label="{_escape(node.data)}"];'
+                )
+            elif isinstance(node, MapEntry):
+                lines.append(
+                    f'{indent}    {node_id} [shape=invtrapezium, '
+                    f'label="map {_escape(node.range_str())}"];'
+                )
+            elif isinstance(node, MapExit):
+                lines.append(f'{indent}    {node_id} [shape=trapezium, label="map exit"];')
+            elif isinstance(node, Tasklet):
+                lines.append(
+                    f'{indent}    {node_id} [shape=box, '
+                    f'label="{_escape(node.expr_source[:40])}"];'
+                )
+            elif isinstance(node, LibraryNode):
+                lines.append(
+                    f'{indent}    {node_id} [shape=octagon, style=filled, '
+                    f'fillcolor=lightsalmon, label="{_escape(node.label)}"];'
+                )
+            else:  # pragma: no cover - future node kinds
+                lines.append(f'{indent}    {node_id} [shape=box, label="{node.label}"];')
+        if anchor is None:
+            anchor = f"n{counter[0]}"
+            counter[0] += 1
+            lines.append(f'{indent}    {anchor} [shape=point, style=invis];')
+        for edge in state.edges:
+            src = node_ids[edge.src.node_id]
+            dst = node_ids[edge.dst.node_id]
+            label = f' [label="{_escape(repr(edge.memlet))}"]' if edge.memlet else ""
+            lines.append(f"{indent}    {src} -> {dst}{label};")
+        lines.append(f"{indent}}}")
+        if prev_anchor[0] is not None:
+            lines.append(
+                f'{indent}{prev_anchor[0]} -> {anchor} '
+                f"[style=dashed, color=gray, constraint=true];"
+            )
+        prev_anchor[0] = anchor
+        return cluster
+
+    def emit_region(region: Region, indent: str) -> None:
+        for el in region.elements:
+            if isinstance(el, LoopRegion):
+                cluster = f"cluster_loop_{counter[0]}"
+                counter[0] += 1
+                lines.append(f'{indent}subgraph "{cluster}" {{')
+                label = el.trip_count_str()
+                if el.schedule.value != "cpu":
+                    label += f" [{el.schedule.value}]"
+                lines.append(f'{indent}    label="{_escape(label)}";')
+                lines.append(f"{indent}    style=bold;")
+                emit_region(el, indent + "    ")
+                lines.append(f"{indent}}}")
+            else:
+                emit_state(el, indent)
+
+    emit_region(sdfg.body, "    ")
+    lines.append("}")
+    return "\n".join(lines)

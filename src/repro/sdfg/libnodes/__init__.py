@@ -1,0 +1,24 @@
+"""Library nodes: MPI (existing distributed support) and NVSHMEM
+(this work's GPU-initiated communication library, paper §5.3)."""
+
+from repro.sdfg.libnodes.mpi import (
+    MPIBarrier,
+    MPIIrecv,
+    MPIIsend,
+    MPIWaitall,
+)
+from repro.sdfg.libnodes.nvshmem import (
+    NVSHMEMExpansion,
+    PutmemSignal,
+    SignalWait,
+)
+
+__all__ = [
+    "MPIBarrier",
+    "MPIIrecv",
+    "MPIIsend",
+    "MPIWaitall",
+    "NVSHMEMExpansion",
+    "PutmemSignal",
+    "SignalWait",
+]

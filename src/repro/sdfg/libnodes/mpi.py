@@ -1,0 +1,115 @@
+"""MPI library nodes — DaCe's existing distributed support (§5.2).
+
+These reproduce the semantics of the DaCe MPI nodes the paper's
+baselines use: nonblocking point-to-point with ``Waitall``, expressed
+directly in the dataflow graph.  Peer ranks are *parameters* (``nw``,
+``ne`` ...); the value ``MPI_PROC_NULL`` (-1) makes an operation a
+no-op, which is how edge ranks fall out of the SPMD program without
+control flow.
+
+On GPU-transformed SDFGs the expansion mirrors what DaCe generates
+(Fig. 5.1): a stream synchronize before each call, a device-to-device
+staging copy into a temporary buffer, then the host MPI call — the
+host-side overhead avalanche the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.hw.memory import Storage
+from repro.sdfg.memlet import AccessKind, Memlet
+from repro.sdfg.nodes import LibraryNode
+
+__all__ = ["MPI_PROC_NULL", "MPIBarrier", "MPIExpansion", "MPIIrecv", "MPIIsend", "MPIWaitall"]
+
+MPI_PROC_NULL = -1
+
+
+@dataclass(frozen=True)
+class MPIExpansion:
+    """Concrete lowering of one MPI node on a GPU-resident array."""
+
+    kind: str                    #: "isend" | "irecv" | "waitall" | "barrier"
+    stream_sync: bool            #: generated cudaStreamSynchronize before the call
+    staging_copy: bool           #: generated d2d cudaMemcpy through a temp buffer
+    vector_datatype: bool        #: MPI_Type_vector needed (strided subset)
+
+
+class _MPIPointToPoint(LibraryNode):
+    library = "MPI"
+
+    def __init__(self, label: str, buffer: Memlet, peer: str | int, tag: int) -> None:
+        super().__init__(label)
+        self.buffer = buffer
+        self.peer = peer
+        self.tag = tag
+
+    def expand(self, sdfg: Any, bindings: dict[str, int]) -> MPIExpansion:
+        desc = sdfg.arrays[self.buffer.data]
+        shape = tuple(
+            s if isinstance(s, int) else bindings[s.name] for s in desc.shape
+        )
+        kind = self.buffer.access_kind(shape, bindings)
+        on_gpu = desc.storage in (Storage.GLOBAL, Storage.SYMMETRIC)
+        return MPIExpansion(
+            kind=self._kind,
+            stream_sync=on_gpu,
+            staging_copy=on_gpu,
+            vector_datatype=(kind is AccessKind.STRIDED),
+        )
+
+    _kind = ""
+
+
+class MPIIsend(_MPIPointToPoint):
+    """``dc.comm.Isend(view, dest, tag)``."""
+
+    _kind = "isend"
+
+    def __init__(self, buffer: Memlet, dest: str | int, tag: int) -> None:
+        super().__init__(f"Isend(tag={tag})", buffer, dest, tag)
+
+    @property
+    def dest(self) -> str | int:
+        return self.peer
+
+
+class MPIIrecv(_MPIPointToPoint):
+    """``dc.comm.Irecv(view, source, tag)``."""
+
+    _kind = "irecv"
+
+    def __init__(self, buffer: Memlet, source: str | int, tag: int) -> None:
+        super().__init__(f"Irecv(tag={tag})", buffer, source, tag)
+
+    @property
+    def source(self) -> str | int:
+        return self.peer
+
+
+class MPIWaitall(LibraryNode):
+    """``dc.comm.Waitall()`` — completes all outstanding requests."""
+
+    library = "MPI"
+
+    def __init__(self) -> None:
+        super().__init__("Waitall")
+
+    def expand(self, sdfg: Any, bindings: dict[str, int]) -> MPIExpansion:
+        return MPIExpansion("waitall", stream_sync=False, staging_copy=False,
+                            vector_datatype=False)
+
+
+class MPIBarrier(LibraryNode):
+    """``dc.comm.Barrier()``."""
+
+    library = "MPI"
+
+    def __init__(self) -> None:
+        super().__init__("Barrier")
+
+    def expand(self, sdfg: Any, bindings: dict[str, int]) -> MPIExpansion:
+        return MPIExpansion("barrier", stream_sync=False, staging_copy=False,
+                            vector_datatype=False)

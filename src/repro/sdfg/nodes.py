@@ -1,0 +1,106 @@
+"""SDFG dataflow nodes (paper §2.3's five component kinds).
+
+- :class:`AccessNode` — points to an array/container; outgoing edges
+  are reads, incoming edges are writes.
+- :class:`MapEntry`/:class:`MapExit` — data parallelism with symbolic
+  ranges, schedulable to CPU or GPU.
+- :class:`Tasklet` — arbitrary computation between memory connections;
+  here it carries the NumPy expression source that both backends use.
+- :class:`LibraryNode` — high-level constructs (MPI calls, NVSHMEM
+  calls) that expand to concrete implementations; subclasses live in
+  :mod:`repro.sdfg.libnodes`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.symbols import Expr, expr_to_str
+
+__all__ = ["AccessNode", "LibraryNode", "MapEntry", "MapExit", "Node", "Tasklet"]
+
+_ids = itertools.count()
+
+
+class Node:
+    """Base dataflow node with a unique id for graph identity."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.node_id = next(_ids)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.label} #{self.node_id}>"
+
+
+class AccessNode(Node):
+    """Read/write access to a named array."""
+
+    def __init__(self, data: str) -> None:
+        super().__init__(data)
+        self.data = data
+
+
+class MapEntry(Node):
+    """Opens a parallel iteration space ``{param: (begin, end)}``.
+
+    ``schedule`` is inherited from the enclosing state until a
+    transformation (``GPUTransform``) overrides it.
+    """
+
+    def __init__(self, label: str, params: list[str],
+                 ranges: list[tuple[Expr, Expr]]) -> None:
+        super().__init__(label)
+        if len(params) != len(ranges):
+            raise ValueError("params and ranges must align")
+        self.params = params
+        self.ranges = ranges
+
+    def range_str(self) -> str:
+        parts = [
+            f"{p}=[{expr_to_str(lo)}:{expr_to_str(hi)}]"
+            for p, (lo, hi) in zip(self.params, self.ranges)
+        ]
+        return ", ".join(parts)
+
+
+class MapExit(Node):
+    """Closes the iteration space opened by its paired MapEntry."""
+
+    def __init__(self, entry: MapEntry) -> None:
+        super().__init__(f"{entry.label}_exit")
+        self.entry = entry
+
+
+class Tasklet(Node):
+    """Computation between memory connections.
+
+    ``expr_source`` is the (restricted, NumPy-semantics) Python
+    expression of the right-hand side; both the pseudo-CUDA text
+    backend and the simulator executor consume it.
+    """
+
+    def __init__(self, label: str, expr_source: str,
+                 inputs: list[str], output: str) -> None:
+        super().__init__(label)
+        self.expr_source = expr_source
+        self.inputs = inputs
+        self.output = output
+
+
+class LibraryNode(Node):
+    """A high-level operation that expands to an implementation.
+
+    ``expand()`` returns an implementation descriptor (library-specific
+    dataclass) chosen from the node's configuration and its memlets —
+    the mechanism behind the shape-based NVSHMEM dispatch of §5.3.1.
+    """
+
+    #: human-readable library name ("MPI", "NVSHMEM")
+    library: str = ""
+
+    def expand(self, sdfg: Any, bindings: dict[str, int]) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,287 @@
+"""SDFG serialization to/from JSON.
+
+Real DaCe stores SDFGs as ``.sdfg`` JSON files that tools (the web
+viewer, transformations, test fixtures) exchange; this module provides
+the same capability for this reproduction's IR.  The format is a plain
+nested-dict encoding of every node/edge/region and round-trips all
+constructs the pipelines produce — including transformation results
+(schedules, storage classes, ``sync_after`` flags, TB groups).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.hw.memory import Storage
+from repro.sdfg.graph import ArrayDesc, LoopRegion, Region, SDFG, Schedule, State
+from repro.sdfg.libnodes.mpi import MPIBarrier, MPIIrecv, MPIIsend, MPIWaitall
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.memlet import Memlet, Range, _FULL
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Node, Tasklet
+from repro.sdfg.symbols import BinOp, Expr, Sym
+
+__all__ = ["SerializationError", "sdfg_from_json", "sdfg_to_json"]
+
+_DTYPES = {"float64": np.float64, "float32": np.float32,
+           "int64": np.int64, "int32": np.int32}
+
+
+class SerializationError(ValueError):
+    """The JSON does not encode a valid SDFG."""
+
+
+# ------------------------------ expressions ------------------------------------
+
+
+def _expr_to_obj(expr: Expr) -> Any:
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, Sym):
+        return {"sym": expr.name}
+    if isinstance(expr, BinOp):
+        return {"op": expr.op, "lhs": _expr_to_obj(expr.lhs),
+                "rhs": _expr_to_obj(expr.rhs)}
+    raise SerializationError(f"cannot serialize expression {expr!r}")
+
+
+def _expr_from_obj(obj: Any) -> Expr:
+    if isinstance(obj, bool) or not isinstance(obj, (int, dict)):
+        raise SerializationError(f"bad expression object {obj!r}")
+    if isinstance(obj, int):
+        return obj
+    if "sym" in obj:
+        return Sym(obj["sym"])
+    return BinOp(obj["op"], _expr_from_obj(obj["lhs"]), _expr_from_obj(obj["rhs"]))
+
+
+def _memlet_to_obj(memlet: Memlet) -> dict:
+    dims = []
+    for dim in memlet.subset:
+        if isinstance(dim, Range):
+            stop = None if dim.stop is _FULL else _expr_to_obj(dim.stop)
+            dims.append({"range": [_expr_to_obj(dim.start), stop]})
+        else:
+            dims.append({"index": _expr_to_obj(dim)})
+    return {"data": memlet.data, "subset": dims}
+
+
+def _memlet_from_obj(obj: dict) -> Memlet:
+    dims = []
+    for dim in obj["subset"]:
+        if "range" in dim:
+            start, stop = dim["range"]
+            dims.append(Range(_expr_from_obj(start),
+                              _FULL if stop is None else _expr_from_obj(stop)))
+        else:
+            dims.append(_expr_from_obj(dim["index"]))
+    return Memlet(obj["data"], tuple(dims))
+
+
+# ------------------------------ nodes ------------------------------------------
+
+
+def _node_to_obj(node: Node) -> dict:
+    if isinstance(node, AccessNode):
+        return {"kind": "access", "data": node.data}
+    if isinstance(node, MapEntry):
+        return {
+            "kind": "map_entry", "label": node.label, "params": node.params,
+            "ranges": [[_expr_to_obj(lo), _expr_to_obj(hi)] for lo, hi in node.ranges],
+        }
+    if isinstance(node, MapExit):
+        return {"kind": "map_exit"}
+    if isinstance(node, Tasklet):
+        return {
+            "kind": "tasklet", "label": node.label, "expr": node.expr_source,
+            "inputs": node.inputs, "output": node.output,
+            "is_copy": getattr(node, "is_copy", False),
+        }
+    if isinstance(node, MPIIsend):
+        return {"kind": "mpi_isend", "buffer": _memlet_to_obj(node.buffer),
+                "peer": node.peer, "tag": node.tag}
+    if isinstance(node, MPIIrecv):
+        return {"kind": "mpi_irecv", "buffer": _memlet_to_obj(node.buffer),
+                "peer": node.peer, "tag": node.tag}
+    if isinstance(node, MPIWaitall):
+        return {"kind": "mpi_waitall"}
+    if isinstance(node, MPIBarrier):
+        return {"kind": "mpi_barrier"}
+    if isinstance(node, PutmemSignal):
+        return {
+            "kind": "putmem_signal", "dst": _memlet_to_obj(node.dst),
+            "src": _memlet_to_obj(node.src), "flag": node.flag_index,
+            "value": _expr_to_obj(node.signal_value), "pe": node.pe,
+            "nbi": node.nbi, "implementation": node.implementation,
+        }
+    if isinstance(node, SignalWait):
+        return {
+            "kind": "signal_wait", "flag": node.flag_index,
+            "value": _expr_to_obj(node.value),
+            "peer_param": getattr(node, "peer_param", None),
+        }
+    raise SerializationError(f"cannot serialize node {node!r}")
+
+
+def _node_from_obj(obj: dict, pending_exit: list) -> Node:
+    kind = obj["kind"]
+    if kind == "access":
+        return AccessNode(obj["data"])
+    if kind == "map_entry":
+        entry = MapEntry(
+            obj["label"], obj["params"],
+            [(_expr_from_obj(lo), _expr_from_obj(hi)) for lo, hi in obj["ranges"]],
+        )
+        pending_exit.append(entry)
+        return entry
+    if kind == "map_exit":
+        if not pending_exit:
+            raise SerializationError("map_exit without a preceding map_entry")
+        return MapExit(pending_exit.pop())
+    if kind == "tasklet":
+        tasklet = Tasklet(obj["label"], obj["expr"], obj["inputs"], obj["output"])
+        tasklet.is_copy = obj.get("is_copy", False)
+        return tasklet
+    if kind == "mpi_isend":
+        return MPIIsend(_memlet_from_obj(obj["buffer"]), obj["peer"], obj["tag"])
+    if kind == "mpi_irecv":
+        return MPIIrecv(_memlet_from_obj(obj["buffer"]), obj["peer"], obj["tag"])
+    if kind == "mpi_waitall":
+        return MPIWaitall()
+    if kind == "mpi_barrier":
+        return MPIBarrier()
+    if kind == "putmem_signal":
+        return PutmemSignal(
+            _memlet_from_obj(obj["dst"]), _memlet_from_obj(obj["src"]),
+            obj["flag"], _expr_from_obj(obj["value"]), obj["pe"],
+            nbi=obj.get("nbi", True),
+            implementation=obj.get("implementation", "auto"),
+        )
+    if kind == "signal_wait":
+        wait = SignalWait(obj["flag"], _expr_from_obj(obj["value"]))
+        if obj.get("peer_param") is not None:
+            wait.peer_param = obj["peer_param"]
+        return wait
+    raise SerializationError(f"unknown node kind {kind!r}")
+
+
+# ------------------------------ states & regions -------------------------------
+
+
+def _state_to_obj(state: State) -> dict:
+    node_ids = {node: i for i, node in enumerate(state.nodes)}
+    return {
+        "kind": "state",
+        "name": state.name,
+        "schedule": state.schedule.value,
+        "sync_after": getattr(state, "sync_after", None),
+        "tb_group": getattr(state, "tb_group", None),
+        "nodes": [_node_to_obj(n) for n in state.nodes],
+        "edges": [
+            {
+                "src": node_ids[e.src], "dst": node_ids[e.dst],
+                "memlet": _memlet_to_obj(e.memlet) if e.memlet else None,
+            }
+            for e in state.edges
+        ],
+    }
+
+
+def _state_from_obj(obj: dict) -> State:
+    state = State(obj["name"], Schedule(obj["schedule"]))
+    if obj.get("sync_after") is not None:
+        state.sync_after = obj["sync_after"]
+    if obj.get("tb_group") is not None:
+        state.tb_group = obj["tb_group"]
+    pending_exit: list = []
+    nodes = [state.add_node(_node_from_obj(n, pending_exit)) for n in obj["nodes"]]
+    for edge in obj["edges"]:
+        memlet = _memlet_from_obj(edge["memlet"]) if edge["memlet"] else None
+        state.add_edge(nodes[edge["src"]], nodes[edge["dst"]], memlet)
+    return state
+
+
+def _region_elements_to_obj(region: Region) -> list:
+    out = []
+    for el in region.elements:
+        if isinstance(el, LoopRegion):
+            out.append({
+                "kind": "loop",
+                "var": el.var,
+                "start": _expr_to_obj(el.start),
+                "end": _expr_to_obj(el.end),
+                "schedule": el.schedule.value,
+                "comm_specialized": getattr(el, "comm_specialized", False),
+                "elements": _region_elements_to_obj(el),
+            })
+        else:
+            out.append(_state_to_obj(el))
+    return out
+
+
+def _region_elements_from_obj(objs: list, region: Region) -> None:
+    for obj in objs:
+        if obj["kind"] == "loop":
+            loop = LoopRegion(obj["var"], _expr_from_obj(obj["start"]),
+                              _expr_from_obj(obj["end"]),
+                              Schedule(obj["schedule"]))
+            loop.comm_specialized = obj.get("comm_specialized", False)
+            _region_elements_from_obj(obj["elements"], loop)
+            region.add(loop)
+        elif obj["kind"] == "state":
+            region.add(_state_from_obj(obj))
+        else:
+            raise SerializationError(f"unknown region element {obj['kind']!r}")
+
+
+# ------------------------------ entry points ------------------------------------
+
+
+def sdfg_to_json(sdfg: SDFG, *, indent: int | None = None) -> str:
+    """Serialize an SDFG to a JSON string."""
+    doc = {
+        "format": "repro-sdfg-v1",
+        "name": sdfg.name,
+        "symbols": sorted(sdfg.symbols),
+        "params": list(sdfg.params),
+        "arrays": [
+            {
+                "name": desc.name,
+                "shape": [_expr_to_obj(s) for s in desc.shape],
+                "dtype": np.dtype(desc.dtype).name,
+                "storage": desc.storage.value,
+                "transient": desc.transient,
+            }
+            for desc in sdfg.arrays.values()
+        ],
+        "body": _region_elements_to_obj(sdfg.body),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def sdfg_from_json(text: str) -> SDFG:
+    """Reconstruct an SDFG from :func:`sdfg_to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    if doc.get("format") != "repro-sdfg-v1":
+        raise SerializationError(f"unknown format {doc.get('format')!r}")
+    sdfg = SDFG(doc["name"])
+    for name in doc["symbols"]:
+        sdfg.add_symbol(name)
+    for name in doc["params"]:
+        sdfg.add_param(name)
+    for arr in doc["arrays"]:
+        dtype = _DTYPES.get(arr["dtype"])
+        if dtype is None:
+            raise SerializationError(f"unsupported dtype {arr['dtype']!r}")
+        sdfg.add_array(
+            arr["name"], tuple(_expr_from_obj(s) for s in arr["shape"]),
+            dtype=dtype, storage=Storage(arr["storage"]),
+            transient=arr["transient"],
+        )
+    _region_elements_from_obj(doc["body"], sdfg.body)
+    return sdfg

@@ -1,0 +1,106 @@
+"""Symbolic sizes for array shapes, map ranges, and loop bounds.
+
+A deliberately small expression language: symbols, integers, and
+``+ - * //`` combinations, evaluated against a binding dict at
+compile/execution time.  This covers everything the paper's stencil
+programs need (``N``, ``N - 1``, ``TSTEPS``...) without dragging in a
+computer-algebra system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Expr", "Sym", "evaluate_expr", "expr_to_str"]
+
+
+class _ExprOps:
+    """Mixin giving symbolic nodes arithmetic operators."""
+
+    def __add__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("*", _wrap(other), self)
+
+    def __floordiv__(self, other):  # type: ignore[no-untyped-def]
+        return BinOp("//", self, _wrap(other))
+
+
+@dataclass(frozen=True)
+class Sym(_ExprOps):
+    """A named integer symbol (array size, loop bound, rank param)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(_ExprOps):
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+Expr = Union[int, Sym, BinOp]
+
+
+def _wrap(value) -> Expr:  # type: ignore[no-untyped-def]
+    if isinstance(value, (int, Sym, BinOp)):
+        return value
+    raise TypeError(f"cannot use {type(value).__name__} in a symbolic expression")
+
+
+def evaluate_expr(expr: Expr, bindings: dict[str, int]) -> int:
+    """Evaluate ``expr`` with symbol values from ``bindings``."""
+    if isinstance(expr, bool):
+        raise TypeError("booleans are not symbolic expressions")
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, Sym):
+        try:
+            return int(bindings[expr.name])
+        except KeyError:
+            raise KeyError(f"unbound symbol {expr.name!r}") from None
+    if isinstance(expr, BinOp):
+        lhs = evaluate_expr(expr.lhs, bindings)
+        rhs = evaluate_expr(expr.rhs, bindings)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "//":
+            return lhs // rhs
+        raise ValueError(f"unknown operator {expr.op!r}")
+    raise TypeError(f"not a symbolic expression: {expr!r}")
+
+
+def expr_to_str(expr: Expr) -> str:
+    """Render an expression for generated code / debug output."""
+    if isinstance(expr, int):
+        return str(expr)
+    if isinstance(expr, Sym):
+        return expr.name
+    if isinstance(expr, BinOp):
+        return f"({expr_to_str(expr.lhs)} {expr.op} {expr_to_str(expr.rhs)})"
+    raise TypeError(f"not a symbolic expression: {expr!r}")

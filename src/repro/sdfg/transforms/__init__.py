@@ -1,0 +1,25 @@
+"""Pattern-matching transformations (paper §2.3 / Chapter 5).
+
+The CPU-Free pipeline of §6.2.1 is::
+
+    sdfg = prog.to_sdfg()
+    gpu_transform(sdfg)          # port to CUDA (baseline stops here)
+    map_fusion(sdfg)             # fuse compatible maps
+    mpi_to_nvshmem(sdfg, conj)   # Isend->PutmemSignal, Irecv->SignalWait
+    nvshmem_array(sdfg)          # storage -> GPU_NVSHMEM (symmetric)
+    gpu_persistent_kernel(sdfg)  # fuse the time loop into one kernel
+"""
+
+from repro.sdfg.transforms.gpu_transform import gpu_transform
+from repro.sdfg.transforms.map_fusion import map_fusion
+from repro.sdfg.transforms.mpi_to_nvshmem import mpi_to_nvshmem
+from repro.sdfg.transforms.nvshmem_array import nvshmem_array
+from repro.sdfg.transforms.persistent import gpu_persistent_kernel
+
+__all__ = [
+    "gpu_persistent_kernel",
+    "gpu_transform",
+    "map_fusion",
+    "mpi_to_nvshmem",
+    "nvshmem_array",
+]

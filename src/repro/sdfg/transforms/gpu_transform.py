@@ -1,0 +1,27 @@
+"""GPUTransform: port a CPU SDFG to discrete GPU execution.
+
+The ``GPUTransformSDFG`` analogue used in §6.2.1 to "trivially port
+[the CPU benchmarks] to CUDA for fair comparison": every compute state
+becomes a GPU kernel (one launch per state per iteration) and every
+non-transient array moves to device global memory.  Communication
+library nodes stay host-side — that is precisely the baseline the
+paper measures against.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import Storage
+from repro.sdfg.graph import SDFG, Schedule
+
+__all__ = ["gpu_transform"]
+
+
+def gpu_transform(sdfg: SDFG) -> SDFG:
+    """In-place transformation; returns the same SDFG for chaining."""
+    for desc in sdfg.arrays.values():
+        if desc.storage is Storage.HOST:
+            desc.storage = Storage.GLOBAL
+    for state in sdfg.walk_states():
+        if state.schedule is Schedule.CPU:
+            state.schedule = Schedule.GPU_DEVICE
+    return sdfg

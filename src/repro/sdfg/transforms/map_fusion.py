@@ -1,0 +1,95 @@
+"""MapFusion: merge adjacent compatible compute states.
+
+The auto-optimizer pass applied to the baselines in §6.2.1.  Two
+consecutive compute states fuse when their maps span identical ranges
+and fusing cannot change semantics: the second state must either not
+read anything the first writes, or read it with *exactly* the subset
+the first wrote (a point-wise producer/consumer chain).  Fused states
+execute as one kernel — one launch instead of two.
+"""
+
+from __future__ import annotations
+
+from repro.sdfg.graph import Region, SDFG, State
+from repro.sdfg.nodes import AccessNode, MapEntry
+
+__all__ = ["map_fusion"]
+
+
+def map_fusion(sdfg: SDFG) -> int:
+    """In-place; returns the number of fusions performed."""
+    total = 0
+    for region in sdfg.walk_regions():
+        total += _fuse_in_region(region)
+    return total
+
+
+def _fuse_in_region(region: Region) -> int:
+    fused = 0
+    i = 0
+    while i + 1 < len(region.elements):
+        first, second = region.elements[i], region.elements[i + 1]
+        if (isinstance(first, State) and isinstance(second, State)
+                and _fusable(first, second)):
+            _merge(first, second)
+            del region.elements[i + 1]
+            fused += 1
+        else:
+            i += 1
+    return fused
+
+
+def _fusable(a: State, b: State) -> bool:
+    if a.library_nodes or b.library_nodes:
+        return False
+    ma, mb = a.map_entries, b.map_entries
+    if len(ma) != 1 or len(mb) != 1:
+        return False
+    if ma[0].ranges != mb[0].ranges:
+        return False
+    if a.schedule != b.schedule:
+        return False
+    overlap = a.writes() & b.reads()
+    if not overlap:
+        return True
+    # point-wise chains only: b must read a's outputs with the written subset
+    written = {
+        e.memlet.data: e.memlet for e in a.edges
+        if isinstance(e.dst, AccessNode) and e.memlet is not None
+    }
+    for edge in b.edges:
+        memlet = edge.memlet
+        if memlet is None or memlet.data not in overlap:
+            continue
+        if not isinstance(edge.src, AccessNode):
+            continue
+        if written.get(memlet.data) and written[memlet.data].subset != memlet.subset:
+            return False
+    return True
+
+
+def _merge(a: State, b: State) -> None:
+    """Append b's dataflow into a (tasklets run in order within the
+    fused kernel).  The second map scope is dropped; its tasklet joins
+    the first scope."""
+    entry_a = a.map_entries[0]
+    entry_b = b.map_entries[0]
+    exit_b = next(n for n in b.nodes if getattr(n, "entry", None) is entry_b)
+    for node in b.nodes:
+        if node is entry_b or node is exit_b:
+            continue
+        a.add_node(node)
+    exit_a = next(n for n in a.nodes if getattr(n, "entry", None) is entry_a)
+    for edge in b.edges:
+        src = edge.src
+        dst = edge.dst
+        if src is entry_b:
+            src = entry_a
+        if dst is entry_b:
+            dst = entry_a
+        if src is exit_b:
+            src = exit_a
+        if dst is exit_b:
+            dst = exit_a
+        a.add_edge(src, dst, edge.memlet)
+    a.name = f"{a.name}+{b.name}"

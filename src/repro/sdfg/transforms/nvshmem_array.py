@@ -1,0 +1,28 @@
+"""NVSHMEMArray: move NVSHMEM-accessed arrays to the symmetric heap.
+
+Paper §5.3.3: "We also add an NVSHMEMArray transformation that
+automatically sets Access nodes accessed by NVSHMEM library nodes to
+GPU_NVSHMEM."  Remote-memory operations may only target symmetric
+allocations; validation enforces it afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import Storage
+from repro.sdfg.graph import SDFG
+from repro.sdfg.libnodes.nvshmem import PutmemSignal
+
+__all__ = ["nvshmem_array"]
+
+
+def nvshmem_array(sdfg: SDFG) -> SDFG:
+    """In-place: set storage of every NVSHMEM-touched array to SYMMETRIC."""
+    touched: set[str] = set()
+    for state in sdfg.walk_states():
+        for node in state.library_nodes:
+            if isinstance(node, PutmemSignal):
+                touched.add(node.src.data)
+                touched.add(node.dst.data)
+    for name in touched:
+        sdfg.arrays[name].storage = Storage.SYMMETRIC
+    return sdfg

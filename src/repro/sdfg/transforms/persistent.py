@@ -1,0 +1,112 @@
+"""GPUPersistentKernel: fuse a time loop into one persistent kernel.
+
+Paper §5.1: DaCe's transformation fuses a GPU subgraph into a single
+persistent kernel, scheduling states conservatively — branches and
+state transitions run "in a single thread followed by a grid-wide
+barrier when global memory is accessed".  This work *relaxes* the
+barrier generation, "limiting it to subgraph edges": a grid sync is
+emitted between consecutive states only when the later state actually
+depends on data the earlier one produced (or on communication
+completion).
+
+We record the decision as ``state.sync_after`` flags that both code
+generators honor.
+"""
+
+from __future__ import annotations
+
+from repro.sdfg.graph import LoopRegion, SDFG, Schedule, State
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+
+__all__ = ["PersistentTransformError", "gpu_persistent_kernel"]
+
+
+class PersistentTransformError(ValueError):
+    """The loop cannot be fused into a persistent kernel."""
+
+
+def gpu_persistent_kernel(
+    sdfg: SDFG,
+    *,
+    relax_barriers: bool = True,
+    specialize_comm: bool = False,
+) -> SDFG:
+    """In-place: schedule every time loop persistently.
+
+    Requires a prior ``gpu_transform`` (all states on the GPU) and —
+    if the program communicates — a prior ``mpi_to_nvshmem`` (host MPI
+    cannot run inside a device kernel; validation enforces this).
+
+    ``specialize_comm=True`` implements the paper's §5.4 *future work*:
+    thread-block specialization for generated code.  Communication
+    states (NVSHMEM library nodes) are assigned to a dedicated TB
+    group that runs concurrently with the compute states' group, with
+    a grid-wide synchronization only at the loop back-edge — the same
+    overlap structure as the hand-written CPU-Free stencil (§4.1.2).
+    The flag is recorded as ``loop.comm_specialized`` and honored by
+    the executor backend.
+    """
+    loops = sdfg.loop_regions()
+    if not loops:
+        raise PersistentTransformError("no loop region to make persistent")
+    for loop in loops:
+        _transform_loop(loop, relax_barriers)
+        loop.comm_specialized = specialize_comm
+        if specialize_comm:
+            _partition_comm_states(loop)
+    return sdfg
+
+
+def _partition_comm_states(loop: LoopRegion) -> None:
+    """Tag each state with its TB group ("comm" or "comp").
+
+    A state is communication if it contains only NVSHMEM library nodes
+    (no tasklets); mixed states stay in the compute group.  Dependent
+    compute must still observe communicated data: the wait states keep
+    their ``sync_after`` barriers so the groups rendezvous exactly
+    where the dataflow requires it.
+    """
+    for state in loop.walk_states():
+        is_comm = bool(state.library_nodes) and not state.tasklets
+        state.tb_group = "comm" if is_comm else "comp"
+
+
+def _transform_loop(loop: LoopRegion, relax_barriers: bool) -> None:
+    states = list(loop.walk_states())
+    for state in states:
+        if state.schedule is Schedule.CPU:
+            raise PersistentTransformError(
+                f"state {state.name} is CPU-scheduled; run gpu_transform first"
+            )
+    loop.schedule = Schedule.GPU_PERSISTENT
+    for state in states:
+        state.schedule = Schedule.GPU_PERSISTENT
+
+    elements = [el for el in loop.elements if isinstance(el, State)]
+    for i, state in enumerate(elements):
+        if not relax_barriers:
+            state.sync_after = True
+            continue
+        nxt = elements[(i + 1) % len(elements)] if elements else None
+        state.sync_after = _needs_barrier(state, nxt)
+    # the loop back-edge always synchronizes (temporal dependency between
+    # time steps, §3.1.2)
+    if elements:
+        elements[-1].sync_after = True
+
+
+def _needs_barrier(state: State, nxt: State | None) -> bool:
+    """Subgraph-edge rule: barrier only when the next state consumes
+    this state's products (or around communication nodes, whose
+    device-wide visibility the barrier publishes)."""
+    if nxt is None:
+        return True
+    if any(isinstance(n, (PutmemSignal, SignalWait)) for n in state.nodes):
+        # communication scheduled in a single thread needs the grid to
+        # observe completion before dependent compute (§5.3.2)
+        return bool(state.writes() & nxt.reads()) or isinstance(
+            next(iter(state.library_nodes), None), SignalWait
+        )
+    produced = state.writes()
+    consumed = nxt.reads() | nxt.writes()
+    return bool(produced & consumed)

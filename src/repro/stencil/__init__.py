@@ -1,0 +1,56 @@
+"""Jacobi stencil applications — the paper's proof-of-concept workload.
+
+Provides 2D 5-point and 3D 7-point iterative Jacobi solvers over a
+slab-decomposed multi-GPU domain, in six communication variants
+matching the paper's §6.1.1 evaluation matrix:
+
+================   ====================================================
+baseline_copy      CPU-controlled; host ``cudaMemcpyAsync`` halo
+                   copies, host barrier each step (NVIDIA sample)
+baseline_overlap   adds explicit boundary/inner overlap with separate
+                   streams and events (still host-controlled)
+baseline_p2p       device-side direct load/store halo writes inside
+                   the kernel; *synchronization* still host-side
+baseline_nvshmem   discrete kernels using device-side NVSHMEM puts and
+                   a dedicated neighbor-sync kernel, both launched by
+                   the CPU every time step
+cpufree            the paper's model: one persistent kernel, TB
+                   specialization, device-side signaling (Listing 4.1)
+cpufree_perks      cpufree communication around a PERKS-style cached
+                   inner kernel (better tiling + cross-iteration cache)
+================   ====================================================
+
+All variants actually compute (NumPy) when data is enabled, so every
+protocol is validated against :mod:`repro.stencil.reference`.
+"""
+
+from repro.stencil.grid import (
+    SlabDecomposition,
+    best_process_grid,
+    gather_slabs,
+    scatter_slabs,
+    slab_partition,
+)
+from repro.stencil.reference import jacobi_reference, jacobi_step
+from repro.stencil.base import (
+    StencilConfig,
+    StencilResult,
+    VARIANTS,
+    variant_names,
+)
+from repro.stencil.runner import run_variant
+
+__all__ = [
+    "SlabDecomposition",
+    "StencilConfig",
+    "StencilResult",
+    "VARIANTS",
+    "best_process_grid",
+    "gather_slabs",
+    "jacobi_reference",
+    "jacobi_step",
+    "run_variant",
+    "scatter_slabs",
+    "slab_partition",
+    "variant_names",
+]

@@ -1,0 +1,182 @@
+"""Domain decomposition: slabs, halos, process grids.
+
+The hand-written stencils (paper §4) use a 1-D slab decomposition
+along axis 0 (rows in 2D, z-planes in 3D) with one halo layer per
+neighbor.  The DaCe 2D benchmark (§6.2.2) uses a 2-D process grid,
+whose non-square factorizations at P ∈ {2, 8} cause the baseline's
+"rectangular split" inefficiency the paper remarks on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SlabDecomposition",
+    "best_process_grid",
+    "gather_slabs",
+    "scatter_slabs",
+    "slab_partition",
+]
+
+
+def slab_partition(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``n`` items into ``parts`` contiguous near-equal ranges.
+
+    The first ``n % parts`` ranges get one extra item, matching the
+    usual MPI block distribution.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if n < parts:
+        raise ValueError(f"cannot split {n} items into {parts} non-empty parts")
+    base, extra = divmod(n, parts)
+    ranges = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def best_process_grid(p: int) -> tuple[int, int]:
+    """Near-square factorization ``(py, px)`` of ``p`` with py >= px.
+
+    P=1→(1,1), 2→(2,1), 4→(2,2), 8→(4,2): exactly the splits behind
+    the paper's observation that 2 and 8 GPUs give a rectangular
+    (unbalanced-perimeter) partition while 4 is square.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    best = (p, 1)
+    for px in range(1, int(p**0.5) + 1):
+        if p % px == 0:
+            best = (p // px, px)
+    return best
+
+
+def wide_process_grid(p: int) -> tuple[int, int]:
+    """Near-square factorization ``(py, px)`` with py <= px.
+
+    The layout DaCe-style Cartesian communicators default to.  Combined
+    with a weak-scaling sweep that grows the domain along axis 0 first,
+    non-square GPU counts (2, 8) produce rectangular tiles with *long
+    strided columns* — the unbalanced-partition inefficiency the paper
+    observes in the Fig 6.3b baseline.
+    """
+    py, px = best_process_grid(p)
+    return (px, py)
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """1-D decomposition of a Jacobi domain along axis 0.
+
+    ``global_shape`` includes the Dirichlet boundary ring.  Only the
+    axis-0 *interior* (indices ``1 .. shape[0]-2``) is distributed;
+    each rank's local array has that chunk plus one halo layer on each
+    side, so ``local_shape(r) = (chunk + 2, *global_shape[1:])``.
+    """
+
+    global_shape: tuple[int, ...]
+    num_ranks: int
+
+    def __post_init__(self) -> None:
+        if len(self.global_shape) not in (2, 3):
+            raise ValueError("only 2D and 3D domains supported")
+        if any(s < 3 for s in self.global_shape):
+            raise ValueError("every axis needs at least 3 points (boundary + interior)")
+        interior = self.global_shape[0] - 2
+        if self.num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if interior < 3 * self.num_ranks:
+            raise ValueError(
+                f"axis-0 interior of {interior} too small for {self.num_ranks} ranks "
+                f"(need >= 3 rows per rank for inner/boundary split)"
+            )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.global_shape)
+
+    @property
+    def ranges(self) -> list[tuple[int, int]]:
+        """Global interior index ranges (axis 0, 1-based offset applied)."""
+        interior = self.global_shape[0] - 2
+        return [(lo + 1, hi + 1) for lo, hi in slab_partition(interior, self.num_ranks)]
+
+    def chunk_rows(self, rank: int) -> int:
+        lo, hi = self.ranges[rank]
+        return hi - lo
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        return (self.chunk_rows(rank) + 2, *self.global_shape[1:])
+
+    def neighbors(self, rank: int) -> dict[str, int]:
+        """``{"top": r-1, "bottom": r+1}`` omitting absent neighbors."""
+        self._check_rank(rank)
+        out: dict[str, int] = {}
+        if rank > 0:
+            out["top"] = rank - 1
+        if rank < self.num_ranks - 1:
+            out["bottom"] = rank + 1
+        return out
+
+    # -- element accounting (used for compute-time charging) -------------------
+
+    @property
+    def row_elements(self) -> int:
+        """Updated elements in one axis-0 layer (excludes Dirichlet ring)."""
+        if self.ndim == 2:
+            return self.global_shape[1] - 2
+        return (self.global_shape[1] - 2) * (self.global_shape[2] - 2)
+
+    @property
+    def halo_elements(self) -> int:
+        """Elements transferred per halo layer (full layer, as real codes do)."""
+        if self.ndim == 2:
+            return self.global_shape[1]
+        return self.global_shape[1] * self.global_shape[2]
+
+    def interior_elements(self, rank: int) -> int:
+        return self.chunk_rows(rank) * self.row_elements
+
+    def inner_elements(self, rank: int) -> int:
+        """Interior minus the two boundary layers."""
+        return (self.chunk_rows(rank) - 2) * self.row_elements
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range")
+
+
+def scatter_slabs(grid: np.ndarray, decomp: SlabDecomposition) -> list[np.ndarray]:
+    """Split a global array into per-rank local arrays (with halos).
+
+    Halo layers are filled from the neighbors' initial data, so the
+    first iteration needs no prior exchange.
+    """
+    if grid.shape != decomp.global_shape:
+        raise ValueError(f"grid shape {grid.shape} != decomposition {decomp.global_shape}")
+    locals_: list[np.ndarray] = []
+    for lo, hi in decomp.ranges:
+        locals_.append(np.array(grid[lo - 1 : hi + 1]))
+    return locals_
+
+
+def gather_slabs(locals_: list[np.ndarray], decomp: SlabDecomposition,
+                 boundary: np.ndarray) -> np.ndarray:
+    """Reassemble the global array from local interiors.
+
+    ``boundary`` supplies the Dirichlet ring (typically the initial
+    global array — the ring never changes).
+    """
+    if len(locals_) != decomp.num_ranks:
+        raise ValueError("wrong number of local arrays")
+    out = np.array(boundary)
+    for rank, (lo, hi) in enumerate(decomp.ranges):
+        out[lo:hi] = locals_[rank][1:-1]
+    return out

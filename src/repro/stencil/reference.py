@@ -1,0 +1,71 @@
+"""Single-array NumPy reference Jacobi solvers.
+
+These define the ground truth every distributed variant is validated
+against.  The update formulas match the distributed kernels exactly
+(same expression, same operation order), so comparisons can be
+bit-exact.
+
+2D 5-point::
+
+    u'[i,j] = 0.25 * (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1])
+
+3D 7-point::
+
+    u'[i,j,k] = (u[i±1,j,k] + u[i,j±1,k] + u[i,j,k±1]) / 6
+
+with Dirichlet boundaries (the outermost ring never changes) — the
+2D-Laplace setup of NVIDIA's multi-GPU Jacobi sample (§2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jacobi_reference", "jacobi_step", "update_layers"]
+
+
+def update_layers(read: np.ndarray, write: np.ndarray, lo: int, hi: int) -> None:
+    """Update axis-0 layers ``lo..hi-1`` of ``write`` from ``read``.
+
+    Indices are in the *local* array's coordinates; callers are
+    responsible for ``lo >= 1`` and ``hi <= n-1`` so the stencil never
+    reads out of bounds.  The Dirichlet ring on the remaining axes is
+    preserved (only columns ``1..-2`` update).
+    """
+    if not 1 <= lo <= hi <= read.shape[0] - 1:
+        raise ValueError(f"layer range [{lo}, {hi}) outside valid interior")
+    if read.ndim == 2:
+        write[lo:hi, 1:-1] = 0.25 * (
+            read[lo - 1 : hi - 1, 1:-1]
+            + read[lo + 1 : hi + 1, 1:-1]
+            + read[lo:hi, :-2]
+            + read[lo:hi, 2:]
+        )
+    elif read.ndim == 3:
+        write[lo:hi, 1:-1, 1:-1] = (
+            read[lo - 1 : hi - 1, 1:-1, 1:-1]
+            + read[lo + 1 : hi + 1, 1:-1, 1:-1]
+            + read[lo:hi, :-2, 1:-1]
+            + read[lo:hi, 2:, 1:-1]
+            + read[lo:hi, 1:-1, :-2]
+            + read[lo:hi, 1:-1, 2:]
+        ) / 6.0
+    else:
+        raise ValueError(f"unsupported dimensionality: {read.ndim}")
+
+
+def jacobi_step(u: np.ndarray) -> np.ndarray:
+    """One Jacobi sweep over the full interior; returns a new array."""
+    out = np.array(u)
+    update_layers(u, out, 1, u.shape[0] - 1)
+    return out
+
+
+def jacobi_reference(u0: np.ndarray, iterations: int) -> np.ndarray:
+    """Run ``iterations`` Jacobi sweeps from initial condition ``u0``."""
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    u = np.array(u0)
+    for _ in range(iterations):
+        u = jacobi_step(u)
+    return u

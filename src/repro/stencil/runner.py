@@ -1,0 +1,17 @@
+"""Convenience entry point: run a named variant for a config."""
+
+from __future__ import annotations
+
+import repro.stencil.variants  # noqa: F401 - populate the registry
+from repro.stencil.base import VARIANTS, StencilConfig, StencilResult
+
+__all__ = ["run_variant"]
+
+
+def run_variant(name: str, config: StencilConfig) -> StencilResult:
+    """Instantiate and run the variant registered as ``name``."""
+    try:
+        cls = VARIANTS[name]
+    except KeyError:
+        raise ValueError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None
+    return cls(config).run()

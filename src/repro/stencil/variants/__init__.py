@@ -1,0 +1,23 @@
+"""Stencil communication variants (paper §6.1.1 evaluation matrix).
+
+Importing this package registers every variant in
+:data:`repro.stencil.base.VARIANTS`.
+"""
+
+from repro.stencil.variants.copy import BaselineCopy
+from repro.stencil.variants.overlap import BaselineOverlap
+from repro.stencil.variants.p2p import BaselineP2P
+from repro.stencil.variants.nvshmem_discrete import BaselineNVSHMEM
+from repro.stencil.variants.cpufree import CPUFree
+from repro.stencil.variants.perks import CPUFreePERKS
+from repro.stencil.variants.coresident import CPUFreeCoResident
+
+__all__ = [
+    "BaselineCopy",
+    "BaselineNVSHMEM",
+    "BaselineOverlap",
+    "BaselineP2P",
+    "CPUFree",
+    "CPUFreeCoResident",
+    "CPUFreePERKS",
+]

@@ -1,0 +1,64 @@
+"""Baseline Copy: fully CPU-controlled, no explicit boundary overlap.
+
+The NVIDIA ``multi_threaded_copy`` pattern: every time step the host
+launches one stencil kernel over the whole local domain, enqueues
+host-side ``cudaMemcpyAsync`` P2P copies of the boundary layers into
+the neighbors' halos, synchronizes the stream, and joins a host
+barrier.  Communication only overlaps the kernel implicitly through
+stream asynchrony (§6.1.1 "Baseline Copy").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.runtime.kernel import KernelSpec
+from repro.stencil.base import StencilVariant, register_variant
+
+__all__ = ["BaselineCopy"]
+
+
+@register_variant
+class BaselineCopy(StencilVariant):
+    name = "baseline_copy"
+
+    def setup(self) -> None:
+        self.setup_regular_buffers()
+        self.ctx.memory.enable_all_peer_access()
+
+    def host_program(self, rank: int) -> Generator[Any, Any, None]:
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+        rows = self.local_rows(rank)
+        blocks = self.discrete_blocks(self.decomp.interior_elements(rank))
+        neighbors = self.neighbors(rank)
+
+        for it in range(1, self.config.iterations + 1):
+            # ① full-domain stencil kernel
+            def kernel(dev, it=it):
+                yield from self.compute_layers(dev, rank, it, 1, rows - 1, name="jacobi")
+
+            yield from host.launch(stream, KernelSpec("jacobi", blocks=blocks), kernel)
+
+            # ② host-initiated halo copies (same stream: after the kernel)
+            for side, nbr in neighbors.items():
+                if self.config.with_data:
+                    assert self.devbufs is not None
+                    parity = self.write_parity(it)
+                    yield from host.memcpy_async(
+                        stream,
+                        self.devbufs[nbr][parity],
+                        self.halo_layer(nbr, self.opposite(side)),
+                        self.devbufs[rank][parity],
+                        self.boundary_layer(rank, side),
+                        name=f"halo_{side}",
+                    )
+                else:
+                    yield from host.memcpy_async_modeled(
+                        stream, rank, nbr, self.halo_nbytes, name=f"halo_{side}"
+                    )
+
+            # ③ host waits for the stream, then synchronizes ranks
+            yield from host.stream_sync(stream)
+            yield from self.barrier(rank)

@@ -1,0 +1,135 @@
+"""The §4 alternative design: two co-resident persistent kernels.
+
+Instead of specializing thread blocks inside one kernel, boundary/
+communication work and inner-domain compute run as *separate
+persistent kernels in separate streams* on the same device.  This is
+more modular — the inner kernel can be an existing single-GPU kernel —
+"but requires an extra sync point between the local pairs of streams
+in each GPU", implemented (as in the paper §4.1.1) by busy-waiting on
+flags in local device memory.
+
+The paper reports "no significant performance improvement or
+degradation from this design compared to the single-stream version";
+the ablation benchmark checks exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.core import GridBarrier, LocalSpinFlag, TBGroup, launch_persistent
+from repro.nvshmem import WaitCond
+from repro.runtime.kernel import DeviceKernelContext
+from repro.stencil.base import StencilVariant, register_variant
+from repro.stencil.variants.nvshmem_discrete import SIGNAL_INDEX
+
+__all__ = ["CPUFreeCoResident"]
+
+
+@register_variant
+class CPUFreeCoResident(StencilVariant):
+    name = "cpufree_coresident"
+    uses_nvshmem = True
+
+    def setup(self) -> None:
+        assert self.nvshmem is not None
+        self.setup_symmetric_buffers()
+        self.signals = self.nvshmem.malloc_signals("halo_flags", 2)
+        for pe in range(self.config.num_gpus):
+            for index in SIGNAL_INDEX.values():
+                self.signals.flag(pe, index).set(1)
+        #: per-rank local-memory handshake flags between the two kernels
+        poll = self.config.cost.host_flag_poll_us
+        self._comm_done = [
+            LocalSpinFlag(self.ctx.sim, poll, name=f"gpu{r}.comm_done")
+            for r in range(self.config.num_gpus)
+        ]
+        self._comp_done = [
+            LocalSpinFlag(self.ctx.sim, poll, name=f"gpu{r}.comp_done")
+            for r in range(self.config.num_gpus)
+        ]
+        # both kernels must be simultaneously resident on the device
+        for rank in range(self.config.num_gpus):
+            plan = self.specialization(rank)
+            if plan.tb_total > self.coresident_blocks():
+                raise ValueError("combined kernels exceed co-residency budget")
+
+    def _boundary_body(self, rank: int, side: str, plan, iterations: int):
+        nbr = self.neighbors(rank).get(side)
+
+        def body(dev: DeviceKernelContext, grid: GridBarrier) -> Generator[Any, Any, None]:
+            nv = self.nvshmem.device(rank, lane=dev.lane)
+            layer = self.boundary_layer(rank, side)
+            for it in range(1, iterations + 1):
+                if nbr is not None:
+                    yield from nv.signal_wait_until(
+                        self.signals, SIGNAL_INDEX[side], WaitCond.GE, it
+                    )
+                yield from self.compute_layers(
+                    dev, rank, it, layer, layer + 1,
+                    fraction_of_device=plan.boundary_fraction_per_side,
+                    name=f"boundary_{side}",
+                )
+                if nbr is not None:
+                    dst = self.sym[self.write_parity(it)] if self.config.with_data else None
+                    yield from nv.putmem_signal_nbi(
+                        dst,
+                        self.halo_layer(nbr, self.opposite(side)),
+                        self.boundary_values(rank, it, side),
+                        self.signals,
+                        SIGNAL_INDEX[self.opposite(side)],
+                        it + 1,
+                        dest_pe=nbr,
+                        nbytes=self.halo_nbytes,
+                        name=f"halo_{side}",
+                    )
+                yield from grid.wait()
+                # extra local sync point between the stream pair (§4):
+                if side == "top":
+                    self._comm_done[rank].post(it)
+                yield from self._comp_done[rank].wait_until(it)
+
+        return body
+
+    def _inner_body(self, rank: int, plan, iterations: int):
+        rows = self.local_rows(rank)
+        tiling = self.inner_tiling_factor(rank, plan)
+
+        def body(dev: DeviceKernelContext, grid: GridBarrier) -> Generator[Any, Any, None]:
+            for it in range(1, iterations + 1):
+                yield from self.compute_layers(
+                    dev, rank, it, 2, rows - 2,
+                    fraction_of_device=plan.inner_fraction,
+                    tiling_factor=tiling,
+                    name="inner",
+                )
+                yield from grid.wait()
+                self._comp_done[rank].post(it)
+                yield from self._comm_done[rank].wait_until(it)
+
+        return body
+
+    def host_program(self, rank: int) -> Generator[Any, Any, None]:
+        host = self.ctx.host(rank)
+        comm_stream = self.ctx.stream(rank, "comm")
+        comp_stream = self.ctx.stream(rank, "comp")
+        plan = self.specialization(rank)
+        iterations = self.config.iterations
+
+        comm_kernel = yield from launch_persistent(
+            host, comm_stream, "comm_kernel",
+            [TBGroup("comm_top", plan.boundary_tb_per_side,
+                     self._boundary_body(rank, "top", plan, iterations)),
+             TBGroup("comm_bottom", plan.boundary_tb_per_side,
+                     self._boundary_body(rank, "bottom", plan, iterations))],
+            threads_per_block=self.config.threads_per_block,
+        )
+        comp_kernel = yield from launch_persistent(
+            host, comp_stream, "comp_kernel",
+            [TBGroup("inner", plan.inner_tb,
+                     self._inner_body(rank, plan, iterations))],
+            threads_per_block=self.config.threads_per_block,
+        )
+        yield from host.event_sync(comm_kernel.event)
+        yield from host.event_sync(comp_kernel.event)

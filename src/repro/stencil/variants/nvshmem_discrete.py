@@ -1,0 +1,81 @@
+"""Baseline NVSHMEM: device-side communication in discrete kernels.
+
+Uses the same NVSHMEM put-with-signal family as the CPU-Free variant,
+but inside CPU-launched discrete kernels: each time step the host
+launches (1) the stencil kernel, which computes and issues the halo
+puts, and (2) a dedicated sync kernel that waits on the neighbor
+signal flags — "to avoid redundantly synchronizing all processing
+elements.  Both kernels are launched by the CPU in every time step"
+(§6.1.1 "Baseline NVSHMEM").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.nvshmem import WaitCond
+from repro.runtime.kernel import KernelSpec
+from repro.stencil.base import StencilVariant, register_variant
+
+__all__ = ["BaselineNVSHMEM", "SIGNAL_INDEX"]
+
+#: signal word i on a PE means "halo from my <side> neighbor arrived"
+SIGNAL_INDEX = {"top": 0, "bottom": 1}
+
+
+@register_variant
+class BaselineNVSHMEM(StencilVariant):
+    name = "baseline_nvshmem"
+    uses_nvshmem = True
+
+    def setup(self) -> None:
+        assert self.nvshmem is not None
+        self.setup_symmetric_buffers()
+        self.signals = self.nvshmem.malloc_signals("halo_flags", 2)
+
+    def host_program(self, rank: int) -> Generator[Any, Any, None]:
+        assert self.nvshmem is not None
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+        rows = self.local_rows(rank)
+        blocks = self.discrete_blocks(self.decomp.interior_elements(rank))
+        neighbors = self.neighbors(rank)
+
+        for it in range(1, self.config.iterations + 1):
+            # ① stencil kernel: compute, then GPU-initiated halo puts
+            def stencil_kernel(dev, it=it):
+                nv = self.nvshmem.device(rank, lane=dev.lane)
+                yield from self.compute_layers(dev, rank, it, 1, rows - 1, name="jacobi")
+                parity = self.write_parity(it)
+                for side, nbr in neighbors.items():
+                    dst = self.sym[parity] if self.config.with_data else None
+                    yield from nv.putmem_signal_nbi(
+                        dst,
+                        self.halo_layer(nbr, self.opposite(side)),
+                        self.boundary_values(rank, it, side),
+                        self.signals,
+                        SIGNAL_INDEX[self.opposite(side)],
+                        it,
+                        dest_pe=nbr,
+                        nbytes=self.halo_nbytes,
+                        name=f"halo_{side}",
+                    )
+
+            yield from host.launch(
+                stream, KernelSpec("jacobi_nvshmem", blocks=blocks), stencil_kernel
+            )
+
+            # ② dedicated neighbor-sync kernel (only adjacent PEs)
+            def sync_kernel(dev, it=it):
+                nv = self.nvshmem.device(rank, lane=dev.lane)
+                for side in neighbors:
+                    yield from nv.signal_wait_until(
+                        self.signals, SIGNAL_INDEX[side], WaitCond.GE, it
+                    )
+
+            yield from host.launch(stream, KernelSpec("neighbor_sync", blocks=1), sync_kernel)
+
+            # ③ host paces the loop with a stream sync (no MPI barrier:
+            #    inter-GPU ordering came from the signal waits)
+            yield from host.stream_sync(stream)

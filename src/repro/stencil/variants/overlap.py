@@ -1,0 +1,87 @@
+"""Baseline Overlap: CPU-controlled with explicit boundary overlap.
+
+Paper Listing 2.1a: the host splits each step into an inner-domain
+kernel on ``comp_stream`` and a boundary kernel plus halo copies on
+``comm_stream``, synchronizing both streams and the ranks at the end
+of every iteration.  The explicit overlap is identical to the
+CPU-Free variant's — only the *control path* differs (§6.1.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.runtime.kernel import KernelSpec
+from repro.stencil.base import StencilVariant, register_variant
+
+__all__ = ["BaselineOverlap"]
+
+
+@register_variant
+class BaselineOverlap(StencilVariant):
+    name = "baseline_overlap"
+
+    def setup(self) -> None:
+        self.setup_regular_buffers()
+        self.ctx.memory.enable_all_peer_access()
+
+    def host_program(self, rank: int) -> Generator[Any, Any, None]:
+        host = self.ctx.host(rank)
+        comp_stream = self.ctx.stream(rank, "comp")
+        comm_stream = self.ctx.stream(rank, "comm")
+        rows = self.local_rows(rank)
+        plan = self.specialization(rank)
+        neighbors = self.neighbors(rank)
+        inner_blocks = self.discrete_blocks(self.decomp.inner_elements(rank))
+        boundary_blocks = self.discrete_blocks(self.decomp.row_elements)
+
+        for it in range(1, self.config.iterations + 1):
+            # ④ boundary kernel + halo copies in comm_stream ...
+            def boundary_kernel(dev, it=it):
+                for side in ("top", "bottom"):
+                    yield from self.compute_layers(
+                        dev, rank, it,
+                        self.boundary_layer(rank, side),
+                        self.boundary_layer(rank, side) + 1,
+                        fraction_of_device=plan.boundary_fraction_per_side,
+                        name=f"boundary_{side}",
+                    )
+
+            yield from host.launch(
+                comm_stream, KernelSpec("boundaries", blocks=2 * boundary_blocks),
+                boundary_kernel,
+            )
+            for side, nbr in neighbors.items():
+                if self.config.with_data:
+                    assert self.devbufs is not None
+                    parity = self.write_parity(it)
+                    yield from host.memcpy_async(
+                        comm_stream,
+                        self.devbufs[nbr][parity],
+                        self.halo_layer(nbr, self.opposite(side)),
+                        self.devbufs[rank][parity],
+                        self.boundary_layer(rank, side),
+                        name=f"halo_{side}",
+                    )
+                else:
+                    yield from host.memcpy_async_modeled(
+                        comm_stream, rank, nbr, self.halo_nbytes, name=f"halo_{side}"
+                    )
+
+            # ② ... overlapped with the inner-domain kernel in comp_stream
+            def inner_kernel(dev, it=it):
+                yield from self.compute_layers(
+                    dev, rank, it, 2, rows - 2,
+                    fraction_of_device=plan.inner_fraction,
+                    name="inner",
+                )
+
+            yield from host.launch(
+                comp_stream, KernelSpec("inner", blocks=inner_blocks), inner_kernel
+            )
+
+            # ⑤ host syncs both streams, then the ranks
+            yield from host.stream_sync(comm_stream)
+            yield from host.stream_sync(comp_stream)
+            yield from self.barrier(rank)

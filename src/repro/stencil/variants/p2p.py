@@ -1,0 +1,75 @@
+"""Baseline P2P: GPU-initiated data, CPU-controlled synchronization.
+
+The kernel writes its boundary layers directly into the neighbors'
+halos through UVA peer load/stores — so the *data path* is
+GPU-initiated — but the kernel is still discrete and iteration pacing
+is still done with host stream syncs and a host barrier (§6.1.1
+"Baseline P2P: ... synchronization is handled by the host").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.runtime.kernel import KernelSpec
+from repro.stencil.base import StencilVariant, register_variant
+
+__all__ = ["BaselineP2P"]
+
+
+@register_variant
+class BaselineP2P(StencilVariant):
+    name = "baseline_p2p"
+
+    def setup(self) -> None:
+        self.setup_regular_buffers()
+        self.ctx.memory.enable_all_peer_access()
+        # P2P syncs ranks with host-mapped events rather than a full
+        # OpenMP/MPI rendezvous (the data path is already device-side),
+        # so its per-step host sync is cheaper than copy/overlap's.
+        from repro.runtime.mpi import HostBarrier
+        import math
+
+        parties = self.config.num_gpus
+        cost = (
+            0.0 if parties <= 1
+            else 2 * self.config.cost.event_sync_us * math.ceil(math.log2(parties))
+        )
+        self._p2p_barrier = HostBarrier(self.ctx.sim, parties, cost, name="p2p.events")
+
+    def host_program(self, rank: int) -> Generator[Any, Any, None]:
+        host = self.ctx.host(rank)
+        stream = self.ctx.stream(rank, "stream")
+        rows = self.local_rows(rank)
+        blocks = self.discrete_blocks(self.decomp.interior_elements(rank))
+        neighbors = self.neighbors(rank)
+
+        for it in range(1, self.config.iterations + 1):
+            def kernel(dev, it=it):
+                # compute the whole local domain ...
+                yield from self.compute_layers(dev, rank, it, 1, rows - 1, name="jacobi")
+                # ... then store boundaries straight into peer memory
+                for side, nbr in neighbors.items():
+                    if self.config.with_data:
+                        assert self.devbufs is not None
+                        parity = self.write_parity(it)
+                        yield from dev.peer_store(
+                            self.devbufs[nbr][parity],
+                            self.halo_layer(nbr, self.opposite(side)),
+                            self.boundary_values(rank, it, side),
+                            name=f"halo_{side}",
+                        )
+                    else:
+                        yield from dev.busy(
+                            self.ctx.topology.transfer_us(rank, nbr, self.halo_nbytes),
+                            f"halo_{side}",
+                            "comm",
+                        )
+
+            yield from host.launch(stream, KernelSpec("jacobi_p2p", blocks=blocks), kernel)
+            # host-side pacing: stream drain + event-based rank sync
+            yield from host.stream_sync(stream)
+            start = self.ctx.sim.now
+            yield from self._p2p_barrier.wait()
+            self.ctx.trace(f"host{rank}", "event_sync", "sync", start, self.ctx.sim.now)

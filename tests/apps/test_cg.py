@@ -1,0 +1,118 @@
+"""Tests for the Conjugate Gradient extension application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CGConfig, reference_cg, run_cg
+from repro.apps.cg import default_rhs, laplacian_apply
+
+
+class TestOperator:
+    def test_laplacian_of_zero_is_zero(self):
+        p = np.zeros((6, 6))
+        q = np.ones((6, 6))
+        laplacian_apply(p, q)
+        assert np.all(q[1:-1, 1:-1] == 0.0)
+
+    def test_laplacian_five_point_formula(self):
+        p = np.zeros((3, 3))
+        p[1, 1] = 1.0
+        p[0, 1], p[2, 1], p[1, 0], p[1, 2] = 0.1, 0.2, 0.3, 0.4
+        q = np.zeros((3, 3))
+        laplacian_apply(p, q)
+        assert q[1, 1] == pytest.approx(4.0 - 0.1 - 0.2 - 0.3 - 0.4)
+
+    def test_laplacian_is_spd_on_random_vectors(self):
+        """x^T A x > 0 for nonzero x — CG's convergence requirement."""
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = np.zeros((10, 10))
+            x[1:-1, 1:-1] = rng.standard_normal((8, 8))
+            q = np.zeros_like(x)
+            laplacian_apply(x, q)
+            assert np.dot(x.ravel(), q.ravel()) > 0.0
+
+
+class TestReference:
+    def test_residual_decreases(self):
+        b = default_rhs((18, 18), seed=1)
+        def residual(iters):
+            x = reference_cg(b, iters)
+            q = np.zeros_like(x)
+            laplacian_apply(x, q)
+            r = b - q
+            r[0] = r[-1] = 0.0
+            r[:, 0] = r[:, -1] = 0.0
+            return float(np.linalg.norm(r[1:-1, 1:-1]))
+
+        r1, r5, r20 = residual(1), residual(5), residual(20)
+        assert r20 < r5 < r1
+
+    def test_converges_to_solution(self):
+        """After enough iterations, A x ~= b on the interior."""
+        b = default_rhs((14, 14), seed=2)
+        x = reference_cg(b, 200)
+        q = np.zeros_like(x)
+        laplacian_apply(x, q)
+        np.testing.assert_allclose(q[1:-1, 1:-1], b[1:-1, 1:-1], atol=1e-8)
+
+    def test_chunked_reduction_changes_nothing_mathematically(self):
+        b = default_rhs((20, 12), seed=3)
+        x1 = reference_cg(b, 10, num_chunks=1)
+        x3 = reference_cg(b, 10, num_chunks=3)
+        np.testing.assert_allclose(x1, x3, rtol=1e-12)
+
+
+class TestDistributedCG:
+    @pytest.mark.parametrize("variant", ["cg_baseline", "cg_cpufree"])
+    @pytest.mark.parametrize("ranks", [1, 2, 3])
+    def test_bit_exact_against_reference(self, variant, ranks):
+        cfg = CGConfig(global_shape=(9 * ranks + 2, 14), num_gpus=ranks, iterations=7)
+        b = default_rhs(cfg.global_shape, cfg.seed)
+        expected = reference_cg(b, cfg.iterations, num_chunks=ranks)
+        result = run_cg(variant, cfg)
+        np.testing.assert_array_equal(result.solution, expected)
+
+    def test_both_variants_agree(self):
+        cfg = CGConfig(global_shape=(26, 18), num_gpus=3, iterations=9)
+        base = run_cg("cg_baseline", cfg)
+        free = run_cg("cg_cpufree", cfg)
+        np.testing.assert_array_equal(base.solution, free.solution)
+        assert base.final_residual_norm2 == pytest.approx(free.final_residual_norm2)
+
+    def test_cpufree_faster(self):
+        cfg = CGConfig(global_shape=(8 * 16 + 2, 130), num_gpus=8,
+                       iterations=12, with_data=False)
+        base = run_cg("cg_baseline", cfg)
+        free = run_cg("cg_cpufree", cfg)
+        assert free.speedup_over(base) > 50.0
+
+    def test_timing_independent_of_data(self):
+        cfg_data = CGConfig(global_shape=(26, 18), num_gpus=3, iterations=5)
+        cfg_nodata = CGConfig(global_shape=(26, 18), num_gpus=3, iterations=5,
+                              with_data=False)
+        with_data = run_cg("cg_cpufree", cfg_data)
+        timing = run_cg("cg_cpufree", cfg_nodata)
+        assert timing.solution is None
+        assert timing.total_time_us == pytest.approx(with_data.total_time_us)
+
+    def test_baseline_launches_many_kernels_cpufree_one(self):
+        cfg = CGConfig(global_shape=(26, 18), num_gpus=2, iterations=5)
+        base = run_cg("cg_baseline", cfg)
+        free = run_cg("cg_cpufree", cfg)
+        base_launches = [s for s in base.tracer.spans_in("api")
+                         if s.name.startswith("launch")]
+        free_launches = [s for s in free.tracer.spans_in("api")
+                         if s.name.startswith("launch")]
+        assert len(free_launches) == 2          # one per GPU
+        assert len(base_launches) >= 5 * 5 * 2  # 5 kernels/iter/rank
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown CG variant"):
+            run_cg("nope", CGConfig(global_shape=(14, 14), num_gpus=1, iterations=1))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CGConfig(global_shape=(14, 14), num_gpus=1, iterations=0)
+        with pytest.raises(ValueError):
+            CGConfig(global_shape=(14, 14, 14), num_gpus=1, iterations=1)

@@ -1,0 +1,50 @@
+"""The reproduction contract, as a test: every quantitative claim in
+the paper's evaluation must reproduce within its acceptance band."""
+
+import pytest
+
+from repro.bench.paper import PAPER_CLAIMS, evaluate_claims, render_claims
+
+
+@pytest.fixture(scope="module")
+def results():
+    return evaluate_claims(iterations=20)
+
+
+def test_every_paper_claim_within_band(results):
+    failed = [r for r in results if not r.ok]
+    assert not failed, "\n" + render_claims(failed)
+
+
+def test_all_figures_covered(results):
+    figures = {r.claim.figure for r in results}
+    assert {"2.2b", "6.1", "6.2", "6.3a", "6.3b"} <= figures
+
+
+def test_claim_count_matches_registry(results):
+    assert len(results) == len(PAPER_CLAIMS) >= 15
+
+
+def test_render_mentions_verdicts(results):
+    text = render_claims(results)
+    assert "OK" in text
+    assert f"{len(results)}/{len(results)} paper claims" in text
+
+
+def test_cli_paper_flag(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out_file = tmp_path / "claims.txt"
+    assert main(["--paper", "--out", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "paper claims reproduced within band" in text
+    assert "verdict" in text
+
+
+def test_bands_contain_paper_values():
+    """Sanity on the registry itself: each band brackets the paper's
+    own number (except the sign-only large-domain claim)."""
+    for claim in PAPER_CLAIMS:
+        assert claim.lo < claim.hi
+        if claim.figure != "6.1" or "degrades" not in claim.description:
+            assert claim.lo <= claim.paper_value <= claim.hi

@@ -1,0 +1,72 @@
+"""Tests for the TB-split autotuner."""
+
+import pytest
+
+from repro.core import autotune_tb_split, candidate_splits
+from repro.stencil import StencilConfig
+
+
+class TestCandidates:
+    def test_candidates_start_at_one(self):
+        assert candidate_splits(216)[0] == 1
+
+    def test_candidates_within_feasible_range(self):
+        for c in candidate_splits(216):
+            assert 1 <= c <= (216 - 1) // 2
+
+    def test_candidates_strictly_increasing(self):
+        cs = candidate_splits(216)
+        assert all(a < b for a, b in zip(cs, cs[1:]))
+
+    def test_limit_included(self):
+        cs = candidate_splits(216)
+        assert cs[-1] == (216 - 1) // 2
+
+    def test_tiny_device_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_splits(2)
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def balanced_report(self):
+        config = StencilConfig(
+            global_shape=(2048 + 2, 2048 + 2), num_gpus=8,
+            iterations=10, with_data=False,
+        )
+        return autotune_tb_split(config, iterations=10)
+
+    def test_measurements_cover_candidates(self, balanced_report):
+        assert len(balanced_report.measurements) >= 5
+        assert all(t > 0 for t in balanced_report.measurements.values())
+
+    def test_formula_close_to_empirical_optimum_on_balanced_domain(
+            self, balanced_report):
+        """§4.1.2's formula should be near-optimal where it applies."""
+        assert balanced_report.formula_regret_percent < 10.0
+
+    def test_best_plan_is_feasible(self, balanced_report):
+        plan = balanced_report.best
+        assert plan.inner_tb >= 1
+        assert plan.boundary_tb_per_side >= 1
+
+    def test_unbalanced_3d_prefers_more_boundary_blocks(self):
+        """Thin-slab 3D: the optimum needs far more than one boundary
+        block — the regime where the proportional formula matters."""
+        config = StencilConfig(
+            global_shape=(4 * 8 + 2, 1024 + 2, 1024 + 2), num_gpus=8,
+            iterations=10, with_data=False,
+        )
+        report = autotune_tb_split(config, iterations=10)
+        assert report.best.boundary_tb_per_side > 1
+        # and the formula lands close to the empirical best
+        assert report.formula_regret_percent < 25.0
+
+    def test_regret_zero_when_formula_is_best(self):
+        config = StencilConfig(
+            global_shape=(2048 + 2, 2048 + 2), num_gpus=8,
+            iterations=10, with_data=False,
+        )
+        report = autotune_tb_split(config, iterations=10)
+        if report.best.boundary_tb_per_side == report.formula.boundary_tb_per_side:
+            assert report.formula_regret_percent == 0.0

@@ -1,0 +1,173 @@
+"""Tests for the persistent-kernel harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import TBGroup, launch_persistent
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime, WaitCond
+from repro.runtime import CooperativeLaunchError, MultiGPUContext
+from repro.sim import Tracer
+
+
+@pytest.fixture
+def ctx():
+    return MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+
+
+def test_single_group_persistent_kernel(ctx):
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+    iterations = []
+
+    def body(dev, grid):
+        for it in range(3):
+            yield from dev.busy(5.0, "inner", "compute")
+            yield from grid.wait()
+            iterations.append(it)
+
+    def host_proc():
+        pk = yield from launch_persistent(host, stream, "jacobi", [TBGroup("inner", 214, body)])
+        yield from host.event_sync(pk.event)
+
+    ctx.sim.spawn(host_proc(), name="host")
+    ctx.run()
+    assert iterations == [0, 1, 2]
+
+
+def test_groups_synchronize_at_grid_sync(ctx):
+    """A fast group must wait at grid.sync() for the slow group —
+    iterations stay in lockstep (temporal dependency, §3.1.2)."""
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+    log = []
+
+    def make_body(name, work_us):
+        def body(dev, grid):
+            for it in range(3):
+                yield from dev.busy(work_us, name, "compute")
+                yield from grid.wait()
+                log.append((it, name, ctx.sim.now))
+        return body
+
+    def host_proc():
+        pk = yield from launch_persistent(
+            host, stream, "k",
+            [TBGroup("fast", 2, make_body("fast", 1.0)),
+             TBGroup("slow", 212, make_body("slow", 10.0))],
+        )
+        yield from host.event_sync(pk.event)
+
+    ctx.sim.spawn(host_proc(), name="host")
+    ctx.run()
+    # per iteration, both groups leave the barrier at the same instant
+    by_iter = {}
+    for it, name, t in log:
+        by_iter.setdefault(it, set()).add(t)
+    assert all(len(times) == 1 for times in by_iter.values())
+
+
+def test_coresidency_enforced(ctx):
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+    limit = ctx.node.gpu.max_coresident_blocks(1024)
+
+    def body(dev, grid):
+        yield from grid.wait()
+
+    def host_proc():
+        yield from launch_persistent(
+            host, stream, "too_big", [TBGroup("inner", limit + 1, body)]
+        )
+
+    ctx.sim.spawn(host_proc(), name="host")
+    with pytest.raises(CooperativeLaunchError):
+        ctx.run()
+
+
+def test_single_launch_only_one_host_api_call(ctx):
+    """The defining property: one launch for N iterations, zero host
+    involvement afterwards."""
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+
+    def body(dev, grid):
+        for _ in range(50):
+            yield from dev.busy(1.0, "w", "compute")
+            yield from grid.wait()
+
+    def host_proc():
+        pk = yield from launch_persistent(host, stream, "k", [TBGroup("g", 8, body)])
+        yield from host.event_sync(pk.event)
+
+    ctx.sim.spawn(host_proc(), name="host")
+    ctx.run()
+    launches = [s for s in ctx.tracer.spans_in("api") if s.name.startswith("launch")]
+    assert len(launches) == 1
+
+
+def test_persistent_kernel_with_nvshmem_halo_exchange(ctx):
+    """End-to-end miniature of Listing 4.1: two PEs exchange a halo
+    value every iteration entirely on-device."""
+    rt = NVSHMEMRuntime(ctx)
+    data = rt.malloc("grid", (4,), fill=0.0)
+    sig = rt.malloc_signals("flags", 1)
+    iterations = 4
+    results = {}
+
+    def make_comm_body(me, other):
+        def body(dev, grid):
+            nv = rt.device(me, lane=dev.lane)
+            for it in range(1, iterations + 1):
+                # write my current value to the neighbor, signal iteration
+                yield from nv.putmem_signal_nbi(
+                    data, 0, float(me * 100 + it), sig, 0, it, dest_pe=other
+                )
+                yield from nv.signal_wait_until(sig, 0, WaitCond.GE, it)
+                yield from grid.wait()
+            results[me] = data.local(me)[0]
+        return body
+
+    def host_proc(rank):
+        host = ctx.host(rank)
+        stream = ctx.stream(rank)
+        other = 1 - rank
+        pk = yield from launch_persistent(
+            host, stream, "stencil", [TBGroup("comm", 2, make_comm_body(rank, other)),
+                                      TBGroup("inner", 200, make_inner(rank))]
+        )
+        yield from host.event_sync(pk.event)
+
+    def make_inner(rank):
+        def body(dev, grid):
+            for _ in range(iterations):
+                yield from dev.busy(2.0, "inner", "compute")
+                yield from grid.wait()
+        return body
+
+    for r in range(2):
+        ctx.sim.spawn(host_proc(r), name=f"host{r}")
+    ctx.run()
+    # each PE holds the final value written by its neighbor
+    assert results[0] == 100.0 + iterations
+    assert results[1] == 0.0 + iterations
+
+
+def test_empty_groups_rejected(ctx):
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+
+    def host_proc():
+        yield from launch_persistent(host, stream, "k", [])
+
+    ctx.sim.spawn(host_proc(), name="host")
+    with pytest.raises(ValueError):
+        ctx.run()
+
+
+def test_group_with_zero_blocks_rejected():
+    def body(dev, grid):
+        yield from grid.wait()
+
+    with pytest.raises(ValueError):
+        TBGroup("bad", 0, body)

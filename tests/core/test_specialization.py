@@ -1,0 +1,84 @@
+"""Tests for the TB work-allocation formula (paper §4.1.2)."""
+
+import pytest
+
+from repro.core import SpecializationPlan, plan_blocks
+
+
+class TestPlanBlocks:
+    def test_formula_matches_paper(self):
+        """boundary_TB = TB_total * boundary / (inner + 2*boundary),
+        rounded up so the boundary is never under-provisioned."""
+        import math
+
+        tb_total, inner, boundary = 216, 100_000, 10_000
+        plan = plan_blocks(tb_total, inner, boundary)
+        expected = math.ceil(tb_total * boundary / (inner + 2 * boundary))
+        assert plan.boundary_tb_per_side == expected
+        assert plan.inner_tb == tb_total - 2 * expected
+
+    def test_minimum_one_boundary_block(self):
+        # Tiny boundary: formula rounds to 0, but comm needs >= 1 block.
+        plan = plan_blocks(216, 10**7, 10)
+        assert plan.boundary_tb_per_side == 1
+
+    def test_no_neighbors_no_boundary_blocks(self):
+        plan = plan_blocks(216, 1000, 100, sides=0)
+        assert plan.boundary_tb_per_side == 0
+        assert plan.inner_tb == 216
+        assert plan.inner_fraction == 1.0
+
+    def test_zero_boundary_size(self):
+        plan = plan_blocks(216, 1000, 0)
+        assert plan.boundary_tb_total == 0
+
+    def test_boundary_heavy_domain_capped(self):
+        """Unbalanced 3D small domains: boundary may dominate the
+        formula, but the inner domain keeps at least one block."""
+        plan = plan_blocks(8, 10, 1000)
+        assert plan.inner_tb >= 1
+        assert plan.boundary_tb_total < 8
+
+    def test_fractions_sum_to_one(self):
+        plan = plan_blocks(216, 50_000, 5_000)
+        total = plan.inner_fraction + plan.sides * plan.boundary_fraction_per_side
+        assert total == pytest.approx(1.0)
+
+    def test_larger_boundary_gets_more_blocks(self):
+        small = plan_blocks(216, 10**6, 10**3)
+        large = plan_blocks(216, 10**6, 10**5)
+        assert large.boundary_tb_per_side > small.boundary_tb_per_side
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_blocks(0, 100, 10)
+        with pytest.raises(ValueError):
+            plan_blocks(216, -1, 10)
+        with pytest.raises(ValueError):
+            plan_blocks(216, 100, -1)
+
+    def test_single_block_device_with_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks(1, 100, 100, sides=2)
+
+    def test_four_sides_2d_grid_decomposition(self):
+        plan = plan_blocks(216, 10**6, 10**4, sides=4)
+        assert plan.sides == 4
+        assert plan.inner_tb == 216 - 4 * plan.boundary_tb_per_side
+
+
+class TestSpecializationPlan:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            SpecializationPlan(tb_total=4, boundary_tb_per_side=2, sides=2)
+        with pytest.raises(ValueError):
+            SpecializationPlan(tb_total=0, boundary_tb_per_side=0, sides=0)
+        with pytest.raises(ValueError):
+            SpecializationPlan(tb_total=4, boundary_tb_per_side=-1, sides=2)
+
+    def test_properties(self):
+        plan = SpecializationPlan(tb_total=10, boundary_tb_per_side=2, sides=2)
+        assert plan.boundary_tb_total == 4
+        assert plan.inner_tb == 6
+        assert plan.inner_fraction == pytest.approx(0.6)
+        assert plan.boundary_fraction_per_side == pytest.approx(0.2)

@@ -1,0 +1,118 @@
+"""Tests for device-side synchronization primitives."""
+
+import pytest
+
+from repro.core import GridBarrier, LocalSpinFlag
+from repro.sim import Delay, Simulator
+
+
+class TestGridBarrier:
+    def test_all_groups_released_together(self):
+        sim = Simulator()
+        barrier = GridBarrier(sim, parties=3, cost_us=1.9)
+        times = []
+
+        def group(delay):
+            yield Delay(delay)
+            yield from barrier.wait()
+            times.append(sim.now)
+
+        for d in (1.0, 4.0, 2.0):
+            sim.spawn(group(d))
+        sim.run()
+        assert times == [5.9, 5.9, 5.9]
+
+    def test_multiple_rounds_counted(self):
+        sim = Simulator()
+        barrier = GridBarrier(sim, parties=2, cost_us=0.0)
+
+        def group():
+            for _ in range(5):
+                yield Delay(1.0)
+                yield from barrier.wait()
+
+        sim.spawn(group())
+        sim.spawn(group())
+        sim.run()
+        assert barrier.rounds_completed == 5
+
+    def test_single_party_barrier_trivial(self):
+        sim = Simulator()
+        barrier = GridBarrier(sim, parties=1, cost_us=2.0)
+
+        def group():
+            yield from barrier.wait()
+
+        sim.spawn(group())
+        assert sim.run() == 2.0
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            GridBarrier(Simulator(), parties=0, cost_us=1.0)
+
+    def test_barrier_charges_grid_sync_cost(self):
+        sim = Simulator()
+        barrier = GridBarrier(sim, parties=2, cost_us=1.9)
+
+        def group():
+            yield from barrier.wait()
+
+        sim.spawn(group())
+        sim.spawn(group())
+        assert sim.run() == pytest.approx(1.9)
+
+
+class TestLocalSpinFlag:
+    def test_wait_blocks_until_post(self):
+        sim = Simulator()
+        spin = LocalSpinFlag(sim, poll_us=0.4)
+        woke = []
+
+        def consumer():
+            yield from spin.wait_until(1)
+            woke.append(sim.now)
+
+        def producer():
+            yield Delay(5.0)
+            spin.post(1)
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert woke == [5.0]
+
+    def test_iteration_counter_protocol(self):
+        """Co-resident kernels hand off iterations via a local flag."""
+        sim = Simulator()
+        ready = LocalSpinFlag(sim, poll_us=0.1, name="ready")
+        done = LocalSpinFlag(sim, poll_us=0.1, name="done")
+        log = []
+
+        def comm_kernel():
+            for it in range(1, 4):
+                yield Delay(1.0)  # halo work
+                ready.post(it)
+                yield from done.wait_until(it)
+
+        def comp_kernel():
+            for it in range(1, 4):
+                yield from ready.wait_until(it)
+                yield Delay(2.0)  # inner compute
+                log.append(it)
+                done.post(it)
+
+        sim.spawn(comm_kernel())
+        sim.spawn(comp_kernel())
+        sim.run()
+        assert log == [1, 2, 3]
+
+    def test_negative_poll_rejected(self):
+        with pytest.raises(ValueError):
+            LocalSpinFlag(Simulator(), poll_us=-1.0)
+
+    def test_value_property(self):
+        sim = Simulator()
+        spin = LocalSpinFlag(sim, poll_us=0.0)
+        assert spin.value == 0
+        spin.post(3)
+        assert spin.value == 3

@@ -1,0 +1,129 @@
+"""Tests for the cost-model calibration."""
+
+import pytest
+
+from repro.hw import CostModel, DEFAULT_COST_MODEL
+
+
+class TestTransfer:
+    def test_zero_bytes_is_free(self):
+        assert DEFAULT_COST_MODEL.transfer_us(0, 300.0, latency_us=5.0) == 0.0
+
+    def test_bandwidth_math(self):
+        # 300 GB/s == 300_000 bytes/us -> 3 MB takes 10 us + latency
+        t = DEFAULT_COST_MODEL.transfer_us(3_000_000, 300.0, latency_us=1.0)
+        assert t == pytest.approx(11.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.transfer_us(-1, 300.0)
+
+
+class TestBarrier:
+    def test_single_rank_free(self):
+        assert DEFAULT_COST_MODEL.mpi_barrier_us(1) == 0.0
+
+    def test_grows_linearly_with_ranks(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.mpi_barrier_us(2) == pytest.approx(cm.mpi_barrier_base_us)
+        assert cm.mpi_barrier_us(8) == pytest.approx(7 * cm.mpi_barrier_base_us)
+        assert cm.mpi_barrier_us(8) > cm.mpi_barrier_us(4) > cm.mpi_barrier_us(2)
+
+
+class TestComputeTime:
+    def test_zero_elements_free(self):
+        assert DEFAULT_COST_MODEL.compute_time_us(0, 2039.0) == 0.0
+
+    def test_scales_linearly_with_elements(self):
+        cm = DEFAULT_COST_MODEL
+        t1 = cm.compute_time_us(1_000_000, 2039.0)
+        t2 = cm.compute_time_us(2_000_000, 2039.0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_partial_device_is_slower(self):
+        cm = DEFAULT_COST_MODEL
+        full = cm.compute_time_us(10**6, 2039.0, fraction_of_device=1.0)
+        half = cm.compute_time_us(10**6, 2039.0, fraction_of_device=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_tiling_factor_multiplies_compute(self):
+        cm = DEFAULT_COST_MODEL
+        base = cm.compute_time_us(10**6, 2039.0)
+        tiled = cm.compute_time_us(10**6, 2039.0, tiling_factor=1 + cm.tiling_penalty)
+        assert tiled == pytest.approx(base * (1 + cm.tiling_penalty))
+
+    def test_tiling_factor_ramp(self):
+        cm = DEFAULT_COST_MODEL
+        threads = 1000
+        assert cm.tiling_factor(4 * threads, threads) == 1.0
+        assert cm.tiling_factor(int(cm.tiling_free_ratio) * threads, threads) == 1.0
+        full = cm.tiling_factor(int(cm.tiling_full_ratio) * threads, threads)
+        assert full == pytest.approx(1 + cm.tiling_penalty)
+        mid_ratio = (cm.tiling_free_ratio + cm.tiling_full_ratio) / 2
+        mid = cm.tiling_factor(int(mid_ratio * threads), threads)
+        assert 1.0 < mid < full
+        beyond = cm.tiling_factor(100 * int(cm.tiling_full_ratio) * threads, threads)
+        assert beyond == pytest.approx(full)
+
+    def test_tiling_factor_invalid(self):
+        cm = DEFAULT_COST_MODEL
+        with pytest.raises(ValueError):
+            cm.tiling_factor(100, 0)
+        with pytest.raises(ValueError):
+            cm.tiling_factor(-1, 10)
+        with pytest.raises(ValueError):
+            cm.compute_time_us(1, 2039.0, tiling_factor=0.5)
+
+    def test_perks_residency_speeds_up(self):
+        cm = DEFAULT_COST_MODEL
+        base = cm.compute_time_us(10**6, 2039.0)
+        cached = cm.compute_time_us(10**6, 2039.0, perks_residency=1.0)
+        assert cached == pytest.approx(base * (1 - cm.perks_cache_benefit))
+        partial = cm.compute_time_us(10**6, 2039.0, perks_residency=0.5)
+        assert base > partial > cached
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.compute_time_us(1, 2039.0, fraction_of_device=0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.compute_time_us(1, 2039.0, fraction_of_device=1.5)
+
+    def test_invalid_residency_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.compute_time_us(1, 2039.0, perks_residency=-0.1)
+
+    def test_medium_domain_per_iteration_in_tens_of_us(self):
+        """Sanity: a 2048^2 fp64 Jacobi iteration on one A100 should be
+        O(10) microseconds — the scale the paper's Figure 6.1 reports."""
+        t = DEFAULT_COST_MODEL.compute_time_us(2048 * 2048, 2039.0)
+        assert 10.0 < t < 100.0
+
+
+class TestLatencyHierarchy:
+    """The paper's core premise: host-side control costs dominate
+    device-side signaling costs."""
+
+    def test_kernel_launch_exceeds_grid_sync(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.kernel_launch_us > cm.grid_sync_us
+
+    def test_mpi_message_dwarfs_nvshmem_put(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.mpi_message_latency_us > 5 * cm.nvshmem_put_latency_us
+
+    def test_stream_sync_dwarfs_signal(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.stream_sync_us > 3 * cm.nvshmem_signal_us
+
+    def test_host_rendezvous_dominates_at_scale(self):
+        """At 8 ranks the per-step host barrier alone exceeds the whole
+        device-side control path — the core Fig 2.2 observation."""
+        cm = DEFAULT_COST_MODEL
+        device_path = cm.grid_sync_us + cm.nvshmem_put_latency_us + cm.nvshmem_signal_us
+        assert cm.mpi_barrier_us(8) > 10 * device_path
+
+    def test_with_override_returns_new_instance(self):
+        tweaked = DEFAULT_COST_MODEL.with_(kernel_launch_us=100.0)
+        assert tweaked.kernel_launch_us == 100.0
+        assert DEFAULT_COST_MODEL.kernel_launch_us == 3.2
+        assert isinstance(tweaked, CostModel)

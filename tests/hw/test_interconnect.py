@@ -1,0 +1,73 @@
+"""Tests for link topology and transfer times."""
+
+import pytest
+
+from repro.hw import HGX_A100_8GPU, Link, NodeTopology
+from repro.hw.interconnect import HOST
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link(bandwidth_gbps=300.0, latency_us=1.3)
+        assert link.transfer_us(300_000) == pytest.approx(1.3 + 1.0)
+
+    def test_zero_bytes_free(self):
+        assert Link(300.0, 1.3).transfer_us(0) == 0.0
+
+    def test_sharers_split_bandwidth(self):
+        link = Link(100.0, 0.0)
+        assert link.transfer_us(100_000, sharers=2) == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Link(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Link(100.0, -1.0)
+        with pytest.raises(ValueError):
+            Link(100.0, 0.0).transfer_us(-5)
+        with pytest.raises(ValueError):
+            Link(100.0, 0.0).transfer_us(5, sharers=0)
+
+
+class TestNodeTopology:
+    @pytest.fixture
+    def topo(self):
+        return NodeTopology(HGX_A100_8GPU)
+
+    def test_peer_link_is_nvlink(self, topo):
+        link = topo.link(0, 7)
+        assert link.bandwidth_gbps == 300.0
+
+    def test_all_pairs_symmetric(self, topo):
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.link(a, b) == topo.link(b, a)
+
+    def test_host_link_is_pcie(self, topo):
+        assert topo.link(HOST, 3).bandwidth_gbps == HGX_A100_8GPU.host_link_bandwidth_gbps
+        assert topo.link(3, HOST).bandwidth_gbps == HGX_A100_8GPU.host_link_bandwidth_gbps
+
+    def test_local_copy_uses_hbm(self, topo):
+        assert topo.link(2, 2).bandwidth_gbps == HGX_A100_8GPU.gpu.hbm_bandwidth_gbps
+
+    def test_peers_excludes_self(self, topo):
+        assert topo.peers(3) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_host_peers_all_gpus(self, topo):
+        assert topo.peers(HOST) == list(range(8))
+
+    def test_out_of_range_device_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.link(0, 8)
+        with pytest.raises(ValueError):
+            topo.peers(-2)
+
+    def test_transfer_us_shortcut(self, topo):
+        assert topo.transfer_us(0, 1, 300_000) == pytest.approx(
+            topo.link(0, 1).transfer_us(300_000)
+        )
+
+    def test_nvlink_faster_than_pcie(self, topo):
+        n = 10_000_000
+        assert topo.transfer_us(0, 1, n) < topo.transfer_us(HOST, 1, n)

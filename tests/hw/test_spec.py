@@ -1,0 +1,69 @@
+"""Tests for GPU/node capability specs."""
+
+import pytest
+
+from repro.hw import A100_SXM4_80GB, GPUSpec, HGX_A100_8GPU
+
+
+class TestGPUSpec:
+    def test_a100_constants(self):
+        assert A100_SXM4_80GB.sm_count == 108
+        assert A100_SXM4_80GB.max_threads_per_block == 1024
+        assert A100_SXM4_80GB.hbm_bandwidth_gbps == pytest.approx(2039.0)
+
+    def test_coresident_blocks_1024_threads(self):
+        # 2048 threads/SM / 1024 threads/block = 2 blocks/SM * 108 SMs
+        assert A100_SXM4_80GB.max_coresident_blocks(1024) == 216
+
+    def test_coresident_blocks_256_threads_capped_by_slots(self):
+        # 2048/256 = 8 blocks by threads, under the 32-slot cap
+        assert A100_SXM4_80GB.max_coresident_blocks(256) == 108 * 8
+
+    def test_coresident_blocks_small_block_hits_slot_cap(self):
+        # 2048/32 = 64 > 32 slots -> capped at 32/SM
+        assert A100_SXM4_80GB.max_coresident_blocks(32) == 108 * 32
+
+    def test_coresident_rejects_oversized_block(self):
+        with pytest.raises(ValueError):
+            A100_SXM4_80GB.max_coresident_blocks(2048)
+
+    def test_coresident_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            A100_SXM4_80GB.max_coresident_blocks(0)
+
+    def test_saturation_elements_matches_paper_domain_classes(self):
+        """Paper §6.1.1: 256^2 is 'small' (under-saturates), 2048^2
+        'medium' (saturates), 8192^2 'large' (over-saturates)."""
+        sat = A100_SXM4_80GB.saturation_elements(1024)
+        assert 256**2 < sat          # small domain under-saturates
+        assert 2048**2 > sat         # medium fills the device
+        assert 8192**2 > 10 * sat    # large heavily oversubscribes
+
+    def test_invalid_sm_count_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bad", sm_count=0, max_threads_per_sm=2048,
+                max_threads_per_block=1024, max_blocks_per_sm=32,
+                hbm_bandwidth_gbps=1000.0, hbm_capacity_bytes=1,
+                shared_mem_per_sm_bytes=1, registers_per_sm=1,
+            )
+
+    def test_with_override(self):
+        half = A100_SXM4_80GB.with_(sm_count=54)
+        assert half.sm_count == 54
+        assert half.hbm_bandwidth_gbps == A100_SXM4_80GB.hbm_bandwidth_gbps
+
+
+class TestNodeSpec:
+    def test_hgx_defaults(self):
+        assert HGX_A100_8GPU.num_gpus == 8
+        assert HGX_A100_8GPU.nvlink_bandwidth_gbps == 300.0
+
+    def test_scaled_to(self):
+        node4 = HGX_A100_8GPU.scaled_to(4)
+        assert node4.num_gpus == 4
+        assert node4.gpu is HGX_A100_8GPU.gpu
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            HGX_A100_8GPU.scaled_to(0)

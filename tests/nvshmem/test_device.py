@@ -1,0 +1,305 @@
+"""Tests for device-side NVSHMEM operations, including the
+delivery-ordering guarantees and the missing-quiet race."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime, SignalOp, WaitCond
+from repro.nvshmem.device import Scope
+from repro.runtime import MultiGPUContext
+from repro.sim import Delay, Tracer
+
+
+@pytest.fixture
+def rt():
+    return NVSHMEMRuntime(MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer()))
+
+
+class TestPutmem:
+    def test_blocking_put_delivers_before_return(self, rt):
+        arr = rt.malloc("a", (4,), fill=0.0)
+        checked = []
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem(arr, slice(None), np.full(4, 7.0), dest_pe=1)
+            # Blocking: destination memory is updated once we return.
+            checked.append(np.all(arr.local(1) == 7.0))
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert checked == [True]
+
+    def test_nbi_put_returns_before_delivery(self, rt):
+        arr = rt.malloc("a", (1024,), fill=0.0)
+        observed = []
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem_nbi(arr, slice(None), np.full(1024, 3.0), dest_pe=1)
+            observed.append(bool(np.all(arr.local(1) == 3.0)))  # not yet delivered
+            yield from dev.quiet()
+            observed.append(bool(np.all(arr.local(1) == 3.0)))  # delivered after quiet
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert observed == [False, True]
+
+    def test_nbi_snapshot_at_issue(self, rt):
+        arr = rt.malloc("a", (4,), fill=0.0)
+        src = np.full(4, 1.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem_nbi(arr, slice(None), src, dest_pe=1)
+            src[:] = 99.0  # mutate after issue
+            yield from dev.quiet()
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert np.all(arr.local(1) == 1.0)
+
+    def test_block_scope_faster_than_thread_scope(self, rt):
+        nbytes = 4 * 1024 * 1024
+
+        def timed(scope):
+            local = NVSHMEMRuntime(MultiGPUContext(HGX_A100_8GPU.scaled_to(2)))
+
+            def pe0():
+                dev = local.device(0)
+                yield from dev.putmem(None, None, 0.0, dest_pe=1, nbytes=nbytes, scope=scope)
+
+            local.ctx.sim.spawn(pe0(), name="pe0")
+            return local.ctx.run()
+
+        assert timed(Scope.THREAD) > timed(Scope.WARP) > timed(Scope.BLOCK)
+
+    def test_timing_only_put(self, rt):
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem(None, None, 0.0, dest_pe=1, nbytes=300_000)
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        total = rt.ctx.run()
+        assert total > 1.0  # wire time for 300 KB at 300 GB/s
+
+
+class TestPutmemSignal:
+    def test_signal_delivered_after_data(self, rt):
+        """The semaphore protocol of §4.1.1: when the destination PE
+        observes the signal, the halo data must already be there."""
+        arr = rt.malloc("halo", (256,), fill=0.0)
+        sig = rt.malloc_signals("flags", 1)
+        result = []
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem_signal_nbi(
+                arr, slice(None), np.full(256, 4.0), sig, 0, 1, dest_pe=1
+            )
+            # keep running: no quiet needed for the *destination's* view
+
+        def pe1():
+            dev = rt.device(1)
+            yield from dev.signal_wait_until(sig, 0, WaitCond.GE, 1)
+            result.append(bool(np.all(arr.local(1) == 4.0)))
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.sim.spawn(pe1(), name="pe1")
+        rt.ctx.run()
+        assert result == [True]
+
+    def test_blocking_putmem_signal(self, rt):
+        arr = rt.malloc("x", (8,), fill=0.0)
+        sig = rt.malloc_signals("f", 1)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem_signal(arr, slice(None), np.ones(8), sig, 0, 5, dest_pe=1)
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert sig.value(1, 0) == 5
+        assert np.all(arr.local(1) == 1.0)
+
+    def test_signal_add_accumulates(self, rt):
+        sig = rt.malloc_signals("f", 1)
+        arr = rt.malloc("x", (1,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            for _ in range(3):
+                yield from dev.putmem_signal(
+                    arr, 0, 1.0, sig, 0, 1, dest_pe=1, sig_op=SignalOp.ADD
+                )
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert sig.value(1, 0) == 3
+
+    def test_iteration_parity_semaphore(self, rt):
+        """Flags carry the iteration number: waiting compares to the
+        current iteration, signaling writes iteration+1 (§4.1.1)."""
+        sig = rt.malloc_signals("iter_flags", 2)
+        arr = rt.malloc("halo", (4,), fill=0.0)
+        iterations = 5
+        seen = []
+
+        def pe(me, other):
+            dev = rt.device(me)
+            for it in range(1, iterations + 1):
+                yield from dev.putmem_signal_nbi(
+                    arr, slice(None), np.full(4, float(it)), sig, me, it, dest_pe=other
+                )
+                yield from dev.signal_wait_until(sig, other, WaitCond.GE, it)
+                seen.append((me, it, int(sig.value(me if False else me, other))))
+
+        rt.ctx.sim.spawn(pe(0, 1), name="pe0")
+        rt.ctx.sim.spawn(pe(1, 0), name="pe1")
+        rt.ctx.run()
+        assert len(seen) == 2 * iterations
+
+
+class TestStridedAndScalar:
+    def test_iput_then_quiet_then_signal_is_safe(self, rt):
+        """The generated-code pattern of §5.3.1: iput + quiet +
+        signal_op keeps the destination's view consistent."""
+        arr = rt.malloc("col", (64,), fill=0.0)
+        sig = rt.malloc_signals("f", 1)
+        ok = []
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.iput(arr, slice(None), np.full(64, 2.0), dest_pe=1)
+            yield from dev.quiet()
+            yield from dev.signal_op(sig, 0, 1, dest_pe=1)
+
+        def pe1():
+            dev = rt.device(1)
+            yield from dev.signal_wait_until(sig, 0, WaitCond.GE, 1)
+            ok.append(bool(np.all(arr.local(1) == 2.0)))
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.sim.spawn(pe1(), name="pe1")
+        rt.ctx.run()
+        assert ok == [True]
+
+    def test_iput_without_quiet_races_signal(self, rt):
+        """FAILURE INJECTION: dropping the quiet lets the signal
+        overtake the strided data — the destination reads stale halos."""
+        arr = rt.malloc("col", (4096,), fill=0.0)
+        sig = rt.malloc_signals("f", 1)
+        ok = []
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.iput(arr, slice(None), np.full(4096, 2.0), dest_pe=1)
+            # BUG: no quiet here
+            yield from dev.signal_op(sig, 0, 1, dest_pe=1)
+
+        def pe1():
+            dev = rt.device(1)
+            yield from dev.signal_wait_until(sig, 0, WaitCond.GE, 1)
+            ok.append(bool(np.all(arr.local(1) == 2.0)))
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.sim.spawn(pe1(), name="pe1")
+        rt.ctx.run()
+        assert ok == [False]  # stale read observed
+
+    def test_iput_cost_scales_with_elements(self, rt):
+        def timed(n):
+            local = NVSHMEMRuntime(MultiGPUContext(HGX_A100_8GPU.scaled_to(2)))
+
+            def pe0():
+                dev = local.device(0)
+                yield from dev.iput(None, None, np.zeros(n), dest_pe=1)
+                yield from dev.quiet()
+
+            local.ctx.sim.spawn(pe0(), name="pe0")
+            return local.ctx.run()
+
+        assert timed(10_000) > timed(100)
+
+    def test_p_single_element(self, rt):
+        arr = rt.malloc("x", (8,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.p(arr, 3, 42.0, dest_pe=1)
+            yield from dev.quiet()
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert arr.local(1)[3] == 42.0
+
+
+class TestWaitAndOrdering:
+    def test_wait_conditions(self):
+        assert WaitCond.EQ.check(3, 3)
+        assert not WaitCond.EQ.check(2, 3)
+        assert WaitCond.NE.check(2, 3)
+        assert WaitCond.GT.check(4, 3)
+        assert WaitCond.GE.check(3, 3)
+        assert WaitCond.LT.check(2, 3)
+        assert WaitCond.LE.check(3, 3)
+
+    def test_quiet_with_nothing_pending_is_cheap(self, rt):
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.quiet()
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        assert rt.ctx.run() == pytest.approx(rt.ctx.cost.nvshmem_quiet_us)
+
+    def test_quiet_waits_for_all_pending(self, rt):
+        arr = rt.malloc("a", (1024,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            for i in range(4):
+                yield from dev.putmem_nbi(arr, slice(None), np.full(1024, float(i)), dest_pe=1)
+            yield from dev.quiet()
+            assert rt.pending(0).value == 0
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+
+    def test_fence_behaves_like_quiet(self, rt):
+        arr = rt.malloc("a", (64,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem_nbi(arr, slice(None), np.ones(64), dest_pe=1)
+            yield from dev.fence()
+            assert np.all(arr.local(1) == 1.0)
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+
+    def test_device_barrier_all(self, rt):
+        times = []
+
+        def pe(me, delay):
+            dev = rt.device(me)
+            yield Delay(delay)
+            yield from dev.barrier_all()
+            times.append(rt.ctx.sim.now)
+
+        rt.ctx.sim.spawn(pe(0, 1.0), name="pe0")
+        rt.ctx.sim.spawn(pe(1, 6.0), name="pe1")
+        rt.ctx.run()
+        assert times[0] == times[1]
+        assert times[0] >= 6.0
+
+    def test_comm_spans_traced(self, rt):
+        arr = rt.malloc("a", (64,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem(arr, slice(None), np.ones(64), dest_pe=1)
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        rt.ctx.run()
+        assert rt.ctx.tracer.total("comm") > 0.0

@@ -1,0 +1,92 @@
+"""Tests for issuing-scope bandwidth and misc NVSHMEM edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime
+from repro.nvshmem.device import Scope
+from repro.runtime import MultiGPUContext
+from repro.sim import Tracer
+
+
+def timed_put(scope, nbytes=4 * 1024 * 1024, nbi=False):
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+    rt = NVSHMEMRuntime(ctx)
+
+    def pe0():
+        dev = rt.device(0)
+        if nbi:
+            yield from dev.putmem_nbi(None, None, 0.0, dest_pe=1,
+                                      nbytes=nbytes, scope=scope)
+            yield from dev.quiet()
+        else:
+            yield from dev.putmem(None, None, 0.0, dest_pe=1,
+                                  nbytes=nbytes, scope=scope)
+
+    ctx.sim.spawn(pe0(), name="pe0")
+    return ctx.run()
+
+
+class TestScopeBandwidth:
+    def test_warp_between_thread_and_block(self):
+        assert timed_put(Scope.THREAD) > timed_put(Scope.WARP) > timed_put(Scope.BLOCK)
+
+    def test_scope_ratio_matches_cost_model(self):
+        from repro.hw import DEFAULT_COST_MODEL as cm
+
+        # wire time dominates for 4 MB: times scale ~1/bw_fraction
+        thread, block = timed_put(Scope.THREAD), timed_put(Scope.BLOCK)
+        ratio = (thread - cm.nvshmem_put_latency_us) / (block - cm.nvshmem_put_latency_us)
+        assert ratio == pytest.approx(1 / cm.put_thread_bw_fraction, rel=0.1)
+
+    def test_nbi_same_delivery_time_as_blocking_for_one_put(self):
+        # a single put followed by quiet completes when delivery completes
+        assert timed_put(Scope.BLOCK, nbi=True) == pytest.approx(
+            timed_put(Scope.BLOCK, nbi=False) + 1.4, rel=0.2  # + quiet cost
+        )
+
+
+class TestEdgeCases:
+    def test_put_to_self_uses_local_bandwidth(self):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        rt = NVSHMEMRuntime(ctx)
+        arr = rt.malloc("a", (8,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem(arr, slice(None), np.ones(8), dest_pe=0)
+
+        ctx.sim.spawn(pe0(), name="pe0")
+        total = ctx.run()
+        assert np.all(arr.local(0) == 1.0)
+        # HBM loopback is much faster than NVLink for the same bytes
+        assert total < timed_put(Scope.BLOCK, nbytes=64)
+
+    def test_zero_byte_put_is_cheap(self):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        rt = NVSHMEMRuntime(ctx)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.putmem(None, None, 0.0, dest_pe=1, nbytes=0)
+
+        ctx.sim.spawn(pe0(), name="pe0")
+        total = ctx.run()
+        assert total < 5.0
+
+    def test_signal_values_monotone_under_adds(self):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+        rt = NVSHMEMRuntime(ctx)
+        sig = rt.malloc_signals("s", 1)
+        from repro.nvshmem import SignalOp
+
+        def pe0():
+            dev = rt.device(0)
+            for _ in range(5):
+                yield from dev.signal_op(sig, 0, 1, dest_pe=1, op=SignalOp.ADD)
+            yield from dev.quiet()
+
+        ctx.sim.spawn(pe0(), name="pe0")
+        ctx.run()
+        assert sig.value(1, 0) == 5

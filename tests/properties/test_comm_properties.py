@@ -1,0 +1,126 @@
+"""Property-based tests for the MPI model and NVSHMEM protocols."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime, WaitCond
+from repro.runtime import Communicator, MultiGPUContext
+
+
+class TestMPIProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_message_payloads_arrive_intact(self, payload):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        comm = Communicator(ctx)
+        data = np.array(payload)
+        out = np.zeros_like(data)
+
+        def sender():
+            yield from comm.send(0, data, dest=1)
+
+        def receiver():
+            yield from comm.recv(1, out, source=0)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        np.testing.assert_array_equal(out, data)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_per_tag_fifo_ordering(self, tags):
+        """Messages with the same tag arrive in posted order, whatever
+        the tag interleaving."""
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        comm = Communicator(ctx)
+        received: dict[int, list[float]] = {t: [] for t in set(tags)}
+
+        def sender():
+            reqs = []
+            for i, tag in enumerate(tags):
+                req = yield from comm.isend(0, np.array([float(i)]), 1, tag)
+                reqs.append(req)
+            yield from comm.waitall(0, reqs)
+
+        def receiver():
+            reqs = []
+            outs = []
+            for tag in tags:
+                out = np.zeros(1)
+                req = yield from comm.irecv(1, out, 0, tag)
+                outs.append((tag, out))
+                reqs.append(req)
+            yield from comm.waitall(1, reqs)
+            for tag, out in outs:
+                received[tag].append(out[0])
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        for tag, values in received.items():
+            expected = [float(i) for i, t in enumerate(tags) if t == tag]
+            assert values == expected
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_equals_rank_ordered_sum(self, ranks, values):
+        ranks = min(ranks, len(values))
+        values = values[:ranks]
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks))
+        comm = Communicator(ctx)
+        results = {}
+
+        def proc(rank):
+            total = yield from comm.allreduce(rank, values[rank])
+            results[rank] = total
+
+        for rank in range(ranks):
+            ctx.sim.spawn(proc(rank), name=f"r{rank}")
+        ctx.run()
+        expected = 0.0
+        for v in values:
+            expected += v
+        assert all(results[r] == expected for r in range(ranks))
+
+
+class TestNVSHMEMProperties:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_ring_signal_chain_no_stale_reads(self, iterations, pes):
+        """A ring of PEs forwarding a counter via putmem_signal never
+        observes a value from the wrong iteration."""
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(pes))
+        rt = NVSHMEMRuntime(ctx)
+        cell = rt.malloc("cell", (1,), fill=0.0)
+        sig = rt.malloc_signals("sig", 1)
+        violations = []
+
+        def pe(me):
+            dev = rt.device(me)
+            nxt = (me + 1) % pes
+            for it in range(1, iterations + 1):
+                if me == 0:
+                    value = float(it * 1000)
+                    yield from dev.putmem_signal_nbi(
+                        cell, 0, value, sig, 0, it, dest_pe=nxt)
+                    if it < iterations:
+                        yield from dev.signal_wait_until(sig, 0, WaitCond.GE, it)
+                else:
+                    yield from dev.signal_wait_until(sig, 0, WaitCond.GE, it)
+                    got = cell.local(me)[0]
+                    if got != it * 1000:
+                        violations.append((me, it, got))
+                    yield from dev.putmem_signal_nbi(
+                        cell, 0, got, sig, 0, it, dest_pe=nxt)
+
+        for me in range(pes):
+            ctx.sim.spawn(pe(me), name=f"pe{me}")
+        ctx.run()
+        assert violations == []

@@ -1,0 +1,118 @@
+"""Fuzzing the compiler: random restricted-Python programs must parse,
+validate, serialize round-trip, and execute exactly like NumPy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg import Sym, program, validate
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.frontend import float64, int32  # noqa: F401 - used via namespace
+from repro.sdfg.serialize import sdfg_from_json, sdfg_to_json
+from repro.sim import Tracer
+
+N = Sym("N")
+
+TERMS = ["A[:-2]", "A[1:-1]", "A[2:]", "B[:-2]", "B[1:-1]", "B[2:]"]
+OPS = [" + ", " - ", " * "]
+CONSTANTS = ["0.5", "2.0", "1.0", "0.25"]
+
+term = st.sampled_from(TERMS)
+op = st.sampled_from(OPS)
+const = st.sampled_from(CONSTANTS)
+
+# an expression: term (op term){0..2} (op const)?
+expression = st.tuples(
+    term,
+    st.lists(st.tuples(op, term), max_size=2),
+    st.one_of(st.none(), st.tuples(op, const)),
+).map(lambda t: "(" + t[0] + "".join(o + x for o, x in t[1])
+      + (t[2][0] + t[2][1] if t[2] else "") + ")")
+
+# a statement: <target>[1:-1] = expr  or augmented assignment
+statement = st.tuples(
+    st.sampled_from(["A", "B"]),
+    st.sampled_from([" = ", " += ", " *= "]),
+    expression,
+).map(lambda t: f"{t[0]}[1:-1]{t[1]}{t[2]}")
+
+programs = st.lists(statement, min_size=1, max_size=5)
+
+
+def build_program(statements):
+    import linecache
+
+    body = "\n".join(f"        {s}" for s in statements)
+    source = (
+        "@program\n"
+        "def fuzzed(A: float64[N], B: float64[N], TSTEPS: int32):\n"
+        "    for t in range(1, TSTEPS):\n"
+        f"{body}\n"
+    )
+    # register the synthetic source so inspect.getsource works
+    filename = f"<fuzz-{abs(hash(source))}>"
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+    namespace = {"program": program, "float64": float64, "int32": int32, "N": N}
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - test oracle
+    return namespace["fuzzed"]
+
+
+def numpy_oracle(statements, a0, b0, tsteps):
+    A, B = np.array(a0), np.array(b0)
+    for _ in range(1, tsteps):
+        for s in statements:
+            exec(s, {}, {"A": A, "B": B})  # noqa: S102 - test oracle
+    return A, B
+
+
+@given(programs, st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_fuzzed_program_matches_numpy(statements, tsteps, seed):
+    prog = build_program(statements)
+    sdfg = prog.to_sdfg()
+    validate(sdfg)
+
+    rng = np.random.default_rng(seed)
+    n = 10
+    a0, b0 = rng.random(n), rng.random(n)
+
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(1), tracer=Tracer())
+    report = SDFGExecutor(sdfg, ctx).run(
+        [{"A": np.array(a0), "B": np.array(b0), "N": n, "TSTEPS": tsteps}]
+    )
+    expected_a, expected_b = numpy_oracle(statements, a0, b0, tsteps)
+    np.testing.assert_array_equal(report.arrays[0]["A"], expected_a)
+    np.testing.assert_array_equal(report.arrays[0]["B"], expected_b)
+
+
+@given(programs)
+@settings(max_examples=40, deadline=None)
+def test_fuzzed_program_serialization_roundtrip(statements):
+    sdfg = build_program(statements).to_sdfg()
+    restored = sdfg_from_json(sdfg_to_json(sdfg))
+    validate(restored)
+    assert sdfg_to_json(restored) == sdfg_to_json(sdfg)
+
+
+@given(programs, st.integers(min_value=2, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_fuzzed_program_runs_after_roundtrip(statements, tsteps):
+    sdfg = build_program(statements).to_sdfg()
+    restored = sdfg_from_json(sdfg_to_json(sdfg))
+    n = 8
+    a0 = np.arange(float(n))
+    b0 = np.ones(n)
+    results = []
+    for candidate in (sdfg, restored):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(1), tracer=Tracer())
+        report = SDFGExecutor(candidate, ctx).run(
+            [{"A": np.array(a0), "B": np.array(b0), "N": n, "TSTEPS": tsteps}]
+        )
+        results.append((report.arrays[0]["A"], report.arrays[0]["B"]))
+    np.testing.assert_array_equal(results[0][0], results[1][0])
+    np.testing.assert_array_equal(results[0][1], results[1][1])

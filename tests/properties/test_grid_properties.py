@@ -1,0 +1,111 @@
+"""Property-based tests for decomposition and the TB-split formula."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import plan_blocks
+from repro.stencil import (
+    SlabDecomposition,
+    gather_slabs,
+    scatter_slabs,
+    slab_partition,
+)
+from repro.stencil.grid import best_process_grid, wide_process_grid
+
+
+class TestPartitionProperties:
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=1, max_value=64))
+    def test_partition_covers_exactly(self, n, parts):
+        if n < parts:
+            with pytest.raises(ValueError):
+                slab_partition(n, parts)
+            return
+        ranges = slab_partition(n, parts)
+        assert len(ranges) == parts
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_process_grids_factorize(self, p):
+        for fn in (best_process_grid, wide_process_grid):
+            py, px = fn(p)
+            assert py * px == p
+        by, bx = best_process_grid(p)
+        wy, wx = wide_process_grid(p)
+        assert by >= bx and wy <= wx
+
+
+class TestScatterGatherRoundtrip:
+    @given(
+        rows=st.integers(min_value=3, max_value=40),
+        cols=st.integers(min_value=3, max_value=20),
+        ranks=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_identity_2d(self, rows, cols, ranks, seed):
+        shape = (rows + 2, cols)
+        if rows < 3 * ranks:
+            return  # decomposition rejects this; covered by unit tests
+        rng = np.random.default_rng(seed)
+        grid = rng.random(shape)
+        decomp = SlabDecomposition(shape, ranks)
+        out = gather_slabs(scatter_slabs(grid, decomp), decomp, grid)
+        assert np.array_equal(out, grid)
+
+    @given(
+        rows=st.integers(min_value=6, max_value=30),
+        ranks=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interior_accounting_consistent(self, rows, ranks):
+        shape = (rows + 2, 10)
+        if rows < 3 * ranks:
+            return
+        decomp = SlabDecomposition(shape, ranks)
+        total = sum(decomp.interior_elements(r) for r in range(ranks))
+        assert total == rows * 8
+        for r in range(ranks):
+            assert decomp.inner_elements(r) == (
+                decomp.interior_elements(r) - 2 * decomp.row_elements
+            )
+
+
+class TestSpecializationProperties:
+    @given(
+        tb_total=st.integers(min_value=3, max_value=1024),
+        inner=st.integers(min_value=0, max_value=10**8),
+        boundary=st.integers(min_value=0, max_value=10**6),
+        sides=st.sampled_from([0, 2, 4]),
+    )
+    @settings(max_examples=200)
+    def test_plan_invariants(self, tb_total, inner, boundary, sides):
+        try:
+            plan = plan_blocks(tb_total, inner, boundary, sides=sides)
+        except ValueError:
+            return  # infeasible configurations must raise, not mis-plan
+        # block conservation
+        assert plan.inner_tb + plan.boundary_tb_total == tb_total
+        assert plan.inner_tb >= 1
+        # fractions form a partition of the device
+        total_fraction = plan.inner_fraction + plan.sides * plan.boundary_fraction_per_side
+        assert total_fraction == pytest.approx(1.0)
+        # communication capability whenever there is a boundary
+        if sides and boundary:
+            assert plan.boundary_tb_per_side >= 1
+
+    @given(
+        tb_total=st.integers(min_value=16, max_value=512),
+        inner=st.integers(min_value=1000, max_value=10**7),
+    )
+    @settings(max_examples=100)
+    def test_boundary_blocks_monotone_in_boundary_size(self, tb_total, inner):
+        small = plan_blocks(tb_total, inner, max(1, inner // 100))
+        large = plan_blocks(tb_total, inner, inner // 2)
+        assert large.boundary_tb_per_side >= small.boundary_tb_per_side

@@ -1,0 +1,114 @@
+"""Property-based tests for memlets, symbols, and the cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hw import DEFAULT_COST_MODEL
+from repro.sdfg import AccessKind, Memlet, Sym, evaluate_expr
+from repro.sdfg.symbols import expr_to_str
+
+
+# -- symbolic expressions -------------------------------------------------------
+
+exprs = st.deferred(lambda: st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.just(Sym("N")),
+    st.tuples(exprs, exprs).map(lambda p: p[0] + p[1]),
+    st.tuples(exprs, exprs).map(lambda p: p[0] - p[1]),
+    st.tuples(exprs, exprs).map(lambda p: p[0] * p[1]),
+))
+
+
+class TestSymbolProperties:
+    @given(exprs, st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=200)
+    def test_evaluation_matches_python_eval_of_rendering(self, expr, n):
+        rendered = expr_to_str(expr)
+        expected = eval(rendered, {"N": n})  # noqa: S307 - test oracle
+        assert evaluate_expr(expr, {"N": n}) == expected
+
+
+# -- memlets -----------------------------------------------------------------------
+
+def subset_strategy(shape):
+    dims = []
+    for size in shape:
+        dims.append(st.one_of(
+            st.integers(min_value=0, max_value=size - 1),  # point
+            st.tuples(
+                st.integers(min_value=0, max_value=size - 1),
+                st.integers(min_value=1, max_value=size),
+            ).map(lambda p, s=size: slice(min(p[0], p[1] - 1), max(p[0] + 1, p[1]))),
+        ))
+    return st.tuples(*dims)
+
+
+shapes = st.lists(st.integers(min_value=2, max_value=12),
+                  min_size=1, max_size=3).map(tuple)
+
+
+class TestMemletProperties:
+    @given(shapes.flatmap(lambda s: st.tuples(st.just(s), subset_strategy(s))))
+    @settings(max_examples=200)
+    def test_volume_matches_numpy_selection(self, case):
+        shape, subset = case
+        memlet = Memlet.from_slices("A", subset)
+        arr = np.zeros(shape)
+        selected = np.asarray(arr[memlet.resolve(shape, {})])
+        assert memlet.volume(shape, {}) == selected.size
+
+    @given(shapes.flatmap(lambda s: st.tuples(st.just(s), subset_strategy(s))))
+    @settings(max_examples=200)
+    def test_access_kind_consistent_with_volume_and_contiguity(self, case):
+        shape, subset = case
+        memlet = Memlet.from_slices("A", subset)
+        kind = memlet.access_kind(shape, {})
+        volume = memlet.volume(shape, {})
+        if volume == 1:
+            assert kind is AccessKind.SCALAR
+        else:
+            assert kind in (AccessKind.CONTIGUOUS, AccessKind.STRIDED)
+            # oracle: a selection is contiguous iff the strided view of a
+            # C-ordered array covers one contiguous byte range
+            arr = np.arange(int(np.prod(shape))).reshape(shape)
+            view = np.asarray(arr[memlet.resolve(shape, {})])
+            flat = view.reshape(-1)
+            is_contig = bool(np.all(np.diff(arr.flatten()[
+                np.searchsorted(arr.flatten(), flat)]) == 1)) and (
+                flat.max() - flat.min() + 1 == flat.size)
+            assert (kind is AccessKind.CONTIGUOUS) == is_contig
+
+
+# -- cost model -------------------------------------------------------------------------
+
+class TestCostModelProperties:
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**9))
+    def test_transfer_monotone_in_bytes(self, a, b):
+        small, large = sorted((a, b))
+        cm = DEFAULT_COST_MODEL
+        assert cm.transfer_us(small, 300.0) <= cm.transfer_us(large, 300.0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_tiling_factor_bounded_and_monotone(self, elements, threads):
+        cm = DEFAULT_COST_MODEL
+        factor = cm.tiling_factor(elements, threads)
+        assert 1.0 <= factor <= 1.0 + cm.tiling_penalty
+        bigger = cm.tiling_factor(elements * 2, threads)
+        assert bigger >= factor
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_barrier_monotone_in_ranks(self, p):
+        cm = DEFAULT_COST_MODEL
+        assert cm.mpi_barrier_us(p + 1) > cm.mpi_barrier_us(p) or p == 0
+
+    @given(st.integers(min_value=0, max_value=10**8),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_perks_residency_never_slows_down(self, elements, residency):
+        cm = DEFAULT_COST_MODEL
+        base = cm.compute_time_us(elements, 2039.0)
+        cached = cm.compute_time_us(elements, 2039.0, perks_residency=residency)
+        assert cached <= base + 1e-9

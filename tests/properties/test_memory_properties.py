@@ -1,0 +1,89 @@
+"""Property tests for memory accounting and the symmetric heap."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import MemoryManager, Storage
+from repro.nvshmem import NVSHMEMRuntime
+from repro.runtime import MultiGPUContext
+from repro.hw import HGX_A100_8GPU
+
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(min_value=1, max_value=1000),  # elements
+    ),
+    max_size=40,
+)
+
+
+class TestMemoryAccounting:
+    @given(actions)
+    @settings(max_examples=60, deadline=None)
+    def test_used_bytes_always_consistent(self, ops):
+        mm = MemoryManager(num_gpus=1)
+        live = []
+        expected = 0
+        for kind, n in ops:
+            if kind == "alloc":
+                buf = mm.alloc(0, f"b{len(live)}", (n,), dtype=np.float64)
+                live.append(buf)
+                expected += n * 8
+            elif live:
+                buf = live.pop()
+                mm.free(buf)
+                expected -= buf.nbytes
+            assert mm.used_bytes(0) == expected
+        assert mm.used_bytes(0) == sum(b.nbytes for b in live)
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, elements, count):
+        capacity = 2000  # bytes
+        mm = MemoryManager(num_gpus=1, capacity_bytes=capacity)
+        allocated = 0
+        for i in range(count):
+            try:
+                buf = mm.alloc(0, f"b{i}", (elements,))
+            except MemoryError:
+                break
+            allocated += buf.nbytes
+        assert allocated <= capacity
+        assert mm.used_bytes(0) == allocated
+
+
+class TestSymmetricHeapProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=64),
+                              st.integers(min_value=1, max_value=32)),
+                    min_size=1, max_size=10, unique_by=lambda t: t))
+    @settings(max_examples=30, deadline=None)
+    def test_collective_allocation_balances_all_pes(self, shapes):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(4))
+        rt = NVSHMEMRuntime(ctx)
+        for i, shape in enumerate(shapes):
+            rt.malloc(f"arr{i}", shape)
+        used = [ctx.memory.used_bytes(pe) for pe in range(4)]
+        assert len(set(used)) == 1  # symmetric: identical on every PE
+        assert used[0] == sum(a * b * 8 for a, b in shapes)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_free_restores_balance(self, n_arrays):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(3))
+        rt = NVSHMEMRuntime(ctx)
+        arrays = [rt.malloc(f"a{i}", (16,)) for i in range(n_arrays)]
+        for arr in arrays:
+            rt.heap.free(arr)
+        assert all(ctx.memory.used_bytes(pe) == 0 for pe in range(3))
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_symmetric_buffers_remotely_accessible(self, accessor):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(4))
+        rt = NVSHMEMRuntime(ctx)
+        arr = rt.malloc("a", (4,))
+        for pe in range(4):
+            ctx.memory.check_peer_access(accessor, arr.on(pe))  # no raise

@@ -1,0 +1,91 @@
+"""Tests for the host MPI_Allreduce model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import DEFAULT_COST_MODEL, HGX_A100_8GPU
+from repro.runtime import Communicator, MultiGPUContext
+from repro.sim import Delay, Tracer
+
+
+@pytest.fixture
+def ctx():
+    return MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer())
+
+
+def run_allreduce(ctx, values_per_rank):
+    comm = Communicator(ctx)
+    results = {}
+
+    def rank_proc(rank, values):
+        for value in values:
+            total = yield from comm.allreduce(rank, value)
+            results.setdefault(rank, []).append(total)
+
+    for rank, values in enumerate(values_per_rank):
+        ctx.sim.spawn(rank_proc(rank, values), name=f"r{rank}")
+    ctx.run()
+    return results
+
+
+def test_allreduce_sums_across_ranks(ctx):
+    results = run_allreduce(ctx, [[1.0], [2.0], [3.0], [4.0]])
+    for rank in range(4):
+        assert results[rank] == [10.0]
+
+
+def test_allreduce_multiple_rounds_kept_separate(ctx):
+    results = run_allreduce(ctx, [[1.0, 10.0], [2.0, 20.0], [3.0, 30.0], [4.0, 40.0]])
+    for rank in range(4):
+        assert results[rank] == [10.0, 100.0]
+
+
+def test_allreduce_deterministic_sum_order(ctx):
+    """Floating-point summation happens in rank order on every rank —
+    all ranks get the *same* bits."""
+    values = [0.1, 1e16, -1e16, 0.2]  # order-sensitive sum
+    results = run_allreduce(ctx, [[v] for v in values])
+    unique = {results[r][0] for r in range(4)}
+    assert len(unique) == 1
+    expected = ((0.1 + 1e16) + -1e16) + 0.2
+    assert results[0][0] == expected
+
+
+def test_allreduce_charges_latency(ctx):
+    run_allreduce(ctx, [[1.0]] * 4)
+    assert ctx.sim.now >= DEFAULT_COST_MODEL.mpi_allreduce_us(4)
+
+
+def test_allreduce_waits_for_slowest_rank(ctx):
+    comm = Communicator(ctx)
+    times = {}
+
+    def rank_proc(rank, delay):
+        yield Delay(delay)
+        yield from comm.allreduce(rank, 1.0)
+        times[rank] = ctx.sim.now
+
+    for rank in range(4):
+        ctx.sim.spawn(rank_proc(rank, float(rank * 10)), name=f"r{rank}")
+    ctx.run()
+    assert len(set(times.values())) == 1
+    assert times[0] >= 30.0
+
+
+def test_allreduce_cost_model():
+    cm = DEFAULT_COST_MODEL
+    assert cm.mpi_allreduce_us(1) == 0.0
+    assert cm.mpi_allreduce_us(2) == pytest.approx(2 * cm.mpi_message_latency_us)
+    assert cm.mpi_allreduce_us(8) == pytest.approx(6 * cm.mpi_message_latency_us)
+    assert cm.mpi_allreduce_us(8) > cm.mpi_allreduce_us(4)
+
+
+def test_allreduce_invalid_rank(ctx):
+    comm = Communicator(ctx)
+
+    def bad():
+        yield from comm.allreduce(9, 1.0)
+
+    ctx.sim.spawn(bad(), name="bad")
+    with pytest.raises(ValueError):
+        ctx.run()

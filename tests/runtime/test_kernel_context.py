@@ -1,0 +1,91 @@
+"""Tests for KernelSpec and DeviceKernelContext details."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.runtime.kernel import DeviceKernelContext, KernelSpec
+from repro.sim import Tracer
+
+
+@pytest.fixture
+def ctx():
+    return MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+
+
+def run_kernel(ctx, body, blocks=4):
+    host = ctx.host(0)
+    stream = ctx.stream(0)
+
+    def host_proc():
+        ev = yield from host.launch(stream, KernelSpec("k", blocks=blocks), body)
+        yield from host.event_sync(ev)
+
+    ctx.sim.spawn(host_proc(), name="host")
+    return ctx.run()
+
+
+class TestKernelSpec:
+    def test_threads_property(self):
+        spec = KernelSpec("k", blocks=4, threads_per_block=256)
+        assert spec.threads == 1024
+
+    def test_defaults(self):
+        spec = KernelSpec("k", blocks=1)
+        assert spec.threads_per_block == 1024
+        assert not spec.cooperative
+
+
+class TestDeviceContext:
+    def test_busy_traces_category(self, ctx):
+        def body(dev):
+            yield from dev.busy(7.0, "warmup", "compute")
+            yield from dev.busy(2.0, "exchange", "comm")
+
+        run_kernel(ctx, body)
+        assert ctx.tracer.total("compute") == pytest.approx(7.0)
+        assert ctx.tracer.total("comm") == pytest.approx(2.0)
+
+    def test_compute_charges_roofline_time(self, ctx):
+        elements = 1_000_000
+        expected = ctx.cost.compute_time_us(
+            elements, ctx.node.gpu.hbm_bandwidth_gbps
+        )
+
+        def body(dev):
+            yield from dev.compute(elements)
+
+        total = run_kernel(ctx, body)
+        launch = ctx.cost.kernel_launch_us
+        assert total >= launch + expected
+
+    def test_compute_with_fraction(self, ctx):
+        def body_full(dev):
+            yield from dev.compute(10**6, fraction_of_device=1.0)
+
+        t_full = run_kernel(ctx, body_full)
+
+        ctx2 = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+
+        def body_half(dev):
+            yield from dev.compute(10**6, fraction_of_device=0.5)
+
+        t_half = run_kernel(ctx2, body_half)
+        assert t_half > t_full
+
+    def test_zero_elements_compute_free(self, ctx):
+        def body(dev):
+            yield from dev.compute(0)
+
+        total = run_kernel(ctx, body)
+        # only launch + event overheads
+        assert total < ctx.cost.kernel_launch_us + ctx.cost.event_sync_us + 1.0
+
+    def test_lane_matches_stream(self, ctx):
+        def body(dev):
+            yield from dev.busy(1.0, "w", "compute")
+
+        run_kernel(ctx, body)
+        spans = ctx.tracer.spans_in("compute")
+        assert spans[0].lane == "gpu0.default"

@@ -1,0 +1,237 @@
+"""Tests for the host-side MPI model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import Communicator, HostBarrier, MultiGPUContext, VectorType
+from repro.sim import Delay, Simulator, Tracer
+
+
+@pytest.fixture
+def ctx():
+    return MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer())
+
+
+@pytest.fixture
+def comm(ctx):
+    return Communicator(ctx)
+
+
+class TestPointToPoint:
+    def test_blocking_send_recv(self, ctx, comm):
+        out = np.zeros(4)
+
+        def sender():
+            yield from comm.send(0, np.arange(4.0), dest=1, tag=7)
+
+        def receiver():
+            yield from comm.recv(1, out, source=0, tag=7)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        assert np.all(out == np.arange(4.0))
+
+    def test_isend_snapshot_semantics(self, ctx, comm):
+        """The send buffer is captured at Isend time, as with a
+        completed MPI send — later mutation must not leak through."""
+        data = np.ones(4)
+        out = np.zeros(4)
+
+        def sender():
+            req = yield from comm.isend(0, data, dest=1)
+            data[:] = 99.0
+            yield from comm.wait(0, req)
+
+        def receiver():
+            yield from comm.recv(1, out, source=0)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        assert np.all(out == 1.0)
+
+    def test_tag_matching(self, ctx, comm):
+        out_a, out_b = np.zeros(1), np.zeros(1)
+
+        def sender():
+            r1 = yield from comm.isend(0, np.array([1.0]), dest=1, tag=1)
+            r2 = yield from comm.isend(0, np.array([2.0]), dest=1, tag=2)
+            yield from comm.waitall(0, [r1, r2])
+
+        def receiver():
+            # Receive in the opposite tag order.
+            yield from comm.recv(1, out_b, source=0, tag=2)
+            yield from comm.recv(1, out_a, source=0, tag=1)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        assert out_a[0] == 1.0 and out_b[0] == 2.0
+
+    def test_message_order_preserved_same_tag(self, ctx, comm):
+        outs = [np.zeros(1) for _ in range(3)]
+
+        def sender():
+            for i in range(3):
+                yield from comm.send(0, np.array([float(i)]), dest=1, tag=0)
+
+        def receiver():
+            for out in outs:
+                yield from comm.recv(1, out, source=0, tag=0)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        ctx.run()
+        assert [o[0] for o in outs] == [0.0, 1.0, 2.0]
+
+    def test_waitall(self, ctx, comm):
+        out1, out2 = np.zeros(2), np.zeros(2)
+
+        def rank0():
+            r1 = yield from comm.isend(0, np.full(2, 5.0), dest=1, tag=1)
+            r2 = yield from comm.isend(0, np.full(2, 6.0), dest=1, tag=2)
+            yield from comm.waitall(0, [r1, r2])
+
+        def rank1():
+            r1 = yield from comm.irecv(1, out1, source=0, tag=1)
+            r2 = yield from comm.irecv(1, out2, source=0, tag=2)
+            yield from comm.waitall(1, [r1, r2])
+
+        ctx.sim.spawn(rank0(), name="r0")
+        ctx.sim.spawn(rank1(), name="r1")
+        ctx.run()
+        assert np.all(out1 == 5.0) and np.all(out2 == 6.0)
+
+    def test_timing_only_recv(self, ctx, comm):
+        def sender():
+            yield from comm.send(0, np.zeros(1000), dest=1)
+
+        def receiver():
+            yield from comm.recv(1, None, source=0, nbytes=8000)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        total = ctx.run()
+        assert total >= ctx.cost.mpi_message_latency_us
+
+    def test_invalid_rank_rejected(self, ctx, comm):
+        def bad():
+            yield from comm.send(0, np.zeros(1), dest=9)
+
+        ctx.sim.spawn(bad(), name="bad")
+        with pytest.raises(ValueError):
+            ctx.run()
+
+    def test_message_charges_latency(self, ctx, comm):
+        def sender():
+            yield from comm.send(0, np.zeros(1), dest=1)
+
+        def receiver():
+            yield from comm.recv(1, np.zeros(1), source=0)
+
+        ctx.sim.spawn(sender(), name="s")
+        ctx.sim.spawn(receiver(), name="r")
+        total = ctx.run()
+        assert total >= ctx.cost.mpi_message_latency_us
+
+
+class TestVectorDatatype:
+    def test_vector_type_validation(self):
+        with pytest.raises(ValueError):
+            VectorType(count=0, blocklength=1, stride=1)
+        with pytest.raises(ValueError):
+            VectorType(count=2, blocklength=4, stride=2)
+
+    def test_vector_elements(self):
+        vt = VectorType(count=10, blocklength=2, stride=100)
+        assert vt.elements == 20
+
+    def test_strided_message_slower_than_contiguous(self, ctx):
+        def run(datatype):
+            local = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+            c = Communicator(local)
+            payload = np.zeros(10_000)
+
+            def sender():
+                yield from c.send(0, payload, dest=1, datatype=datatype)
+
+            def receiver():
+                yield from c.recv(1, np.zeros(10_000), source=0, datatype=datatype)
+
+            local.sim.spawn(sender(), name="s")
+            local.sim.spawn(receiver(), name="r")
+            return local.run()
+
+        contiguous = run(None)
+        strided = run(VectorType(count=100, blocklength=100, stride=10_000))
+        assert strided > contiguous
+
+
+class TestBarrier:
+    def test_host_barrier_releases_all_at_once(self):
+        sim = Simulator()
+        barrier = HostBarrier(sim, parties=3, cost_us=0.0)
+        times = []
+
+        def worker(delay):
+            yield Delay(delay)
+            yield from barrier.wait()
+            times.append(sim.now)
+
+        for d in (1.0, 5.0, 9.0):
+            sim.spawn(worker(d))
+        sim.run()
+        assert times == [9.0, 9.0, 9.0]
+
+    def test_host_barrier_reusable_across_rounds(self):
+        sim = Simulator()
+        barrier = HostBarrier(sim, parties=2, cost_us=0.0)
+        log = []
+
+        def worker(name, d1, d2):
+            yield Delay(d1)
+            yield from barrier.wait()
+            log.append((name, 1, sim.now))
+            yield Delay(d2)
+            yield from barrier.wait()
+            log.append((name, 2, sim.now))
+
+        sim.spawn(worker("a", 1.0, 10.0))
+        sim.spawn(worker("b", 3.0, 1.0))
+        sim.run()
+        rounds = {}
+        for name, r, t in log:
+            rounds.setdefault(r, []).append(t)
+        assert rounds[1] == [3.0, 3.0]
+        assert rounds[2] == [13.0, 13.0]
+
+    def test_barrier_cost_charged(self):
+        sim = Simulator()
+        barrier = HostBarrier(sim, parties=2, cost_us=5.0)
+
+        def worker():
+            yield from barrier.wait()
+
+        sim.spawn(worker())
+        sim.spawn(worker())
+        assert sim.run() == 5.0
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            HostBarrier(Simulator(), parties=0, cost_us=0.0)
+
+    def test_mpi_barrier_across_ranks(self, ctx, comm):
+        times = []
+
+        def rank(r, delay):
+            yield Delay(delay)
+            yield from comm.barrier(r)
+            times.append(ctx.sim.now)
+
+        for r in range(4):
+            ctx.sim.spawn(rank(r, float(r)), name=f"rank{r}")
+        ctx.run()
+        assert len(set(times)) == 1  # all released together
+        assert times[0] >= 3.0 + ctx.cost.mpi_barrier_us(4)

@@ -1,0 +1,138 @@
+"""Tests for streams and events."""
+
+import pytest
+
+from repro.sim import Delay, Simulator
+from repro.runtime.stream import Event, Stream
+
+
+def make_stream():
+    sim = Simulator()
+    return sim, Stream(sim, device=0, name="s")
+
+
+def test_new_stream_is_idle():
+    _, stream = make_stream()
+    assert stream.idle
+
+
+def test_items_run_in_fifo_order():
+    sim, stream = make_stream()
+    order = []
+
+    def item(name, dt):
+        def work():
+            yield Delay(dt)
+            order.append((name, sim.now))
+        return work
+
+    stream.enqueue(item("a", 5.0))
+    stream.enqueue(item("b", 1.0))  # shorter, but must run after a
+    sim.run()
+    assert order == [("a", 5.0), ("b", 6.0)]
+
+
+def test_distinct_streams_run_concurrently():
+    sim = Simulator()
+    s1 = Stream(sim, 0, "s1")
+    s2 = Stream(sim, 0, "s2")
+    done = []
+
+    def work(name, dt):
+        def body():
+            yield Delay(dt)
+            done.append((name, sim.now))
+        return body
+
+    s1.enqueue(work("a", 5.0))
+    s2.enqueue(work("b", 5.0))
+    sim.run()
+    # both finish at t=5: true concurrency, not serialization
+    assert done == [("a", 5.0), ("b", 5.0)]
+
+
+def test_enqueue_delay():
+    sim, stream = make_stream()
+    stream.enqueue_delay(3.0)
+    stream.enqueue_delay(4.0)
+    assert sim.run() == 7.0
+    assert stream.idle
+
+
+def test_event_completes_with_work():
+    sim, stream = make_stream()
+    ev = stream.enqueue_delay(5.0)
+    assert not ev.complete
+    sim.run()
+    assert ev.complete
+
+
+def test_record_event_marks_prior_work():
+    sim, stream = make_stream()
+    stream.enqueue_delay(5.0)
+    ev = stream.record_event("marker")
+    woke = []
+
+    def waiter():
+        yield from ev.wait()
+        woke.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert woke == [5.0]
+
+
+def test_record_event_on_idle_stream_already_complete():
+    _, stream = make_stream()
+    ev = stream.record_event()
+    assert ev.complete
+
+
+def test_wait_event_cross_stream_dependency():
+    sim = Simulator()
+    producer = Stream(sim, 0, "prod")
+    consumer = Stream(sim, 1, "cons")
+    log = []
+
+    producer.enqueue_delay(10.0, name="produce")
+    ev = producer.record_event("produced")
+    consumer.wait_event(ev)
+
+    def consume():
+        yield Delay(1.0)
+        log.append(sim.now)
+
+    consumer.enqueue(consume, name="consume")
+    sim.run()
+    assert log == [11.0]
+
+
+def test_drained_waits_for_all_items():
+    sim, stream = make_stream()
+    stream.enqueue_delay(2.0)
+    stream.enqueue_delay(3.0)
+    t = []
+
+    def host():
+        yield from stream.drained()
+        t.append(sim.now)
+
+    sim.spawn(host())
+    sim.run()
+    assert t == [5.0]
+
+
+def test_drained_captures_tail_at_call_time():
+    """Work enqueued *after* drained() starts should not extend the wait."""
+    sim, stream = make_stream()
+    stream.enqueue_delay(2.0)
+    t = []
+
+    def host():
+        yield from stream.drained()
+        t.append(sim.now)
+        stream.enqueue_delay(10.0)
+
+    sim.spawn(host())
+    sim.run()
+    assert t == [2.0]

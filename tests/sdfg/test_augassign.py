@@ -1,0 +1,69 @@
+"""Tests for augmented-assignment desugaring in the frontend."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg import Sym, program, validate
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.frontend import FrontendError, float64, int32
+from repro.sim import Tracer
+
+N = Sym("N")
+
+
+def run_single(sdfg, args):
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(1), tracer=Tracer())
+    return SDFGExecutor(sdfg, ctx).run([args])
+
+
+def test_plus_equals_desugars_and_executes():
+    @program
+    def f(A: float64[N], TSTEPS: int32):
+        for t in range(1, TSTEPS):
+            A[1:-1] += 2.0
+
+    sdfg = f.to_sdfg()
+    validate(sdfg)
+    report = run_single(sdfg, {"A": np.zeros(5), "N": 5, "TSTEPS": 4})
+    np.testing.assert_array_equal(report.arrays[0]["A"], [0, 6, 6, 6, 0])
+
+
+def test_times_equals():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] *= 3.0
+
+    report = run_single(f.to_sdfg(), {"A": np.ones(4), "N": 4})
+    np.testing.assert_array_equal(report.arrays[0]["A"], [1, 3, 3, 1])
+
+
+def test_minus_equals_with_array_rhs():
+    @program
+    def f(A: float64[N], B: float64[N]):
+        A[1:-1] -= B[1:-1]
+
+    report = run_single(
+        f.to_sdfg(), {"A": np.full(4, 5.0), "B": np.full(4, 2.0), "N": 4}
+    )
+    np.testing.assert_array_equal(report.arrays[0]["A"], [5, 3, 3, 5])
+
+
+def test_augassign_reads_include_target():
+    @program
+    def f(A: float64[N], B: float64[N]):
+        A[1:-1] += B[1:-1]
+
+    state = next(f.to_sdfg().walk_states())
+    assert state.reads() == {"A", "B"}
+    assert state.writes() == {"A"}
+
+
+def test_augassign_to_name_rejected():
+    @program
+    def f(A: float64[N], TSTEPS: int32):
+        TSTEPS += 1
+
+    with pytest.raises(FrontendError, match="subscript"):
+        f.to_sdfg()

@@ -1,0 +1,94 @@
+"""Extra codegen coverage: copy specialization, executor error paths."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg import Sym, program
+from repro.sdfg.codegen import SDFGExecutor, generate_cuda
+from repro.sdfg.frontend import float64, int32
+from repro.sdfg.transforms import gpu_persistent_kernel, gpu_transform
+from repro.sim import Tracer
+
+N = Sym("N")
+
+
+def test_in_kernel_copy_specialization_rendered():
+    """§5.1: array-to-array copies inside persistent kernels use the
+    GPU-thread parallel copy routine."""
+
+    @program
+    def copier(A: float64[N], B: float64[N], TSTEPS: int32):
+        for t in range(1, TSTEPS):
+            B[1:-1] = A[1:-1]
+
+    sdfg = copier.to_sdfg()
+    gpu_transform(sdfg)
+    gpu_persistent_kernel(sdfg)
+    code = generate_cuda(sdfg)
+    assert "device_parallel_copy" in code
+
+
+def test_non_copy_rendered_as_expression():
+    @program
+    def scaler(A: float64[N], B: float64[N], TSTEPS: int32):
+        for t in range(1, TSTEPS):
+            B[1:-1] = A[1:-1] * 2
+
+    sdfg = scaler.to_sdfg()
+    gpu_transform(sdfg)
+    gpu_persistent_kernel(sdfg)
+    code = generate_cuda(sdfg)
+    assert "device_parallel_copy" not in code
+    assert "A[1:-1] * 2" in code
+
+
+def test_executor_rejects_more_ranks_than_gpus():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] = A[1:-1]
+
+    sdfg = f.to_sdfg()
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+    executor = SDFGExecutor(sdfg, ctx)
+    args = [{"A": np.zeros(4), "N": 4} for _ in range(3)]
+    with pytest.raises(ValueError, match="more ranks"):
+        executor.run(args)
+
+
+def test_executor_loopless_program_single_iteration():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] = A[1:-1] + 1
+
+    sdfg = f.to_sdfg()
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(1), tracer=Tracer())
+    report = SDFGExecutor(sdfg, ctx).run([{"A": np.zeros(4), "N": 4}])
+    assert report.iterations == 1
+    np.testing.assert_array_equal(report.arrays[0]["A"], [0, 1, 1, 0])
+
+
+def test_executor_unbound_symbol_raises():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] = A[1:-1]
+
+    sdfg = f.to_sdfg()
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(1), tracer=Tracer())
+    with pytest.raises(KeyError, match="N"):
+        SDFGExecutor(sdfg, ctx, with_data=False).run([{}])
+
+
+def test_cuda_text_storage_allocation_styles():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] = A[1:-1]
+
+    host_code = generate_cuda(f.to_sdfg())
+    assert "malloc(" in host_code and "cudaMalloc" not in host_code
+
+    sdfg = f.to_sdfg()
+    gpu_transform(sdfg)
+    gpu_code = generate_cuda(sdfg)
+    assert "cudaMalloc" in gpu_code

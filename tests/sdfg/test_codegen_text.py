@@ -1,0 +1,91 @@
+"""Tests for the pseudo-CUDA text backend (thesis listings fidelity)."""
+
+import pytest
+
+from repro.sdfg.codegen import generate_cuda
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    CONJUGATES_2D,
+    baseline_pipeline,
+    build_jacobi_1d_sdfg,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_1d_code():
+    return generate_cuda(baseline_pipeline(build_jacobi_1d_sdfg()))
+
+
+@pytest.fixture(scope="module")
+def cpufree_1d_code():
+    return generate_cuda(cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D))
+
+
+@pytest.fixture(scope="module")
+def cpufree_2d_code():
+    return generate_cuda(cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D))
+
+
+class TestBaselineCode:
+    def test_host_controlled_structure(self, baseline_1d_code):
+        assert "cudaMalloc" in baseline_1d_code
+        assert "<<<" in baseline_1d_code  # discrete kernel launches
+        assert "for (int t = 1; t < TSTEPS; t++)" in baseline_1d_code
+
+    def test_mpi_calls_with_generated_syncs(self, baseline_1d_code):
+        """Fig 5.1: stream syncs and staging copies around MPI calls."""
+        assert "MPI_Isend" in baseline_1d_code
+        assert "MPI_Irecv" in baseline_1d_code
+        assert "MPI_Waitall" in baseline_1d_code
+        assert "cudaStreamSynchronize" in baseline_1d_code
+        assert "cudaMemcpy" in baseline_1d_code
+
+    def test_no_nvshmem_in_baseline(self, baseline_1d_code):
+        assert "nvshmem" not in baseline_1d_code
+
+    def test_2d_baseline_uses_vector_datatype(self):
+        code = generate_cuda(baseline_pipeline(build_jacobi_2d_sdfg()))
+        assert "vector_t" in code  # MPI_Type_vector for strided columns
+
+
+class TestCPUFreeCode:
+    def test_persistent_kernel_structure(self, cpufree_1d_code):
+        assert "__global__" in cpufree_1d_code
+        assert "cg::grid_group" in cpufree_1d_code
+        assert "cudaLaunchCooperativeKernel" in cpufree_1d_code
+        assert "for (int t = 1; t < TSTEPS; t++)" in cpufree_1d_code
+
+    def test_symmetric_allocation(self, cpufree_1d_code):
+        assert "nvshmem_malloc" in cpufree_1d_code
+
+    def test_no_host_mpi_left(self, cpufree_1d_code):
+        assert "MPI_" not in cpufree_1d_code
+        assert "cudaStreamSynchronize" not in cpufree_1d_code
+
+    def test_scalar_lowering_1d(self, cpufree_1d_code):
+        """Single-element halos lower to nvshmem_double_p + quiet +
+        signal_op (§5.3.1)."""
+        assert "nvshmem_double_p(" in cpufree_1d_code
+        assert "nvshmem_quiet()" in cpufree_1d_code
+        assert "nvshmemx_signal_op" in cpufree_1d_code
+
+    def test_wait_lowering(self, cpufree_1d_code):
+        assert "nvshmem_signal_wait_until" in cpufree_1d_code
+        assert "NVSHMEM_CMP_GE" in cpufree_1d_code
+
+    def test_single_thread_scheduling(self, cpufree_1d_code):
+        """§5.3.2: generated comm runs in one thread + grid sync."""
+        assert "threadIdx.x == 0 && blockIdx.x == 0" in cpufree_1d_code
+        assert "grid.sync()" in cpufree_1d_code
+
+    def test_2d_strided_lowering(self, cpufree_2d_code):
+        """Listing 5.6: strided views lower to iput + quiet + signal."""
+        assert "nvshmem_double_iput(" in cpufree_2d_code
+
+    def test_2d_contiguous_rows_use_putmem_signal(self, cpufree_2d_code):
+        assert "nvshmemx_putmem_signal_nbi_block(" in cpufree_2d_code
+
+    def test_generated_header_names_sdfg(self, cpufree_1d_code):
+        assert "jacobi_1d" in cpufree_1d_code

@@ -1,0 +1,95 @@
+"""Tests for SPMD decomposition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sdfg.distributed import GridDecomposition2D, SlabDecomposition1D
+from repro.sdfg.libnodes.mpi import MPI_PROC_NULL
+
+
+class TestSlab1D:
+    def test_rank_args_shapes(self):
+        d = SlabDecomposition1D(24, 3)
+        args = d.rank_args(np.zeros(26), tsteps=5)
+        assert len(args) == 3
+        for a in args:
+            assert a["A"].shape == (10,)  # 8 interior + 2 halos
+            assert a["N"] == 10
+            assert a["TSTEPS"] == 5
+
+    def test_edge_ranks_get_proc_null(self):
+        d = SlabDecomposition1D(24, 3)
+        args = d.rank_args(np.zeros(26), 2)
+        assert args[0]["nw"] == MPI_PROC_NULL and args[0]["ne"] == 1
+        assert args[1]["nw"] == 0 and args[1]["ne"] == 2
+        assert args[2]["nw"] == 1 and args[2]["ne"] == MPI_PROC_NULL
+
+    def test_halos_initialized_from_neighbors(self):
+        u0 = np.arange(26.0)
+        d = SlabDecomposition1D(24, 3)
+        args = d.rank_args(u0, 2)
+        # rank 1's left halo == last interior cell of rank 0's slab
+        assert args[1]["A"][0] == args[0]["A"][-2]
+
+    def test_gather_roundtrip(self):
+        u0 = np.arange(26.0)
+        d = SlabDecomposition1D(24, 3)
+        args = d.rank_args(u0, 2)
+        out = d.gather([{"A": a["A"]} for a in args], u0)
+        np.testing.assert_array_equal(out, u0)
+
+    def test_wrong_shape_rejected(self):
+        d = SlabDecomposition1D(24, 3)
+        with pytest.raises(ValueError):
+            d.rank_args(np.zeros(10), 2)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition1D(2, 3)
+
+
+class TestGrid2D:
+    def test_process_grids_wide_layout(self):
+        assert GridDecomposition2D(16, 16, 1).grid == (1, 1)
+        assert GridDecomposition2D(16, 16, 2).grid == (1, 2)
+        assert GridDecomposition2D(16, 16, 4).grid == (2, 2)
+        assert GridDecomposition2D(16, 16, 8).grid == (2, 4)
+
+    def test_neighbors_interior_rank(self):
+        d = GridDecomposition2D(16, 16, 4)  # 2x2
+        assert d.neighbors(0) == {
+            "nn": MPI_PROC_NULL, "ns": 2, "nw": MPI_PROC_NULL, "ne": 1
+        }
+        assert d.neighbors(3) == {
+            "nn": 1, "ns": MPI_PROC_NULL, "nw": 2, "ne": MPI_PROC_NULL
+        }
+
+    def test_rectangular_split_at_8(self):
+        d = GridDecomposition2D(16, 16, 8)  # 2x4 grid: tiles 8 rows x 4 cols
+        assert d.tile == (8, 4)
+
+    def test_indivisible_domain_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            GridDecomposition2D(15, 16, 4)
+
+    def test_rank_args_tiles(self):
+        d = GridDecomposition2D(16, 12, 4)
+        args = d.rank_args(np.zeros((18, 14)), 3)
+        for a in args:
+            assert a["A"].shape == (10, 8)
+            assert a["N"] == 10 and a["M"] == 8
+
+    def test_gather_roundtrip(self):
+        rng = np.random.default_rng(3)
+        u0 = rng.random((18, 14))
+        d = GridDecomposition2D(16, 12, 4)
+        args = d.rank_args(u0, 2)
+        out = d.gather([{"A": a["A"]} for a in args], u0)
+        np.testing.assert_array_equal(out, u0)
+
+    def test_tile_halos_from_diagonal_neighbors(self):
+        u0 = np.arange(18.0 * 14).reshape(18, 14)
+        d = GridDecomposition2D(16, 12, 4)
+        args = d.rank_args(u0, 2)
+        # rank 0 tile spans rows 0..9, cols 0..7 of u0 (with ring)
+        np.testing.assert_array_equal(args[0]["A"], u0[0:10, 0:8])

@@ -1,0 +1,66 @@
+"""Tests for the Graphviz DOT rendering."""
+
+import pytest
+
+from repro.sdfg import Sym, program
+from repro.sdfg.dot import sdfg_to_dot
+from repro.sdfg.frontend import float64, int32
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    baseline_pipeline,
+    build_jacobi_1d_sdfg,
+    cpufree_pipeline,
+)
+
+N = Sym("N")
+
+
+@pytest.fixture(scope="module")
+def cpufree_dot():
+    return sdfg_to_dot(cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D))
+
+
+def test_digraph_structure(cpufree_dot):
+    assert cpufree_dot.startswith('digraph "jacobi_1d"')
+    assert cpufree_dot.rstrip().endswith("}")
+    assert cpufree_dot.count("{") == cpufree_dot.count("}")
+
+
+def test_loop_cluster_labeled(cpufree_dot):
+    assert "for t in [1, TSTEPS)" in cpufree_dot
+    assert "gpu_persistent" in cpufree_dot
+
+
+def test_library_nodes_rendered_as_octagons(cpufree_dot):
+    assert "octagon" in cpufree_dot
+    assert "PutmemSignal" in cpufree_dot
+    assert "SignalWait" in cpufree_dot
+
+
+def test_symmetric_arrays_colored(cpufree_dot):
+    assert "lightblue" in cpufree_dot  # SYMMETRIC storage fill
+
+
+def test_grid_sync_markers_shown(cpufree_dot):
+    assert "+grid.sync" in cpufree_dot
+
+
+def test_memlets_label_edges(cpufree_dot):
+    assert "A[" in cpufree_dot
+
+
+def test_baseline_renders_mpi_nodes():
+    dot = sdfg_to_dot(baseline_pipeline(build_jacobi_1d_sdfg()))
+    assert "Isend" in dot and "Waitall" in dot
+    assert "gpu_persistent" not in dot
+
+
+def test_quotes_escaped():
+    @program
+    def f(A: float64[N]):
+        A[1:-1] = A[1:-1]
+
+    dot = sdfg_to_dot(f.to_sdfg())
+    # no raw unescaped quote inside a label breaks the format
+    for line in dot.splitlines():
+        assert line.count('"') % 2 == 0, line

@@ -1,0 +1,205 @@
+"""Tests for the restricted-Python frontend."""
+
+import pytest
+
+from repro.sdfg import LoopRegion, SDFG, Sym, program, validate
+from repro.sdfg.frontend import FrontendError, float64, int32
+from repro.sdfg.libnodes.mpi import MPIIrecv, MPIIsend, MPIWaitall
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.nodes import MapEntry, Tasklet
+
+N = Sym("N")
+M = Sym("M")
+
+
+def test_simple_compute_program():
+    @program
+    def scale(A: float64[N], B: float64[N]):
+        B[1:-1] = A[1:-1] * 2
+
+    sdfg = scale.to_sdfg()
+    validate(sdfg)
+    assert set(sdfg.arrays) == {"A", "B"}
+    states = list(sdfg.walk_states())
+    assert len(states) == 1
+    state = states[0]
+    assert len(state.tasklets) == 1
+    assert state.tasklets[0].expr_source == "A[1:-1] * 2"
+    assert state.writes() == {"B"}
+    assert state.reads() == {"A"}
+
+
+def test_loop_region_built():
+    @program
+    def looped(A: float64[N], TSTEPS: int32):
+        for t in range(1, TSTEPS):
+            A[1:-1] = A[1:-1] + 1
+
+    sdfg = looped.to_sdfg()
+    loops = sdfg.loop_regions()
+    assert len(loops) == 1
+    assert loops[0].var == "t"
+    assert len(list(loops[0].walk_states())) == 1
+
+
+def test_symbols_registered_from_shapes():
+    @program
+    def f(A: float64[N, M]):
+        A[1:-1, 1:-1] = A[1:-1, 1:-1] * 0.5
+
+    sdfg = f.to_sdfg()
+    assert "N" in sdfg.symbols and "M" in sdfg.symbols
+
+
+def test_params_registered():
+    @program
+    def f(A: float64[N], nw: int32, ne: int32):
+        A[1:-1] = A[1:-1]
+
+    sdfg = f.to_sdfg()
+    assert sdfg.params == ["nw", "ne"]
+
+
+def test_mpi_calls_become_library_nodes():
+    @program
+    def f(A: float64[N], TSTEPS: int32, nw: int32):
+        for t in range(1, TSTEPS):
+            comm.Isend(A[1], nw, 7)     # noqa: F821
+            comm.Irecv(A[0], nw, 8)     # noqa: F821
+            comm.Waitall()              # noqa: F821
+            A[1:-1] = A[1:-1]
+
+    sdfg = f.to_sdfg()
+    nodes = [n for s in sdfg.walk_states() for n in s.library_nodes]
+    kinds = [type(n) for n in nodes]
+    assert kinds == [MPIIsend, MPIIrecv, MPIWaitall]
+    send = nodes[0]
+    assert send.dest == "nw" and send.tag == 7
+
+
+def test_nvshmem_calls_become_library_nodes():
+    @program
+    def f(A: float64[N], TSTEPS: int32, ne: int32):
+        for t in range(1, TSTEPS):
+            nvshmem.PutmemSignal(A[0], A[N - 2], flags[0], t, ne)  # noqa: F821
+            nvshmem.SignalWait(flags[1], t)                        # noqa: F821
+            A[1:-1] = A[1:-1]
+
+    sdfg = f.to_sdfg()
+    nodes = [n for s in sdfg.walk_states() for n in s.library_nodes]
+    put, wait = nodes
+    assert isinstance(put, PutmemSignal) and isinstance(wait, SignalWait)
+    assert put.flag_index == 0 and wait.flag_index == 1
+    assert put.pe == "ne"
+    assert put.signal_value == Sym("t")
+
+
+def test_map_ranges_match_written_subset():
+    @program
+    def f(A: float64[N], B: float64[N]):
+        B[1:-1] = A[:-2] + A[2:]
+
+    state = next(f.to_sdfg().walk_states())
+    entry = state.map_entries[0]
+    assert isinstance(entry, MapEntry)
+    lo, hi = entry.ranges[0]
+    assert lo == 1 and hi == -1
+
+
+def test_copy_assignment_flagged():
+    @program
+    def f(A: float64[N], B: float64[N]):
+        B[1:-1] = A[1:-1]
+
+    tasklet = next(f.to_sdfg().walk_states()).tasklets[0]
+    assert tasklet.is_copy
+
+
+def test_non_copy_not_flagged():
+    @program
+    def f(A: float64[N], B: float64[N]):
+        B[1:-1] = A[1:-1] + 1
+
+    tasklet = next(f.to_sdfg().walk_states()).tasklets[0]
+    assert not tasklet.is_copy
+
+
+class TestErrors:
+    def test_missing_annotation(self):
+        @program
+        def f(A):
+            A[0] = 1
+
+        with pytest.raises(FrontendError, match="annotation"):
+            f.to_sdfg()
+
+    def test_unknown_array(self):
+        @program
+        def f(A: float64[N]):
+            B[0] = 1  # noqa: F821
+
+        with pytest.raises(FrontendError, match="unknown array"):
+            f.to_sdfg()
+
+    def test_while_loop_rejected(self):
+        @program
+        def f(A: float64[N], TSTEPS: int32):
+            while True:
+                A[0] = 1
+
+        with pytest.raises(FrontendError, match="unsupported statement"):
+            f.to_sdfg()
+
+    def test_range_step_rejected(self):
+        @program
+        def f(A: float64[N], TSTEPS: int32):
+            for t in range(0, TSTEPS, 2):
+                A[0] = 1
+
+        with pytest.raises(FrontendError, match="step"):
+            f.to_sdfg()
+
+    def test_strided_slice_rejected(self):
+        @program
+        def f(A: float64[N]):
+            A[0:10:2] = 1
+
+        with pytest.raises(FrontendError, match="step"):
+            f.to_sdfg()
+
+    def test_unknown_namespace(self):
+        @program
+        def f(A: float64[N]):
+            foo.Bar(A[0], 1, 2)  # noqa: F821
+
+        with pytest.raises(FrontendError, match="namespace"):
+            f.to_sdfg()
+
+    def test_peer_must_be_param(self):
+        @program
+        def f(A: float64[N], TSTEPS: int32):
+            for t in range(1, TSTEPS):
+                comm.Isend(A[1], undeclared, 1)  # noqa: F821
+
+        with pytest.raises(FrontendError, match="parameter"):
+            f.to_sdfg()
+
+    def test_flag_syntax_enforced(self):
+        @program
+        def f(A: float64[N], TSTEPS: int32, ne: int32):
+            for t in range(1, TSTEPS):
+                nvshmem.SignalWait(other[0], t)  # noqa: F821
+
+        with pytest.raises(FrontendError, match="flags"):
+            f.to_sdfg()
+
+
+def test_describe_renders_structure():
+    @program
+    def f(A: float64[N], TSTEPS: int32):
+        for t in range(1, TSTEPS):
+            A[1:-1] = A[1:-1] + 1
+
+    text = f.to_sdfg().describe()
+    assert "for t in" in text
+    assert "array A[N]" in text

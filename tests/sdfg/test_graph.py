@@ -1,0 +1,122 @@
+"""Unit tests for the SDFG graph container and node APIs."""
+
+import numpy as np
+import pytest
+
+from repro.hw.memory import Storage
+from repro.sdfg import (
+    ArrayDesc,
+    LoopRegion,
+    SDFG,
+    Schedule,
+    State,
+    Sym,
+)
+from repro.sdfg.graph import Region
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+
+
+class TestSDFGDeclarations:
+    def test_add_array(self):
+        sdfg = SDFG("t")
+        desc = sdfg.add_array("A", (Sym("N"),))
+        assert desc.ndim == 1
+        assert sdfg.arrays["A"] is desc
+
+    def test_duplicate_array_rejected(self):
+        sdfg = SDFG("t")
+        sdfg.add_array("A", (4,))
+        with pytest.raises(ValueError):
+            sdfg.add_array("A", (4,))
+
+    def test_add_symbol_idempotent(self):
+        sdfg = SDFG("t")
+        s1 = sdfg.add_symbol("N")
+        s2 = sdfg.add_symbol("N")
+        assert s1 == s2
+
+    def test_add_param_deduplicates(self):
+        sdfg = SDFG("t")
+        sdfg.add_param("nw")
+        sdfg.add_param("nw")
+        assert sdfg.params == ["nw"]
+
+    def test_array_desc_defaults(self):
+        desc = ArrayDesc("A", (8,))
+        assert desc.dtype is np.float64
+        assert desc.storage is Storage.HOST
+        assert not desc.transient
+
+
+class TestStateGraph:
+    def test_edge_requires_registered_nodes(self):
+        state = State("s")
+        a = AccessNode("A")
+        b = AccessNode("B")
+        state.add_node(a)
+        with pytest.raises(ValueError):
+            state.add_edge(a, b)
+
+    def test_in_out_edges(self):
+        state = State("s")
+        a = state.add_node(AccessNode("A"))
+        t = state.add_node(Tasklet("t", "A", ["A"], "B"))
+        b = state.add_node(AccessNode("B"))
+        state.add_edge(a, t, Memlet.from_slices("A", slice(0, 4)))
+        state.add_edge(t, b, Memlet.from_slices("B", slice(0, 4)))
+        assert len(state.out_edges(a)) == 1
+        assert len(state.in_edges(b)) == 1
+        assert state.reads() == {"A"}
+        assert state.writes() == {"B"}
+
+    def test_nodes_of(self):
+        state = State("s")
+        entry = state.add_node(MapEntry("m", ["i"], [(0, 4)]))
+        state.add_node(MapExit(entry))
+        assert state.map_entries == [entry]
+        assert len(state.nodes_of(MapExit)) == 1
+
+    def test_map_entry_validation(self):
+        with pytest.raises(ValueError):
+            MapEntry("m", ["i", "j"], [(0, 4)])
+
+    def test_map_entry_range_str(self):
+        entry = MapEntry("m", ["i"], [(1, Sym("N") - 1)])
+        assert entry.range_str() == "i=[1:(N - 1)]"
+
+
+class TestRegions:
+    def test_walk_states_recurses_into_loops(self):
+        sdfg = SDFG("t")
+        loop = LoopRegion("t", 0, 4)
+        inner = State("inner")
+        loop.add(inner)
+        outer = State("outer")
+        sdfg.body.add(outer)
+        sdfg.body.add(loop)
+        assert list(sdfg.walk_states()) == [outer, inner]
+
+    def test_loop_regions_collects_nested(self):
+        sdfg = SDFG("t")
+        outer_loop = LoopRegion("t", 0, 2)
+        inner_loop = LoopRegion("k", 0, 3)
+        outer_loop.add(inner_loop)
+        sdfg.body.add(outer_loop)
+        assert sdfg.loop_regions() == [outer_loop, inner_loop]
+
+    def test_trip_count_str(self):
+        loop = LoopRegion("t", 1, Sym("TSTEPS"))
+        assert loop.trip_count_str() == "for t in [1, TSTEPS)"
+
+    def test_region_default_schedule(self):
+        assert Region().schedule is Schedule.CPU
+
+    def test_describe_lists_arrays_and_states(self):
+        sdfg = SDFG("demo")
+        sdfg.add_array("A", (Sym("N"), 4), storage=Storage.SYMMETRIC)
+        state = State("s0")
+        sdfg.body.add(state)
+        text = sdfg.describe()
+        assert "array A[N x 4] gpu_nvshmem" in text
+        assert "state s0 [cpu]" in text

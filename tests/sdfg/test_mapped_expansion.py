@@ -1,0 +1,158 @@
+"""Tests for the §5.3.2 Mapped (per-element p) expansion."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime
+from repro.runtime import MultiGPUContext
+from repro.sdfg import AccessKind, Memlet, Sym
+from repro.sdfg.codegen import SDFGExecutor, generate_cuda
+from repro.sdfg.distributed import GridDecomposition2D
+from repro.sdfg.libnodes.nvshmem import PutmemSignal
+from repro.sdfg.programs import (
+    CONJUGATES_2D,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sdfg.transforms import (
+    gpu_persistent_kernel,
+    gpu_transform,
+    map_fusion,
+    mpi_to_nvshmem,
+    nvshmem_array,
+)
+from repro.sdfg.validation import validate
+from repro.sim import Tracer
+
+
+def mapped_pipeline(sdfg):
+    gpu_transform(sdfg)
+    map_fusion(sdfg)
+    mpi_to_nvshmem(sdfg, CONJUGATES_2D, implementation="mapped")
+    nvshmem_array(sdfg)
+    gpu_persistent_kernel(sdfg)
+    validate(sdfg)
+    return sdfg
+
+
+class TestExpansion:
+    def test_mapped_implementation_selected(self):
+        sdfg = mapped_pipeline(build_jacobi_2d_sdfg())
+        puts = [n for s in sdfg.walk_states() for n in s.library_nodes
+                if isinstance(n, PutmemSignal)]
+        assert puts and all(p.implementation == "mapped" for p in puts)
+        bindings = {"N": 16, "M": 16, "t": 1}
+        kinds = {p.expand(sdfg, bindings).kind for p in puts}
+        assert kinds == {"p_mapped"}
+
+    def test_invalid_implementation_rejected(self):
+        with pytest.raises(ValueError, match="implementation"):
+            PutmemSignal(
+                Memlet.from_slices("A", 0), Memlet.from_slices("A", 0),
+                0, Sym("t"), "nw", implementation="telepathy",
+            )
+
+    def test_scalar_still_uses_plain_p(self):
+        node = PutmemSignal(
+            Memlet.from_slices("A", 0), Memlet.from_slices("A", 0),
+            0, Sym("t"), "nw", implementation="mapped",
+        )
+
+        class FakeSDFG:
+            arrays = {"A": type("D", (), {"shape": (16,)})()}
+
+        expansion = node.expand(FakeSDFG, {})
+        assert expansion.kind == "p"
+
+    def test_generated_code_shows_grid_stride_loop(self):
+        code = generate_cuda(mapped_pipeline(build_jacobi_2d_sdfg()))
+        assert "for (int __i = __gidx" in code
+        assert "nvshmem_double_p(&" in code
+
+
+class TestExecution:
+    def test_mapped_bit_exact(self):
+        rng = np.random.default_rng(6)
+        gy, gx, ranks, tsteps = 16, 24, 8, 5
+        u0 = rng.random((gy + 2, gx + 2))
+        decomp = GridDecomposition2D(gy, gx, ranks)
+
+        results = []
+        for pipeline in (cpufree_pipeline, None):
+            sdfg = build_jacobi_2d_sdfg()
+            if pipeline is None:
+                sdfg = mapped_pipeline(sdfg)
+            else:
+                sdfg = pipeline(sdfg, CONJUGATES_2D)
+            ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+            report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, tsteps))
+            results.append(decomp.gather(report.arrays, u0))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_mapped_faster_than_single_thread_iput_on_long_columns(self):
+        """The mapped expansion amortizes issue cost across threads —
+        the §5.4 headroom, quantified at the library-node level."""
+
+        def run(implementation):
+            gy, gx, ranks = 2048 * 2, 2048 * 4, 8
+            decomp = GridDecomposition2D(gy, gx, ranks)
+            args = decomp.rank_args(np.zeros((gy + 2, gx + 2)), 4)
+            args = [{k: v for k, v in a.items() if k not in ("A", "B")} for a in args]
+            sdfg = build_jacobi_2d_sdfg()
+            gpu_transform(sdfg)
+            map_fusion(sdfg)
+            mpi_to_nvshmem(sdfg, CONJUGATES_2D, implementation=implementation)
+            nvshmem_array(sdfg)
+            gpu_persistent_kernel(sdfg)
+            ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+            return SDFGExecutor(sdfg, ctx, with_data=False).run(args)
+
+        auto = run("auto")
+        mapped = run("mapped")
+        assert mapped.total_time_us < auto.total_time_us
+
+
+class TestDeviceOp:
+    def test_p_mapped_moves_data(self):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+        rt = NVSHMEMRuntime(ctx)
+        arr = rt.malloc("col", (64,), fill=0.0)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.p_mapped(arr, slice(None), np.arange(64.0), dest_pe=1)
+            yield from dev.quiet()
+
+        ctx.sim.spawn(pe0(), name="pe0")
+        ctx.run()
+        np.testing.assert_array_equal(arr.local(1), np.arange(64.0))
+
+    def test_p_mapped_issue_amortized_over_threads(self):
+        def timed(threads):
+            ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+            rt = NVSHMEMRuntime(ctx)
+
+            def pe0():
+                dev = rt.device(0)
+                yield from dev.p_mapped(None, None, 0.0, dest_pe=1,
+                                        elements=4096, threads=threads)
+                yield from dev.quiet()
+
+            ctx.sim.spawn(pe0(), name="pe0")
+            return ctx.run()
+
+        assert timed(1024) < timed(32) < timed(1)
+
+    def test_p_mapped_invalid_threads(self):
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        rt = NVSHMEMRuntime(ctx)
+
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.p_mapped(None, None, 0.0, dest_pe=1,
+                                    elements=4, threads=0)
+
+        ctx.sim.spawn(pe0(), name="pe0")
+        with pytest.raises(ValueError):
+            ctx.run()

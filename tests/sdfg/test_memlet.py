@@ -1,0 +1,117 @@
+"""Tests for memlets: resolution, volume, and access-kind dispatch."""
+
+import pytest
+
+from repro.sdfg import AccessKind, Memlet, Sym
+from repro.sdfg.memlet import Range, _FULL
+
+
+class TestFromSlices:
+    def test_single_index(self):
+        m = Memlet.from_slices("A", 3)
+        assert m.subset == (3,)
+
+    def test_slice(self):
+        m = Memlet.from_slices("A", slice(1, -1))
+        assert m.subset == (Range(1, -1),)
+
+    def test_full_slice(self):
+        m = Memlet.from_slices("A", slice(None, None))
+        assert isinstance(m.subset[0], Range)
+
+    def test_tuple(self):
+        m = Memlet.from_slices("A", (slice(1, -1), 0))
+        assert len(m.subset) == 2
+
+    def test_step_rejected(self):
+        with pytest.raises(ValueError):
+            Memlet.from_slices("A", slice(0, 10, 2))
+
+
+class TestResolve:
+    def test_negative_indices(self):
+        m = Memlet.from_slices("A", (slice(1, -1), -2))
+        assert m.resolve((10, 8), {}) == (slice(1, 9), 6)
+
+    def test_full_goes_to_axis_end(self):
+        m = Memlet.from_slices("A", slice(2, None))
+        assert m.resolve((10,), {}) == (slice(2, 10),)
+
+    def test_symbolic_bounds(self):
+        N = Sym("N")
+        m = Memlet("A", (Range(1, N - 1),))
+        assert m.resolve((10,), {"N": 10}) == (slice(1, 9),)
+
+    def test_dim_mismatch_rejected(self):
+        m = Memlet.from_slices("A", 1)
+        with pytest.raises(ValueError):
+            m.resolve((4, 4), {})
+
+
+class TestVolume:
+    def test_scalar_volume(self):
+        assert Memlet.from_slices("A", (1, 2)).volume((4, 4), {}) == 1
+
+    def test_row_volume(self):
+        m = Memlet.from_slices("A", (1, slice(1, -1)))
+        assert m.volume((10, 8), {}) == 6
+
+    def test_block_volume(self):
+        m = Memlet.from_slices("A", (slice(1, -1), slice(1, -1)))
+        assert m.volume((10, 8), {}) == 8 * 6
+
+    def test_empty_range_rejected(self):
+        m = Memlet.from_slices("A", slice(5, 2))
+        with pytest.raises(ValueError):
+            m.volume((10,), {})
+
+
+class TestAccessKind:
+    """The §5.3.1 dispatch rules."""
+
+    def test_single_element_is_scalar(self):
+        m = Memlet.from_slices("A", 1)
+        assert m.access_kind((10,), {}) is AccessKind.SCALAR
+
+    def test_2d_single_element_is_scalar(self):
+        m = Memlet.from_slices("A", (3, 4))
+        assert m.access_kind((10, 10), {}) is AccessKind.SCALAR
+
+    def test_1d_slice_is_contiguous(self):
+        m = Memlet.from_slices("A", slice(1, -1))
+        assert m.access_kind((10,), {}) is AccessKind.CONTIGUOUS
+
+    def test_row_is_contiguous(self):
+        # A[1, 1:-1]: fixed row, sliced columns -> one memory block
+        m = Memlet.from_slices("A", (1, slice(1, -1)))
+        assert m.access_kind((10, 8), {}) is AccessKind.CONTIGUOUS
+
+    def test_column_is_strided(self):
+        # A[1:-1, 1]: sliced rows, fixed column -> stride = row pitch
+        m = Memlet.from_slices("A", (slice(1, -1), 1))
+        assert m.access_kind((10, 8), {}) is AccessKind.STRIDED
+
+    def test_interior_block_is_strided(self):
+        m = Memlet.from_slices("A", (slice(1, -1), slice(1, -1)))
+        assert m.access_kind((10, 8), {}) is AccessKind.STRIDED
+
+    def test_full_rows_block_is_contiguous(self):
+        # A[2:5, :]: trailing axis fully spanned -> contiguous block
+        m = Memlet.from_slices("A", (slice(2, 5), slice(None, None)))
+        assert m.access_kind((10, 8), {}) is AccessKind.CONTIGUOUS
+
+    def test_3d_plane_full_trailing_axes(self):
+        m = Memlet.from_slices("A", (1, slice(None, None), slice(None, None)))
+        assert m.access_kind((6, 5, 4), {}) is AccessKind.CONTIGUOUS
+
+    def test_3d_partial_plane_is_strided(self):
+        m = Memlet.from_slices("A", (1, slice(1, -1), slice(1, -1)))
+        assert m.access_kind((6, 5, 4), {}) is AccessKind.STRIDED
+
+    def test_length_one_range_is_scalar(self):
+        m = Memlet.from_slices("A", slice(3, 4))
+        assert m.access_kind((10,), {}) is AccessKind.SCALAR
+
+    def test_repr_contains_subset(self):
+        m = Memlet.from_slices("A", (slice(1, -1), 0))
+        assert "A[" in repr(m)

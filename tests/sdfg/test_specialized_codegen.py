@@ -1,0 +1,108 @@
+"""Tests for the §5.4 future-work extension: TB-specialized codegen."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg import Schedule
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.distributed import GridDecomposition2D, SlabDecomposition1D
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    CONJUGATES_2D,
+    build_jacobi_1d_sdfg,
+    build_jacobi_2d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sim import Tracer
+
+
+class TestTransformTagging:
+    def test_states_tagged_by_group(self):
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D,
+                                specialize_comm=True)
+        loop = sdfg.loop_regions()[0]
+        assert loop.comm_specialized
+        groups = {getattr(s, "tb_group", None) for s in loop.walk_states()}
+        assert groups == {"comm", "comp"}
+
+    def test_comm_states_are_pure_library_states(self):
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D,
+                                specialize_comm=True)
+        for state in sdfg.loop_regions()[0].walk_states():
+            if state.tb_group == "comm":
+                assert state.library_nodes and not state.tasklets
+            else:
+                assert state.tasklets
+
+    def test_default_pipeline_not_specialized(self):
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+        assert not sdfg.loop_regions()[0].comm_specialized
+
+
+class TestSpecializedExecution:
+    def ref_1d(self, u0, tsteps):
+        A, B = np.array(u0), np.array(u0)
+        for _ in range(1, tsteps):
+            B[1:-1] = (A[:-2] + A[1:-1] + A[2:]) / 3.0
+            A[1:-1] = (B[:-2] + B[1:-1] + B[2:]) / 3.0
+        return A
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3])
+    def test_1d_bit_exact(self, ranks):
+        rng = np.random.default_rng(3)
+        n_global = 8 * ranks
+        u0 = rng.random(n_global + 2)
+        decomp = SlabDecomposition1D(n_global, ranks)
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D,
+                                specialize_comm=True)
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+        report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, 6))
+        got = decomp.gather(report.arrays, u0)
+        np.testing.assert_array_equal(got, self.ref_1d(u0, 6))
+
+    @pytest.mark.parametrize("ranks", [2, 4, 8])
+    def test_2d_bit_exact(self, ranks):
+        rng = np.random.default_rng(4)
+        gy, gx = 16, 24
+        u0 = rng.random((gy + 2, gx + 2))
+        decomp = GridDecomposition2D(gy, gx, ranks)
+        sdfg = cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D,
+                                specialize_comm=True)
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+        report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, 5))
+        got = decomp.gather(report.arrays, u0)
+
+        A, B = np.array(u0), np.array(u0)
+        for _ in range(1, 5):
+            B[1:-1, 1:-1] = 0.25 * (A[:-2, 1:-1] + A[2:, 1:-1]
+                                    + A[1:-1, :-2] + A[1:-1, 2:])
+            A[1:-1, 1:-1] = 0.25 * (B[:-2, 1:-1] + B[2:, 1:-1]
+                                    + B[1:-1, :-2] + B[1:-1, 2:])
+        np.testing.assert_array_equal(got, A)
+
+    def test_specialized_faster_than_single_group(self):
+        def run(specialize):
+            n_global = 1_000_000 * 4
+            decomp = SlabDecomposition1D(n_global, 4)
+            args = decomp.rank_args(np.zeros(n_global + 2), 8)
+            args = [{k: v for k, v in a.items() if k not in ("A", "B")} for a in args]
+            sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D,
+                                    specialize_comm=specialize)
+            ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer())
+            return SDFGExecutor(sdfg, ctx, with_data=False).run(args)
+
+        assert run(True).total_time_us < run(False).total_time_us
+
+    def test_two_tb_groups_launched(self):
+        n_global = 24
+        decomp = SlabDecomposition1D(n_global, 2)
+        u0 = np.zeros(n_global + 2)
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D,
+                                specialize_comm=True)
+        ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+        SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, 4))
+        lanes = ctx.tracer.lanes()
+        assert any("comm" in lane for lane in lanes)
+        assert any("comp" in lane for lane in lanes)

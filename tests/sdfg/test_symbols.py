@@ -1,0 +1,60 @@
+"""Tests for the symbolic expression language."""
+
+import pytest
+
+from repro.sdfg import Sym, evaluate_expr
+from repro.sdfg.symbols import BinOp, expr_to_str
+
+
+class TestEvaluate:
+    def test_int_literal(self):
+        assert evaluate_expr(5, {}) == 5
+
+    def test_symbol_lookup(self):
+        assert evaluate_expr(Sym("N"), {"N": 42}) == 42
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(KeyError, match="N"):
+            evaluate_expr(Sym("N"), {})
+
+    def test_arithmetic(self):
+        N = Sym("N")
+        assert evaluate_expr(N + 1, {"N": 10}) == 11
+        assert evaluate_expr(N - 2, {"N": 10}) == 8
+        assert evaluate_expr(N * 3, {"N": 10}) == 30
+        assert evaluate_expr(N // 4, {"N": 10}) == 2
+
+    def test_reflected_operators(self):
+        N = Sym("N")
+        assert evaluate_expr(1 + N, {"N": 5}) == 6
+        assert evaluate_expr(20 - N, {"N": 5}) == 15
+        assert evaluate_expr(2 * N, {"N": 5}) == 10
+
+    def test_nested_expression(self):
+        N, M = Sym("N"), Sym("M")
+        expr = (N - 1) * (M - 1)
+        assert evaluate_expr(expr, {"N": 4, "M": 5}) == 12
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            evaluate_expr(True, {})
+
+    def test_bad_operand_type(self):
+        with pytest.raises(TypeError):
+            Sym("N") + 1.5  # floats are not index expressions
+
+
+class TestRendering:
+    def test_symbol(self):
+        assert expr_to_str(Sym("N")) == "N"
+
+    def test_binop(self):
+        assert expr_to_str(Sym("N") - 2) == "(N - 2)"
+
+    def test_int(self):
+        assert expr_to_str(7) == "7"
+
+    def test_repr_roundtrip_shape(self):
+        expr = Sym("N") * 2 + 1
+        assert isinstance(expr, BinOp)
+        assert evaluate_expr(expr, {"N": 3}) == 7

@@ -1,0 +1,50 @@
+"""Tests for the executor's symmetric-shape guard (uneven slabs)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.runtime import MultiGPUContext
+from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    baseline_pipeline,
+    build_jacobi_1d_sdfg,
+    cpufree_pipeline,
+)
+from repro.sim import Tracer
+
+
+def uneven_args():
+    """Two ranks with different local sizes (7 and 6 interior cells)."""
+    return [
+        {"A": np.zeros(9), "B": np.zeros(9), "N": 9, "TSTEPS": 3, "nw": -1, "ne": 1},
+        {"A": np.zeros(8), "B": np.zeros(8), "N": 8, "TSTEPS": 3, "nw": 0, "ne": -1},
+    ]
+
+
+def test_uneven_slabs_rejected_for_symmetric_arrays():
+    sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+    with pytest.raises(ValueError, match="pad the decomposition"):
+        SDFGExecutor(sdfg, ctx).run(uneven_args())
+
+
+def test_uneven_slabs_fine_for_mpi_baseline():
+    """The MPI baseline has no symmetric storage — uneven slabs are
+    legal there (messages carry explicit sizes)."""
+    sdfg = baseline_pipeline(build_jacobi_1d_sdfg())
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+    report = SDFGExecutor(sdfg, ctx).run(uneven_args())
+    assert report.total_time_us > 0
+
+
+def test_equal_slabs_pass_the_guard():
+    sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+    args = [
+        {"A": np.zeros(8), "B": np.zeros(8), "N": 8, "TSTEPS": 3, "nw": -1, "ne": 1},
+        {"A": np.zeros(8), "B": np.zeros(8), "N": 8, "TSTEPS": 3, "nw": 0, "ne": -1},
+    ]
+    report = SDFGExecutor(sdfg, ctx).run(args)
+    assert report.total_time_us > 0

@@ -1,0 +1,113 @@
+"""Dedicated tests for SDFG structural validation."""
+
+import pytest
+
+from repro.hw.memory import Storage
+from repro.sdfg import (
+    LoopRegion,
+    Memlet,
+    SDFG,
+    SDFGValidationError,
+    Schedule,
+    State,
+    Sym,
+    validate,
+)
+from repro.sdfg.libnodes.nvshmem import PutmemSignal
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+
+
+def sdfg_with_state():
+    sdfg = SDFG("v")
+    sdfg.add_array("A", (Sym("N"),))
+    state = State("s")
+    sdfg.body.add(state)
+    return sdfg, state
+
+
+def test_valid_empty_sdfg():
+    validate(SDFG("empty"))
+
+
+def test_undeclared_access_node_rejected():
+    sdfg, state = sdfg_with_state()
+    state.add_node(AccessNode("GHOST"))
+    with pytest.raises(SDFGValidationError, match="undeclared array 'GHOST'"):
+        validate(sdfg)
+
+
+def test_memlet_over_undeclared_array_rejected():
+    sdfg, state = sdfg_with_state()
+    a = state.add_node(AccessNode("A"))
+    t = state.add_node(Tasklet("t", "A", ["A"], "A"))
+    state.add_edge(a, t, Memlet.from_slices("GHOST", 0))
+    with pytest.raises(SDFGValidationError, match="undeclared array 'GHOST'"):
+        validate(sdfg)
+
+
+def test_memlet_dimension_mismatch_rejected():
+    sdfg, state = sdfg_with_state()
+    a = state.add_node(AccessNode("A"))
+    t = state.add_node(Tasklet("t", "A", ["A"], "A"))
+    state.add_edge(a, t, Memlet.from_slices("A", (0, 1)))  # A is 1-D
+    with pytest.raises(SDFGValidationError, match="dims"):
+        validate(sdfg)
+
+
+def test_orphan_map_exit_rejected():
+    sdfg, state = sdfg_with_state()
+    foreign_entry = MapEntry("m", ["i"], [(0, 4)])
+    state.add_node(MapExit(foreign_entry))
+    with pytest.raises(SDFGValidationError, match="MapExit"):
+        validate(sdfg)
+
+
+def test_multiple_map_scopes_rejected():
+    sdfg, state = sdfg_with_state()
+    e1 = state.add_node(MapEntry("m1", ["i"], [(0, 4)]))
+    e2 = state.add_node(MapEntry("m2", ["i"], [(0, 4)]))
+    state.add_node(MapExit(e1))
+    state.add_node(MapExit(e2))
+    with pytest.raises(SDFGValidationError, match="multiple map scopes"):
+        validate(sdfg)
+
+
+def test_nvshmem_node_on_global_storage_rejected():
+    sdfg = SDFG("v")
+    sdfg.add_array("A", (Sym("N"),), storage=Storage.GLOBAL)
+    state = State("s")
+    sdfg.body.add(state)
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        0, Sym("t"), "nw",
+    ))
+    with pytest.raises(SDFGValidationError, match="NVSHMEMArray"):
+        validate(sdfg)
+
+
+def test_nvshmem_node_on_symmetric_storage_ok():
+    sdfg = SDFG("v")
+    sdfg.add_array("A", (Sym("N"),), storage=Storage.SYMMETRIC)
+    state = State("s")
+    sdfg.body.add(state)
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        0, Sym("t"), "nw",
+    ))
+    validate(sdfg)
+
+
+def test_persistent_schedule_on_plain_region_rejected():
+    sdfg = SDFG("v")
+    sdfg.body.schedule = Schedule.GPU_PERSISTENT
+    with pytest.raises(SDFGValidationError, match="loop regions"):
+        validate(sdfg)
+
+
+def test_persistent_loop_with_cpu_state_rejected():
+    sdfg = SDFG("v")
+    loop = LoopRegion("t", 0, 4, schedule=Schedule.GPU_PERSISTENT)
+    loop.add(State("cpu_state", schedule=Schedule.CPU))
+    sdfg.body.add(loop)
+    with pytest.raises(SDFGValidationError, match="non-persistent state"):
+        validate(sdfg)

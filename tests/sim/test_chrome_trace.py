@@ -1,0 +1,68 @@
+"""Tests for the Chrome Tracing export."""
+
+import json
+
+from repro.sim import Tracer
+
+
+def make_tracer():
+    tr = Tracer()
+    tr.record("gpu0.stream", "jacobi", "compute", 0.0, 10.0)
+    tr.record("gpu0.stream", "halo", "comm", 10.0, 12.0)
+    tr.record("host0", "launch", "api", 0.0, 3.2)
+    return tr
+
+
+def test_events_cover_all_spans():
+    tr = make_tracer()
+    events = tr.to_chrome_trace()
+    duration_events = [e for e in events if e["ph"] == "X"]
+    assert len(duration_events) == 3
+
+
+def test_metadata_names_lanes():
+    tr = make_tracer()
+    events = tr.to_chrome_trace()
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"gpu0.stream", "host0"}
+
+
+def test_lane_maps_to_consistent_tid():
+    tr = make_tracer()
+    events = tr.to_chrome_trace()
+    by_name = {}
+    for e in events:
+        if e["ph"] == "X":
+            by_name.setdefault(e["name"], set()).add(e["tid"])
+    # both gpu0.stream spans share a tid, distinct from host0's
+    assert by_name["jacobi"] == by_name["halo"]
+    launch_tid = by_name["launch"].pop()
+    assert launch_tid not in by_name["jacobi"]
+
+
+def test_durations_and_timestamps_in_microseconds():
+    tr = make_tracer()
+    events = {e["name"]: e for e in tr.to_chrome_trace() if e["ph"] == "X"}
+    assert events["jacobi"]["ts"] == 0.0
+    assert events["jacobi"]["dur"] == 10.0
+    assert events["halo"]["ts"] == 10.0
+    assert events["halo"]["cat"] == "comm"
+
+
+def test_output_is_json_serializable():
+    tr = make_tracer()
+    text = json.dumps(tr.to_chrome_trace())
+    parsed = json.loads(text)
+    assert isinstance(parsed, list)
+
+
+def test_events_sorted_by_start_time():
+    tr = Tracer()
+    tr.record("l", "late", "compute", 5.0, 6.0)
+    tr.record("l", "early", "compute", 1.0, 2.0)
+    names = [e["name"] for e in tr.to_chrome_trace() if e["ph"] == "X"]
+    assert names == ["early", "late"]
+
+
+def test_empty_tracer_gives_empty_trace():
+    assert Tracer().to_chrome_trace() == []

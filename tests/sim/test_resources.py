@@ -1,0 +1,151 @@
+"""Tests for semaphores, mutexes, and channels."""
+
+import pytest
+
+from repro.sim import Channel, Delay, Mutex, Semaphore, Simulator
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        yield from sem.acquire()
+        active.append(i)
+        peak.append(len(active))
+        yield Delay(1.0)
+        active.remove(i)
+        sem.release()
+
+    for i in range(5):
+        sim.spawn(worker(i))
+    sim.run()
+    assert max(peak) == 2
+    assert sem.value == 2
+
+
+def test_semaphore_initial_zero_blocks_until_release():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+    got = []
+
+    def waiter():
+        yield from sem.acquire()
+        got.append(sim.now)
+
+    def releaser():
+        yield Delay(3.0)
+        sem.release()
+
+    sim.spawn(waiter())
+    sim.spawn(releaser())
+    sim.run()
+    assert got == [3.0]
+
+
+def test_semaphore_negative_value_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, value=-1)
+
+
+def test_mutex_serializes_critical_section():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    events = []
+
+    def worker(name):
+        yield from mutex.acquire()
+        events.append((name, "enter", sim.now))
+        yield Delay(2.0)
+        events.append((name, "exit", sim.now))
+        mutex.release()
+
+    sim.spawn(worker("a"))
+    sim.spawn(worker("b"))
+    sim.run()
+    # b cannot enter before a exits
+    enters = {name: t for name, kind, t in events if kind == "enter"}
+    exits = {name: t for name, kind, t in events if kind == "exit"}
+    assert enters["b"] >= exits["a"]
+
+
+def test_channel_fifo_order():
+    sim = Simulator()
+    chan = Channel(sim)
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield Delay(1.0)
+            chan.put(i)
+
+    def consumer():
+        for _ in range(4):
+            item = yield from chan.get()
+            received.append(item)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == [0, 1, 2, 3]
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    chan = Channel(sim)
+    got = []
+
+    def consumer():
+        item = yield from chan.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield Delay(7.0)
+        chan.put("x")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("x", 7.0)]
+
+
+def test_channel_len_and_buffering():
+    sim = Simulator()
+    chan = Channel(sim)
+    chan.put(1)
+    chan.put(2)
+    assert len(chan) == 2
+
+    def consumer():
+        a = yield from chan.get()
+        b = yield from chan.get()
+        assert (a, b) == (1, 2)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert len(chan) == 0
+
+
+def test_two_consumers_split_items_deterministically():
+    sim = Simulator()
+    chan = Channel(sim)
+    received = {"a": [], "b": []}
+
+    def consumer(name):
+        for _ in range(2):
+            item = yield from chan.get()
+            received[name].append(item)
+
+    def producer():
+        for i in range(4):
+            yield Delay(1.0)
+            chan.put(i)
+
+    sim.spawn(consumer("a"))
+    sim.spawn(consumer("b"))
+    sim.spawn(producer())
+    sim.run()
+    assert sorted(received["a"] + received["b"]) == [0, 1, 2, 3]

@@ -1,0 +1,145 @@
+"""Tests for decomposition, scatter/gather, and process grids."""
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    SlabDecomposition,
+    best_process_grid,
+    gather_slabs,
+    scatter_slabs,
+    slab_partition,
+)
+
+
+class TestSlabPartition:
+    def test_even_split(self):
+        assert slab_partition(8, 2) == [(0, 4), (4, 8)]
+
+    def test_remainder_goes_to_front(self):
+        assert slab_partition(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_part(self):
+        assert slab_partition(5, 1) == [(0, 5)]
+
+    def test_ranges_cover_exactly(self):
+        ranges = slab_partition(23, 5)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 23
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            slab_partition(3, 0)
+        with pytest.raises(ValueError):
+            slab_partition(2, 3)
+
+
+class TestProcessGrid:
+    def test_paper_gpu_counts(self):
+        assert best_process_grid(1) == (1, 1)
+        assert best_process_grid(2) == (2, 1)
+        assert best_process_grid(4) == (2, 2)
+        assert best_process_grid(8) == (4, 2)
+
+    def test_square_counts(self):
+        assert best_process_grid(16) == (4, 4)
+        assert best_process_grid(9) == (3, 3)
+
+    def test_prime(self):
+        assert best_process_grid(7) == (7, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            best_process_grid(0)
+
+
+class TestSlabDecomposition:
+    def test_local_shapes_2d(self):
+        d = SlabDecomposition((14, 10), 4)
+        # 12 interior rows over 4 ranks = 3 each, +2 halos
+        for r in range(4):
+            assert d.local_shape(r) == (5, 10)
+
+    def test_local_shapes_3d(self):
+        d = SlabDecomposition((10, 6, 7), 2)
+        assert d.local_shape(0) == (6, 6, 7)
+
+    def test_neighbors(self):
+        d = SlabDecomposition((14, 10), 4)
+        assert d.neighbors(0) == {"bottom": 1}
+        assert d.neighbors(1) == {"top": 0, "bottom": 2}
+        assert d.neighbors(3) == {"top": 2}
+
+    def test_single_rank_no_neighbors(self):
+        d = SlabDecomposition((8, 8), 1)
+        assert d.neighbors(0) == {}
+
+    def test_element_accounting_2d(self):
+        d = SlabDecomposition((14, 10), 4)
+        assert d.row_elements == 8
+        assert d.halo_elements == 10
+        assert d.interior_elements(0) == 3 * 8
+        assert d.inner_elements(0) == 1 * 8
+
+    def test_element_accounting_3d(self):
+        d = SlabDecomposition((10, 6, 7), 2)
+        assert d.row_elements == 4 * 5
+        assert d.halo_elements == 6 * 7
+
+    def test_interiors_sum_to_global_interior(self):
+        d = SlabDecomposition((30, 12), 4)
+        total = sum(d.interior_elements(r) for r in range(4))
+        assert total == (30 - 2) * (12 - 2)
+
+    def test_too_small_for_ranks(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition((7, 10), 2)  # 5 interior rows < 3*2
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition((10,), 1)
+
+    def test_tiny_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition((8, 2), 1)
+
+
+class TestScatterGather:
+    def test_roundtrip_identity_2d(self):
+        rng = np.random.default_rng(1)
+        grid = rng.random((20, 9))
+        d = SlabDecomposition(grid.shape, 3)
+        locals_ = scatter_slabs(grid, d)
+        out = gather_slabs(locals_, d, grid)
+        assert np.array_equal(out, grid)
+
+    def test_roundtrip_identity_3d(self):
+        rng = np.random.default_rng(2)
+        grid = rng.random((14, 5, 6))
+        d = SlabDecomposition(grid.shape, 4)
+        out = gather_slabs(scatter_slabs(grid, d), d, grid)
+        assert np.array_equal(out, grid)
+
+    def test_halos_match_neighbor_interiors(self):
+        rng = np.random.default_rng(3)
+        grid = rng.random((20, 9))
+        d = SlabDecomposition(grid.shape, 3)
+        locals_ = scatter_slabs(grid, d)
+        for r in range(1, 3):
+            # my top halo == top neighbor's last interior row
+            assert np.array_equal(locals_[r][0], locals_[r - 1][-2])
+
+    def test_scatter_produces_copies(self):
+        grid = np.zeros((10, 8))
+        d = SlabDecomposition(grid.shape, 2)
+        locals_ = scatter_slabs(grid, d)
+        locals_[0][1, 1] = 99.0
+        assert grid[2, 1] == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        d = SlabDecomposition((10, 8), 2)
+        with pytest.raises(ValueError):
+            scatter_slabs(np.zeros((9, 8)), d)
+        with pytest.raises(ValueError):
+            gather_slabs([np.zeros((5, 8))], d, np.zeros((10, 8)))

@@ -1,0 +1,66 @@
+"""Tests for result metrics: utilization, speedup, overlap."""
+
+import pytest
+
+from repro.stencil import StencilConfig, run_variant
+
+
+def medium_config(**kw):
+    # medium-sized per-GPU chunks so compute is a visible fraction
+    return StencilConfig(global_shape=(4 * 256 + 2, 2050), num_gpus=4,
+                         iterations=20, with_data=False, **kw)
+
+
+class TestDeviceUtilization:
+    def test_cpufree_utilization_beats_cpu_controlled(self):
+        free = run_variant("cpufree", medium_config())
+        copy = run_variant("baseline_copy", medium_config())
+        for device in range(4):
+            assert free.device_utilization()[device] > 3 * copy.device_utilization()[device]
+
+    def test_utilization_in_unit_interval(self):
+        res = run_variant("cpufree", medium_config())
+        for value in res.device_utilization().values():
+            assert 0.0 < value <= 1.0
+
+    def test_no_compute_mode_zero_utilization(self):
+        res = run_variant("cpufree", medium_config(no_compute=True))
+        assert all(v == 0.0 for v in res.device_utilization().values())
+
+    def test_all_devices_reported(self):
+        res = run_variant("baseline_nvshmem", medium_config())
+        assert set(res.device_utilization()) == {0, 1, 2, 3}
+
+
+class TestOverlapRatio:
+    def test_cpufree_overlaps_comm_with_compute_when_compute_dominates(self):
+        # per-GPU 1024x2050: inner compute (~20us) exceeds the boundary
+        # chain (~8us), so halo wire time hides under the inner kernel
+        config = StencilConfig(global_shape=(4 * 1024 + 2, 2050), num_gpus=4,
+                               iterations=20, with_data=False)
+        res = run_variant("cpufree", config)
+        assert res.overlap_ratio > 0.8
+
+    def test_copy_baseline_serializes_comm(self):
+        """Baseline Copy's halo copies run after the kernel in the
+        same stream — zero overlap by construction."""
+        res = run_variant("baseline_copy", medium_config())
+        assert res.overlap_ratio < 0.2
+
+    def test_overlap_variant_actually_overlaps(self):
+        res = run_variant("baseline_overlap", medium_config())
+        assert res.overlap_ratio > 0.5
+
+
+class TestSpeedupFormula:
+    def test_speedup_matches_paper_formula(self):
+        free = run_variant("cpufree", medium_config())
+        base = run_variant("baseline_copy", medium_config())
+        expected = (base.total_time_us - free.total_time_us) / base.total_time_us * 100
+        assert free.speedup_over(base) == pytest.approx(expected)
+
+    def test_speedup_antisymmetric_sign(self):
+        free = run_variant("cpufree", medium_config())
+        base = run_variant("baseline_copy", medium_config())
+        assert free.speedup_over(base) > 0
+        assert base.speedup_over(free) < 0

@@ -1,0 +1,113 @@
+"""Tests for the NumPy reference Jacobi solvers."""
+
+import numpy as np
+import pytest
+
+from repro.stencil import jacobi_reference, jacobi_step
+from repro.stencil.reference import update_layers
+
+
+class TestJacobiStep2D:
+    def test_uniform_field_is_fixed_point(self):
+        u = np.full((8, 8), 3.0)
+        assert np.allclose(jacobi_step(u), u)
+
+    def test_boundary_preserved(self):
+        rng = np.random.default_rng(0)
+        u = rng.random((8, 8))
+        out = jacobi_step(u)
+        assert np.array_equal(out[0], u[0])
+        assert np.array_equal(out[-1], u[-1])
+        assert np.array_equal(out[:, 0], u[:, 0])
+        assert np.array_equal(out[:, -1], u[:, -1])
+
+    def test_five_point_formula(self):
+        u = np.zeros((3, 3))
+        u[0, 1], u[2, 1], u[1, 0], u[1, 2] = 1.0, 2.0, 3.0, 4.0
+        out = jacobi_step(u)
+        assert out[1, 1] == pytest.approx(0.25 * (1 + 2 + 3 + 4))
+
+    def test_input_not_mutated(self):
+        u = np.ones((5, 5))
+        u[2, 2] = 5.0
+        snapshot = u.copy()
+        jacobi_step(u)
+        assert np.array_equal(u, snapshot)
+
+    def test_converges_to_laplace_solution(self):
+        """Hot top edge: after many sweeps the field is harmonic
+        (each interior point equals its neighbor average)."""
+        u = np.zeros((12, 12))
+        u[0] = 1.0
+        out = jacobi_reference(u, 4000)
+        avg = 0.25 * (out[:-2, 1:-1] + out[2:, 1:-1] + out[1:-1, :-2] + out[1:-1, 2:])
+        assert np.allclose(out[1:-1, 1:-1], avg, atol=1e-6)
+
+
+class TestJacobiStep3D:
+    def test_uniform_fixed_point(self):
+        u = np.full((5, 5, 5), 2.0)
+        assert np.allclose(jacobi_step(u), u)
+
+    def test_seven_point_formula(self):
+        u = np.zeros((3, 3, 3))
+        for axis, value in zip(range(3), (1.0, 2.0, 3.0)):
+            idx = [1, 1, 1]
+            idx[axis] = 0
+            u[tuple(idx)] = value
+            idx[axis] = 2
+            u[tuple(idx)] = value + 10
+        out = jacobi_step(u)
+        assert out[1, 1, 1] == pytest.approx((1 + 11 + 2 + 12 + 3 + 13) / 6.0)
+
+    def test_boundary_preserved_3d(self):
+        rng = np.random.default_rng(1)
+        u = rng.random((5, 6, 7))
+        out = jacobi_step(u)
+        for axis in range(3):
+            first = [slice(None)] * 3
+            first[axis] = 0
+            assert np.array_equal(out[tuple(first)], u[tuple(first)])
+
+
+class TestUpdateLayers:
+    def test_partial_update_only_touches_range(self):
+        rng = np.random.default_rng(2)
+        u = rng.random((10, 6))
+        out = u.copy()
+        update_layers(u, out, 3, 5)
+        assert not np.array_equal(out[3:5, 1:-1], u[3:5, 1:-1])
+        assert np.array_equal(out[:3], u[:3])
+        assert np.array_equal(out[5:], u[5:])
+
+    def test_split_equals_full_sweep(self):
+        """Boundary + inner updates (the TB-specialized split) must
+        equal the monolithic sweep exactly."""
+        rng = np.random.default_rng(3)
+        u = rng.random((12, 8))
+        full = jacobi_step(u)
+        split = u.copy()
+        update_layers(u, split, 1, 2)       # top boundary
+        update_layers(u, split, 11 - 1, 11)  # bottom boundary (row 10)
+        update_layers(u, split, 2, 10)      # inner
+        assert np.array_equal(split, full)
+
+    def test_invalid_range_rejected(self):
+        u = np.zeros((6, 6))
+        with pytest.raises(ValueError):
+            update_layers(u, u.copy(), 0, 3)
+        with pytest.raises(ValueError):
+            update_layers(u, u.copy(), 1, 6)
+
+    def test_unsupported_ndim(self):
+        u = np.zeros((6,))
+        with pytest.raises(ValueError):
+            update_layers(u, u.copy(), 1, 2)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            jacobi_reference(np.zeros((4, 4)), -1)
+
+    def test_zero_iterations_identity(self):
+        u = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(jacobi_reference(u, 0), u)

@@ -1,0 +1,54 @@
+"""System-level determinism: identical inputs → identical simulated
+timelines and identical numerics, across every layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CGConfig, run_cg
+from repro.bench import fig61_weak_2d
+from repro.stencil import StencilConfig, run_variant
+
+
+def test_stencil_run_fully_deterministic():
+    config = StencilConfig(global_shape=(34, 20), num_gpus=4, iterations=6)
+    a = run_variant("cpufree", config)
+    b = run_variant("cpufree", config)
+    assert a.total_time_us == b.total_time_us
+    assert a.comm_time_us == b.comm_time_us
+    np.testing.assert_array_equal(a.result, b.result)
+    # even the full span timeline is identical
+    assert [(s.lane, s.name, s.start, s.end) for s in a.tracer.spans] == \
+           [(s.lane, s.name, s.start, s.end) for s in b.tracer.spans]
+
+
+@pytest.mark.parametrize("variant", ["baseline_nvshmem", "cpufree_coresident"])
+def test_other_variants_deterministic(variant):
+    config = StencilConfig(global_shape=(34, 20), num_gpus=3,
+                           iterations=5, with_data=False)
+    assert (run_variant(variant, config).total_time_us
+            == run_variant(variant, config).total_time_us)
+
+
+def test_figure_sweep_deterministic():
+    a = fig61_weak_2d("small", gpu_counts=(2, 4), iterations=5)
+    b = fig61_weak_2d("small", gpu_counts=(2, 4), iterations=5)
+    assert [(r.series, r.x, r.per_iteration_us) for r in a.rows] == \
+           [(r.series, r.x, r.per_iteration_us) for r in b.rows]
+
+
+def test_cg_deterministic():
+    cfg = CGConfig(global_shape=(20, 14), num_gpus=2, iterations=6)
+    a = run_cg("cg_cpufree", cfg)
+    b = run_cg("cg_cpufree", cfg)
+    assert a.total_time_us == b.total_time_us
+    np.testing.assert_array_equal(a.solution, b.solution)
+    assert a.final_residual_norm2 == b.final_residual_norm2
+
+
+def test_different_seeds_change_data_not_timing():
+    base = StencilConfig(global_shape=(34, 20), num_gpus=3, iterations=5, seed=1)
+    other = StencilConfig(global_shape=(34, 20), num_gpus=3, iterations=5, seed=2)
+    a = run_variant("cpufree", base)
+    b = run_variant("cpufree", other)
+    assert a.total_time_us == b.total_time_us  # timing is data-independent
+    assert not np.array_equal(a.result, b.result)

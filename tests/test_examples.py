@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "stencil_scaling.py", "dace_cpufree_compile.py",
+            "timeline_trace.py", "failure_modes.py",
+            "conjugate_gradient.py"} <= names
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-exact" in proc.stdout
+    assert "speedup" in proc.stdout
+
+
+def test_stencil_scaling_small():
+    proc = run_example("stencil_scaling.py", "small")
+    assert proc.returncode == 0, proc.stderr
+    assert "weak scaling" in proc.stdout
+    assert "cpufree" in proc.stdout
+
+
+def test_stencil_scaling_rejects_bad_size():
+    proc = run_example("stencil_scaling.py", "gigantic")
+    assert proc.returncode != 0
+    assert "unknown size" in proc.stderr
+
+
+def test_dace_cpufree_compile():
+    proc = run_example("dace_cpufree_compile.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-identical" in proc.stdout
+    assert "nvshmemx_putmem_signal_nbi_block" in proc.stdout
+
+
+def test_timeline_trace():
+    proc = run_example("timeline_trace.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "legend" in proc.stdout
+    assert "#" in proc.stdout  # compute glyphs present
+
+
+def test_wave_equation():
+    proc = run_example("wave_equation.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-exact" in proc.stdout
+
+
+def test_conjugate_gradient():
+    proc = run_example("conjugate_gradient.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-exact" in proc.stdout
+    assert "CPU-Free speedup" in proc.stdout
+
+
+def test_timeline_trace_writes_chrome_trace(tmp_path):
+    proc = run_example("timeline_trace.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "chrome trace written" in proc.stdout
+
+
+def test_failure_modes():
+    proc = run_example("failure_modes.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "rejected as expected" in proc.stdout
+    assert "fresh data: False" in proc.stdout
+    assert "detected as expected" in proc.stdout

@@ -5,6 +5,16 @@ Usage::
     python -m repro.bench                 # all figures, print tables
     python -m repro.bench 6.1 6.3b        # a subset
     python -m repro.bench --out report.txt
+    python -m repro.bench --jobs 4        # fan sweep points out over processes
+    python -m repro.bench --no-cache      # force recomputation
+    python -m repro.bench --profile       # cProfile the run (implies --jobs 1)
+
+Sweep points run through :mod:`repro.perf`: independent figure
+configurations fan out over worker processes (``--jobs``) and replay
+from an on-disk result cache keyed by a content hash of configuration
++ simulator sources.  The report body is byte-identical at any
+``--jobs`` setting; wall-clock timings and cache statistics print to
+stdout only, never into ``--out``.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from repro.bench.figures import (
     fig63b_dace_2d,
 )
 from repro.bench.report import render_figure
+from repro.perf import ResultCache, SweepRunner, use_runner
+from repro.perf.cache import DEFAULT_CACHE_DIR
 
 
 def _run_22():
@@ -57,6 +69,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the report to this file")
     parser.add_argument("--paper", action="store_true",
                         help="evaluate every paper claim and print the verdict table")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for sweep points (default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--profile", nargs="?", const="repro-bench.prof",
+                        default=None, metavar="PATH",
+                        help="cProfile the run and dump stats to PATH "
+                             "(default: repro-bench.prof); forces --jobs 1")
     args = parser.parse_args(argv)
 
     if args.paper:
@@ -74,17 +96,46 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown figure id(s) {unknown}; choose from {sorted(FIGURES)}")
 
+    jobs = 1 if args.profile else args.jobs
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     sections: list[str] = []
-    for figure_id in selected:
-        started = time.perf_counter()
-        for fig in FIGURES[figure_id]():
-            sections.append(render_figure(fig))
-        elapsed = time.perf_counter() - started
-        sections.append(f"(figure {figure_id} regenerated in {elapsed:.1f}s wall time)")
-        sections.append("")
+    timings: list[tuple[str, float]] = []
+    with use_runner(runner):
+        if profiler is not None:
+            profiler.enable()
+        for figure_id in selected:
+            started = time.perf_counter()
+            for fig in FIGURES[figure_id]():
+                sections.append(render_figure(fig))
+                sections.append("")
+            timings.append((figure_id, time.perf_counter() - started))
+        if profiler is not None:
+            profiler.disable()
 
     report = "\n".join(sections)
     print(report)
+    # timing / cache lines go to stdout only: the report body must stay
+    # byte-identical across --jobs settings and cache hits vs misses
+    for figure_id, elapsed in timings:
+        print(f"(figure {figure_id} regenerated in {elapsed:.1f}s wall time)")
+    if cache is not None:
+        print(f"(sweep cache: {runner.hits} hit(s), {runner.misses} miss(es) "
+              f"in {args.cache_dir})")
+    if profiler is not None:
+        import pstats
+
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"(profile written to {args.profile}; top functions:)")
+        stats.print_stats(10)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)

@@ -10,13 +10,18 @@ along axis 0.  Strong scaling fixes the global domain.
 All sweeps run the simulator in timing-only mode (``with_data=False``)
 — simulated time is identical with or without the backing NumPy data
 (asserted by the test suite), and correctness is covered by tests.
+
+Every sweep point is expressed as a call to a *top-level worker
+function* (``_stencil_point``, ``_dace_1d_point``, ...) mapped through
+:func:`repro.perf.active_runner`, so the CLI can fan points out over
+worker processes and cache their rows on disk; results are assembled
+in submission order, keeping figure tables byte-identical at any
+``--jobs`` setting (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.hw import HGX_A100_8GPU
 from repro.runtime import MultiGPUContext
@@ -30,6 +35,7 @@ from repro.sdfg.programs import (
     build_jacobi_2d_sdfg,
     cpufree_pipeline,
 )
+from repro.perf import active_runner
 from repro.sim import Tracer
 from repro.stencil import StencilConfig, run_variant
 
@@ -118,6 +124,18 @@ def weak_shape_3d(label_edge: int, gpus: int) -> tuple[int, int, int]:
     return (planes_per_gpu * gpus + 2, label_edge + 2, label_edge + 2)
 
 
+def _stencil_point(variant: str, config: StencilConfig) -> Row:
+    """Sweep worker: one stencil variant at one configuration."""
+    res = run_variant(variant, config)
+    return Row(
+        series=variant,
+        x=config.num_gpus,
+        per_iteration_us=res.per_iteration_us,
+        comm_us_per_iter=res.comm_time_us / config.iterations,
+        overlap_ratio=res.overlap_ratio,
+    )
+
+
 def _stencil_rows(
     shapes: dict[int, tuple[int, ...]],
     variants: tuple[str, ...],
@@ -125,25 +143,35 @@ def _stencil_rows(
     *,
     no_compute: bool = False,
 ) -> list[Row]:
-    rows = []
-    for gpus, shape in shapes.items():
-        for variant in variants:
-            config = StencilConfig(
-                global_shape=shape, num_gpus=gpus, iterations=iterations,
-                with_data=False, no_compute=no_compute,
-            )
-            res = run_variant(variant, config)
-            rows.append(Row(
-                series=variant,
-                x=gpus,
-                per_iteration_us=res.per_iteration_us,
-                comm_us_per_iter=res.comm_time_us / iterations,
-                overlap_ratio=res.overlap_ratio,
-            ))
-    return rows
+    tasks = [
+        (variant, StencilConfig(
+            global_shape=shape, num_gpus=gpus, iterations=iterations,
+            with_data=False, no_compute=no_compute,
+        ))
+        for gpus, shape in shapes.items()
+        for variant in variants
+    ]
+    return active_runner().map(_stencil_point, tasks)
 
 
 # ------------------------------ Figure 2.2 ---------------------------------------
+
+
+def _fig22b_point(variant: str, shape8: tuple[int, ...], iterations: int) -> Row:
+    """Sweep worker: full + no-compute run of one variant at 8 GPUs."""
+    full = run_variant(variant, StencilConfig(
+        global_shape=shape8, num_gpus=8, iterations=iterations, with_data=False))
+    nocomp = run_variant(variant, StencilConfig(
+        global_shape=shape8, num_gpus=8, iterations=iterations,
+        with_data=False, no_compute=True))
+    comm_fraction = min(1.0, nocomp.total_time_us / full.total_time_us)
+    return Row(
+        series=variant, x=8,
+        per_iteration_us=full.per_iteration_us,
+        comm_us_per_iter=nocomp.per_iteration_us,
+        overlap_ratio=full.overlap_ratio,
+        extra={"comm_fraction": comm_fraction},
+    )
 
 
 def fig22_motivation(iterations: int = 40) -> tuple[FigureData, FigureData]:
@@ -155,25 +183,14 @@ def fig22_motivation(iterations: int = 40) -> tuple[FigureData, FigureData]:
                            no_compute=True)
     fig_a = FigureData("2.2a", "Pure communication overhead (no compute)", a_rows)
 
-    b_rows = []
-    headlines: dict[str, float] = {}
     shape8 = weak_shape_2d(SIZE_CLASSES_2D["small"], 8)
-    for variant in ("baseline_overlap", "cpufree"):
-        full = run_variant(variant, StencilConfig(
-            global_shape=shape8, num_gpus=8, iterations=iterations, with_data=False))
-        nocomp = run_variant(variant, StencilConfig(
-            global_shape=shape8, num_gpus=8, iterations=iterations,
-            with_data=False, no_compute=True))
-        comm_fraction = min(1.0, nocomp.total_time_us / full.total_time_us)
-        b_rows.append(Row(
-            series=variant, x=8,
-            per_iteration_us=full.per_iteration_us,
-            comm_us_per_iter=nocomp.per_iteration_us,
-            overlap_ratio=full.overlap_ratio,
-            extra={"comm_fraction": comm_fraction},
-        ))
-        headlines[f"{variant}_comm_fraction"] = comm_fraction
-        headlines[f"{variant}_overlap_ratio"] = full.overlap_ratio
+    variants = ("baseline_overlap", "cpufree")
+    b_rows = active_runner().map(
+        _fig22b_point, [(variant, shape8, iterations) for variant in variants])
+    headlines: dict[str, float] = {}
+    for variant, row in zip(variants, b_rows):
+        headlines[f"{variant}_comm_fraction"] = row.extra["comm_fraction"]
+        headlines[f"{variant}_overlap_ratio"] = row.overlap_ratio
     fig_b = FigureData("2.2b", "Communication fraction and overlap at 8 GPUs",
                        b_rows, headlines)
     return fig_a, fig_b
@@ -270,13 +287,7 @@ def fig62_3d(
 # ------------------------------ Figure 6.3 ---------------------------------------
 
 
-def _strip_arrays(args: list[dict]) -> list[dict]:
-    return [{k: v for k, v in a.items() if k not in ("A", "B")} for a in args]
-
-
-def _run_dace(build, pipeline_args, decomp_args, ranks: int) -> "ReportLike":
-    from repro.sdfg.codegen.executor import ExecutionReport  # local alias
-
+def _run_dace(build, pipeline_args, decomp_args, ranks: int):
     sdfg = build()
     kind, conjugates = pipeline_args
     if kind == "baseline":
@@ -288,6 +299,22 @@ def _run_dace(build, pipeline_args, decomp_args, ranks: int) -> "ReportLike":
     return executor.run(decomp_args)
 
 
+def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int) -> Row:
+    """Sweep worker: one (GPU count, pipeline) point of Fig 6.3a.
+
+    Timing-only runs need just the per-rank scalar parameters, so the
+    (huge) global domain is never allocated.
+    """
+    decomp = SlabDecomposition1D(per_gpu_n * gpus, gpus)
+    report = _run_dace(build_jacobi_1d_sdfg, (kind, CONJUGATES_1D),
+                       decomp.rank_params(tsteps), gpus)
+    return Row(
+        series=f"dace_{kind}", x=gpus,
+        per_iteration_us=report.per_iteration_us,
+        comm_us_per_iter=report.comm_time_us / report.iterations,
+    )
+
+
 def fig63a_dace_1d(
     gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
     per_gpu_n: int = 1_000_000,
@@ -295,18 +322,9 @@ def fig63a_dace_1d(
 ) -> FigureData:
     """Fig 6.3a: DaCe Jacobi 1D, discrete MPI baseline vs generated
     CPU-Free, weak scaling (constant elements per GPU)."""
-    rows = []
-    for gpus in gpu_counts:
-        n_global = per_gpu_n * gpus
-        decomp = SlabDecomposition1D(n_global, gpus)
-        args = _strip_arrays(decomp.rank_args(np.zeros(n_global + 2), tsteps))
-        for kind in ("baseline", "cpufree"):
-            report = _run_dace(build_jacobi_1d_sdfg, (kind, CONJUGATES_1D), args, gpus)
-            rows.append(Row(
-                series=f"dace_{kind}", x=gpus,
-                per_iteration_us=report.per_iteration_us,
-                comm_us_per_iter=report.comm_time_us / report.iterations,
-            ))
+    tasks = [(gpus, kind, per_gpu_n, tsteps)
+             for gpus in gpu_counts for kind in ("baseline", "cpufree")]
+    rows = active_runner().map(_dace_1d_point, tasks)
     fig = FigureData("6.3a", "DaCe Jacobi 1D: baseline vs CPU-Free", rows)
     top = max(gpu_counts)
     base, free = fig.at("dace_baseline", top), fig.at("dace_cpufree", top)
@@ -316,6 +334,34 @@ def fig63a_dace_1d(
         / base.comm_us_per_iter * 100.0,
     }
     return fig
+
+
+def _fig63b_domain(base_edge: int, gpus: int) -> tuple[int, int]:
+    """Global interior for Fig 6.3b: doubles axis-0-first per GPU doubling."""
+    gy, gx = base_edge, base_edge
+    q, axis = gpus, 0
+    while q > 1:
+        if axis == 0:
+            gy *= 2
+        else:
+            gx *= 2
+        axis ^= 1
+        q //= 2
+    return gy, gx
+
+
+def _dace_2d_point(gpus: int, kind: str, base_edge: int, tsteps: int) -> Row:
+    """Sweep worker: one (GPU count, pipeline) point of Fig 6.3b."""
+    gy, gx = _fig63b_domain(base_edge, gpus)
+    decomp = GridDecomposition2D(gy, gx, gpus)
+    report = _run_dace(build_jacobi_2d_sdfg, (kind, CONJUGATES_2D),
+                       decomp.rank_params(tsteps), gpus)
+    return Row(
+        series=f"dace_{kind}", x=gpus,
+        per_iteration_us=report.per_iteration_us,
+        comm_us_per_iter=report.comm_time_us / report.iterations,
+        extra={"tile": decomp.tile, "grid": decomp.grid},
+    )
 
 
 def fig63b_dace_2d(
@@ -329,27 +375,9 @@ def fig63b_dace_2d(
     wide (py <= px), so P = 2 and 8 produce rectangular tiles with
     long strided columns — the baseline's unbalanced-partition bump.
     """
-    rows = []
-    for gpus in gpu_counts:
-        gy, gx = base_edge, base_edge
-        q, axis = gpus, 0
-        while q > 1:
-            if axis == 0:
-                gy *= 2
-            else:
-                gx *= 2
-            axis ^= 1
-            q //= 2
-        decomp = GridDecomposition2D(gy, gx, gpus)
-        args = _strip_arrays(decomp.rank_args(np.zeros((gy + 2, gx + 2)), tsteps))
-        for kind in ("baseline", "cpufree"):
-            report = _run_dace(build_jacobi_2d_sdfg, (kind, CONJUGATES_2D), args, gpus)
-            rows.append(Row(
-                series=f"dace_{kind}", x=gpus,
-                per_iteration_us=report.per_iteration_us,
-                comm_us_per_iter=report.comm_time_us / report.iterations,
-                extra={"tile": decomp.tile, "grid": decomp.grid},
-            ))
+    tasks = [(gpus, kind, base_edge, tsteps)
+             for gpus in gpu_counts for kind in ("baseline", "cpufree")]
+    rows = active_runner().map(_dace_2d_point, tasks)
     fig = FigureData("6.3b", "DaCe Jacobi 2D: baseline vs CPU-Free (strided halos)", rows)
     top, lo = max(gpu_counts), min(gpu_counts)
     base = fig.at("dace_baseline", top)

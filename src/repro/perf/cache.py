@@ -1,0 +1,76 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A cache entry's key is ``sha256(worker id | repr(args) | source
+digest)`` where the source digest hashes every ``.py`` file under the
+installed ``repro`` package.  Invalidation is therefore automatic and
+conservative: *any* source change makes every old key unreachable, so
+a stale entry can never be replayed against new simulator semantics.
+Stale files are simply never read again (delete the cache directory to
+reclaim the space).
+
+Values are pickled; sweep workers return small dataclasses (rows of a
+figure table), never large arrays.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["ResultCache", "source_digest"]
+
+DEFAULT_CACHE_DIR = ".repro-perf-cache"
+
+
+@functools.lru_cache(maxsize=1)
+def source_digest() -> str:
+    """Hash of every repro source file (hex). Computed once per process."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Pickle store under ``root``, one file per key."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def key(self, fn: Callable, args: tuple) -> str:
+        """Cache key for calling ``fn(*args)`` against current sources.
+
+        ``repr(args)`` must be a faithful value rendering — sweep
+        workers take primitives and frozen dataclasses, which it is.
+        """
+        payload = f"{fn.__module__}.{fn.__qualname__}|{args!r}|{source_digest()}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        path = self.root / f"{key}.pkl"
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomic write (tmp file + rename) so concurrent sweeps never
+        observe a torn entry."""
+        path = self.root / f"{key}.pkl"
+        tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh)
+        os.replace(tmp, path)

@@ -1,0 +1,95 @@
+"""Deterministic parallel sweep execution.
+
+:class:`SweepRunner` maps a top-level worker function over a list of
+argument tuples — serially, or fanned out over a
+``concurrent.futures.ProcessPoolExecutor`` — with an optional
+:class:`~repro.perf.cache.ResultCache` consulted per point.  Results
+are always assembled in *submission order*, so the output is
+byte-identical no matter how many jobs ran or which points were cache
+hits (the determinism contract enforced by ``tests/perf``).
+
+Figure code never receives a runner explicitly: it calls
+:func:`active_runner`, which defaults to a serial, cache-less runner
+(plain function calls — the behavior unit tests see).  The CLI
+installs a configured runner around a whole figure run with
+:func:`use_runner`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.perf.cache import ResultCache
+
+__all__ = ["SweepRunner", "active_runner", "use_runner"]
+
+
+class SweepRunner:
+    """Maps workers over sweep points with optional processes + cache.
+
+    ``jobs``
+        Worker process count. 1 (default) runs in-process — no pool,
+        no pickling. Workers must be top-level (picklable) functions
+        when ``jobs > 1``.
+    ``cache``
+        A :class:`ResultCache`, or ``None`` to recompute everything.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list[Any]:
+        """``[fn(*args) for args in argtuples]``, accelerated."""
+        argtuples = list(argtuples)
+        results: list[Any] = [None] * len(argtuples)
+        keys: list[str | None] = [None] * len(argtuples)
+        pending: list[int] = []
+        for i, args in enumerate(argtuples):
+            if self.cache is not None:
+                keys[i] = self.cache.key(fn, args)
+                hit, value = self.cache.get(keys[i])
+                if hit:
+                    results[i] = value
+                    self.hits += 1
+                    continue
+                self.misses += 1
+            pending.append(i)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
+                    for i, future in futures:
+                        results[i] = future.result()
+            else:
+                for i in pending:
+                    results[i] = fn(*argtuples[i])
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(keys[i], results[i])
+        return results
+
+
+#: module-level runner consulted by figure sweeps
+_active = SweepRunner()
+
+
+def active_runner() -> SweepRunner:
+    """The runner figure sweeps should map through right now."""
+    return _active
+
+
+@contextmanager
+def use_runner(runner: SweepRunner) -> Iterator[SweepRunner]:
+    """Install ``runner`` as the active runner for the enclosed block."""
+    global _active
+    previous = _active
+    _active = runner
+    try:
+        yield runner
+    finally:
+        _active = previous

@@ -32,6 +32,7 @@ from repro.nvshmem import NVSHMEMRuntime, WaitCond
 from repro.nvshmem.device import Scope
 from repro.runtime import Communicator, MultiGPUContext, VectorType
 from repro.runtime.kernel import KernelSpec
+from repro.sdfg.codegen.fastpath import plan_state
 from repro.sdfg.graph import LoopRegion, Region, SDFG, Schedule, State
 from repro.sdfg.libnodes.mpi import MPI_PROC_NULL, MPIBarrier, MPIIrecv, MPIIsend, MPIWaitall
 from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
@@ -79,10 +80,18 @@ class SDFGExecutor:
         *,
         with_data: bool = True,
         comm_scope: Scope = Scope.THREAD,
+        fastpath: str = "vector",
     ) -> None:
         self.sdfg = sdfg
         self.ctx = ctx
         self.with_data = with_data
+        #: tasklet execution mode: ``"vector"`` (specialized maps run as
+        #: single NumPy slice expressions), ``"scalar"`` (codegen-faithful
+        #: per-element loop), or ``"validate"`` (run both, assert
+        #: bit-identical).  See :mod:`repro.sdfg.codegen.fastpath`.
+        if fastpath not in ("vector", "scalar", "validate"):
+            raise ValueError(f"unknown fastpath mode {fastpath!r}")
+        self.fastpath = fastpath
         #: issuing-group scope for generated puts.  THREAD reproduces
         #: §5.3.2's single-thread scheduling; BLOCK models the §5.4
         #: future-work cooperative scheduling (ablation benchmarks).
@@ -277,18 +286,9 @@ class SDFGExecutor:
         return max(1, volume)
 
     def _execute_tasklets(self, state: State, rs: _RankState, bindings: dict[str, int]) -> None:
-        for tasklet in state.tasklets:
-            out_edge = next(
-                e for e in state.edges
-                if isinstance(e.dst, AccessNode) and e.memlet is not None
-                and e.memlet.data == tasklet.output
-            )
-            memlet = out_edge.memlet
-            shape = self._shape_of(memlet.data, bindings)
-            index = memlet.resolve(shape, bindings)
-            namespace = {"np": np, **rs.arrays, **bindings}
-            value = eval(tasklet.expr_source, {"__builtins__": {}}, namespace)  # noqa: S307
-            rs.arrays[memlet.data][index] = value
+        # Compiled fast path: tasklets are planned once per state (code
+        # objects + map specialization) and replayed on every iteration.
+        plan_state(state, self.sdfg).execute(rs.arrays, bindings, mode=self.fastpath)
 
     def _run_mpi_p2p(self, node, state: State, rank: int, rs: _RankState, host, stream):
         assert self.comm is not None

@@ -35,6 +35,18 @@ class SlabDecomposition1D:
         lo, hi = slab_partition(self.n_global, self.ranks)[rank]
         return (hi - lo) + 2  # interior + 2 halo cells
 
+    def rank_params(self, tsteps: int) -> list[dict]:
+        """Scalar executor arguments per rank (no array data) — the
+        timing-only sweeps use these directly and skip allocating the
+        global domain entirely."""
+        ranges = slab_partition(self.n_global, self.ranks)
+        return [{
+            "N": (hi - lo) + 2,  # interior + 2 halo cells
+            "TSTEPS": tsteps,
+            "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
+            "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
+        } for rank, (lo, hi) in enumerate(ranges)]
+
     def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
         """Executor arguments per rank for the jacobi_1d program.
 
@@ -43,17 +55,10 @@ class SlabDecomposition1D:
         if u0.shape != (self.n_global + 2,):
             raise ValueError(f"u0 must have {self.n_global + 2} entries")
         ranges = slab_partition(self.n_global, self.ranks)
-        args = []
-        for rank, (lo, hi) in enumerate(ranges):
+        args = self.rank_params(tsteps)
+        for params, (lo, hi) in zip(args, ranges):
             chunk = np.array(u0[lo : hi + 2])  # includes halo cells
-            args.append({
-                "A": chunk,
-                "B": np.array(chunk),
-                "N": chunk.shape[0],
-                "TSTEPS": tsteps,
-                "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
-                "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
-            })
+            params.update(A=chunk, B=np.array(chunk))
         return args
 
     def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,
@@ -88,23 +93,25 @@ class SlabDecomposition3D:
     def planes(self) -> int:
         return self.nz_global // self.ranks
 
+    def rank_params(self, tsteps: int) -> list[dict]:
+        """Scalar executor arguments per rank (no array data)."""
+        return [{
+            "N": self.planes + 2,
+            "M": self.m + 2,
+            "TSTEPS": tsteps,
+            "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
+            "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
+        } for rank in range(self.ranks)]
+
     def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
         expected = (self.nz_global + 2, self.m + 2, self.m + 2)
         if u0.shape != expected:
             raise ValueError(f"u0 must be {expected}")
-        args = []
-        for rank in range(self.ranks):
+        args = self.rank_params(tsteps)
+        for rank, params in enumerate(args):
             lo = rank * self.planes
             chunk = np.array(u0[lo : lo + self.planes + 2])
-            args.append({
-                "A": chunk,
-                "B": np.array(chunk),
-                "N": self.planes + 2,
-                "M": self.m + 2,
-                "TSTEPS": tsteps,
-                "nw": rank - 1 if rank > 0 else MPI_PROC_NULL,
-                "ne": rank + 1 if rank < self.ranks - 1 else MPI_PROC_NULL,
-            })
+            params.update(A=chunk, B=np.array(chunk))
         return args
 
     def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,
@@ -154,6 +161,16 @@ class GridDecomposition2D:
             "ne": rank + 1 if rx < px - 1 else MPI_PROC_NULL,
         }
 
+    def rank_params(self, tsteps: int) -> list[dict]:
+        """Scalar executor arguments per rank (no array data)."""
+        th, tw = self.tile
+        return [{
+            "N": th + 2,
+            "M": tw + 2,
+            "TSTEPS": tsteps,
+            **self.neighbors(rank),
+        } for rank in range(self.ranks)]
+
     def rank_args(self, u0: np.ndarray, tsteps: int) -> list[dict]:
         """Executor arguments per rank for the jacobi_2d program.
 
@@ -162,19 +179,12 @@ class GridDecomposition2D:
         if u0.shape != (self.gy + 2, self.gx + 2):
             raise ValueError(f"u0 must be {(self.gy + 2, self.gx + 2)}")
         th, tw = self.tile
-        args = []
-        for rank in range(self.ranks):
+        args = self.rank_params(tsteps)
+        for rank, params in enumerate(args):
             ry, rx = self.coords(rank)
             lo_y, lo_x = ry * th, rx * tw
             chunk = np.array(u0[lo_y : lo_y + th + 2, lo_x : lo_x + tw + 2])
-            args.append({
-                "A": chunk,
-                "B": np.array(chunk),
-                "N": th + 2,
-                "M": tw + 2,
-                "TSTEPS": tsteps,
-                **self.neighbors(rank),
-            })
+            params.update(A=chunk, B=np.array(chunk))
         return args
 
     def gather(self, arrays: list[dict[str, np.ndarray]], u0: np.ndarray,

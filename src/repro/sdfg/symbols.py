@@ -69,30 +69,60 @@ def _wrap(value) -> Expr:  # type: ignore[no-untyped-def]
     raise TypeError(f"cannot use {type(value).__name__} in a symbolic expression")
 
 
+#: globals for memoized BinOp evaluation — no builtins reachable
+_EVAL_GLOBALS: dict[str, object] = {"__builtins__": {}}
+
+
+def _compile_binop(expr: "BinOp"):
+    """Compile a BinOp tree to a Python code object, once per instance.
+
+    Expressions are built once (shapes, memlets, loop bounds) but
+    evaluated inside per-iteration loops, so the parse/lowering cost is
+    paid a single time and cached on the (frozen) node via its
+    ``__dict__``.  Python's own integer arithmetic matches the
+    recursive evaluator exactly, ``//`` included.
+    """
+    code = compile(expr_to_str(expr), "<sym>", "eval")
+    object.__setattr__(expr, "_eval_code", code)
+    return code
+
+
 def evaluate_expr(expr: Expr, bindings: dict[str, int]) -> int:
     """Evaluate ``expr`` with symbol values from ``bindings``."""
-    if isinstance(expr, bool):
-        raise TypeError("booleans are not symbolic expressions")
-    if isinstance(expr, int):
+    t = type(expr)
+    if t is int:
         return expr
-    if isinstance(expr, Sym):
+    if t is Sym:
         try:
             return int(bindings[expr.name])
         except KeyError:
             raise KeyError(f"unbound symbol {expr.name!r}") from None
-    if isinstance(expr, BinOp):
-        lhs = evaluate_expr(expr.lhs, bindings)
-        rhs = evaluate_expr(expr.rhs, bindings)
-        if expr.op == "+":
-            return lhs + rhs
-        if expr.op == "-":
-            return lhs - rhs
-        if expr.op == "*":
-            return lhs * rhs
-        if expr.op == "//":
-            return lhs // rhs
-        raise ValueError(f"unknown operator {expr.op!r}")
+    if t is BinOp:
+        code = expr.__dict__.get("_eval_code")
+        if code is None:
+            _validate_ops(expr)
+            code = _compile_binop(expr)
+        try:
+            return int(eval(code, _EVAL_GLOBALS, bindings))  # noqa: S307
+        except NameError as exc:
+            raise KeyError(f"unbound symbol {exc.name!r}") from None
+    if t is bool:
+        raise TypeError("booleans are not symbolic expressions")
+    if isinstance(expr, int) and not isinstance(expr, bool):
+        return int(expr)
     raise TypeError(f"not a symbolic expression: {expr!r}")
+
+
+def _validate_ops(expr: Expr) -> None:
+    """Reject unknown operators before compiling (error parity with
+    the old recursive evaluator)."""
+    if isinstance(expr, BinOp):
+        if expr.op not in ("+", "-", "*", "//"):
+            raise ValueError(f"unknown operator {expr.op!r}")
+        _validate_ops(expr.lhs)
+        _validate_ops(expr.rhs)
+    elif not isinstance(expr, (int, Sym)) or isinstance(expr, bool):
+        raise TypeError(f"not a symbolic expression: {expr!r}")
 
 
 def expr_to_str(expr: Expr) -> str:

@@ -23,13 +23,26 @@ yielded directly as shorthand for ``WaitProcess``.
 Determinism: events are ordered by ``(time, sequence)`` where the
 sequence number increases monotonically with scheduling order, so runs
 are fully reproducible.
+
+Fast paths: heap entries are plain ``(time, seq, proc, value)`` tuples
+(the unique ``seq`` guarantees comparisons never reach the process),
+and zero-delay resumes — the dominant event class in signaling-heavy
+protocols — go through a FIFO ready queue that bypasses the heap
+entirely.  Both preserve the ``(time, seq)`` ordering contract exactly:
+the main loop merges the ready queue and the heap by that key.
+
+``WaitFlag`` predicates must be pure functions of the flag *value*:
+:meth:`Flag.set` skips the waiter scan when the stored value does not
+change, so a predicate that consults ambient state (e.g. ``sim.now``)
+is not re-evaluated on no-op writes.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Callable, Generator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = [
@@ -137,7 +150,14 @@ class Flag:
         return self._value
 
     def set(self, value: int) -> None:
-        """Store ``value`` and wake any waiter whose predicate now holds."""
+        """Store ``value`` and wake any waiter whose predicate now holds.
+
+        A no-op write (same value) skips the waiter scan: predicates
+        depend only on the value, and a waiter whose predicate already
+        held would have resumed when it was enqueued.
+        """
+        if value == self._value:
+            return
         self._value = value
         self._wake()
 
@@ -162,14 +182,6 @@ class Flag:
         return f"<Flag {self.name}={self._value} waiters={len(self._waiters)}>"
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    proc: Process = field(compare=False)
-    value: Any = field(compare=False, default=None)
-
-
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -188,7 +200,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[_Event] = []
+        #: future events as ``(time, seq, proc, value)`` tuples
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        #: events at the *current* time, FIFO by seq (heap bypass)
+        self._ready: deque[tuple[float, int, Process, Any]] = deque()
         self._seq = 0
         self._processes: list[Process] = []
         self._blocked = 0
@@ -212,7 +227,13 @@ class Simulator:
 
     def _push(self, time: float, proc: Process, value: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, _Event(time, self._seq, proc, value))
+        entry = (time, self._seq, proc, value)
+        if time == self.now:
+            # Zero-delay wakeup: seq is monotonic, so FIFO append keeps
+            # the ready queue sorted by (time, seq) for free.
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
 
     def _resume(self, proc: Process, value: Any) -> None:
         """Schedule ``proc`` to continue at the current time."""
@@ -228,16 +249,25 @@ class Simulator:
         if live processes remain blocked with no pending events, and
         re-raises the first exception of any failed process.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if until is not None and event.time > until:
-                heapq.heappush(self._heap, event)
+        heap, ready = self._heap, self._ready
+        while heap or ready:
+            # Merge the ready queue and the heap by (time, seq): ready
+            # entries sit at the current time, but the heap may still
+            # hold a same-time event with a smaller seq.
+            if ready and (not heap or (ready[0][0], ready[0][1]) <= (heap[0][0], heap[0][1])):
+                event = ready.popleft()
+            else:
+                event = heapq.heappop(heap)
+            time = event[0]
+            if until is not None and time > until:
+                heapq.heappush(heap, event)
                 self.now = until
                 return self.now
-            if event.time < self.now - 1e-12:
+            if time < self.now - 1e-12:
                 raise SimulationError("event scheduled in the past")
-            self.now = max(self.now, event.time)
-            self._step(event.proc, event.value)
+            if time > self.now:
+                self.now = time
+            self._step(event[2], event[3])
         alive_blocked = [p for p in self._processes if p.alive]
         if alive_blocked:
             detail = ", ".join(f"{p.name} waiting on {p._waiting_on}" for p in alive_blocked)
@@ -258,31 +288,46 @@ class Simulator:
         self._dispatch(proc, command)
 
     def _dispatch(self, proc: Process, command: Any) -> None:
-        if isinstance(command, Delay):
+        # Exact-type dispatch for the hot commands; subclasses of the
+        # command types take the isinstance fallback below.
+        cls = command.__class__
+        if cls is Delay:
+            proc._waiting_on = f"Delay({command.dt})"
+            self._push(self.now + command.dt, proc, None)
+        elif cls is WaitFlag:
+            self._wait_flag(proc, command)
+        elif cls is WaitProcess or cls is Process:
+            self._join(proc, command.process if cls is WaitProcess else command)
+        elif isinstance(command, Delay):
             proc._waiting_on = f"Delay({command.dt})"
             self._push(self.now + command.dt, proc, None)
         elif isinstance(command, WaitFlag):
-            flag = command.flag
-            if command.predicate(flag.value):
-                self._push(self.now, proc, flag.value)
-            else:
-                proc._waiting_on = f"Flag({flag.name}={flag.value})"
-                self._blocked += 1
-                flag._waiters.append((proc, command.predicate))
+            self._wait_flag(proc, command)
         elif isinstance(command, (WaitProcess, Process)):
-            target = command.process if isinstance(command, WaitProcess) else command
-            if not target.alive:
-                if target.error is not None:
-                    raise ProcessFailed(f"joined process {target.name} failed") from target.error
-                self._push(self.now, proc, target.result)
-            else:
-                proc._waiting_on = f"join({target.name})"
-                self._blocked += 1
-                target._joiners.append(proc)
+            self._join(proc, command.process if isinstance(command, WaitProcess) else command)
         else:
             raise SimulationError(
                 f"process {proc.name} yielded unsupported command {command!r}"
             )
+
+    def _wait_flag(self, proc: Process, command: WaitFlag) -> None:
+        flag = command.flag
+        if command.predicate(flag.value):
+            self._push(self.now, proc, flag.value)
+        else:
+            proc._waiting_on = f"Flag({flag.name}={flag.value})"
+            self._blocked += 1
+            flag._waiters.append((proc, command.predicate))
+
+    def _join(self, proc: Process, target: Process) -> None:
+        if not target.alive:
+            if target.error is not None:
+                raise ProcessFailed(f"joined process {target.name} failed") from target.error
+            self._push(self.now, proc, target.result)
+        else:
+            proc._waiting_on = f"join({target.name})"
+            self._blocked += 1
+            target._joiners.append(proc)
 
     def _finish(self, proc: Process, result: Any, error: BaseException | None) -> None:
         proc.alive = False

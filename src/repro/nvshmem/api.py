@@ -41,6 +41,54 @@ class NVSHMEMRuntime:
         self._device_barrier = HostBarrier(
             ctx.sim, self.n_pes, ctx.cost.grid_sync_us, name="nvshmem.device"
         )
+        # Flow-event correlation (observability): a monotonic id is
+        # allocated per signal-carrying op at issue time; the delivery
+        # leg notes it here when the signal lands so the matching
+        # ``signal_wait_until`` can tag its span with the same id.
+        self._flow_seq = 0
+        self._last_signal_flow: dict[tuple[int, int], tuple[int, int]] = {}
+        # Op/wait accounting accumulated as plain slots shared by every
+        # NVSHMEMDevice handle (handles are created per kernel body) and
+        # folded into the registry by flush_metrics() — registry lookups
+        # are too slow for the per-op path.
+        self._op_acc: dict = {}
+        self._wait_acc: dict = {}
+        self._wait_hist: dict = {}
+        ctx.add_metric_flusher(self.flush_metrics)
+
+    def flush_metrics(self) -> None:
+        """Fold accumulated op/wait accounting into the registry
+        (called by the owning context after each simulation run)."""
+        m = self.ctx.metrics
+        if m is None:
+            return
+        for (pe, op, dest_pe), (n, nbytes) in sorted(self._op_acc.items()):
+            labels = {"op": op, "src": str(pe), "dst": str(dest_pe)}
+            m.counter("nvshmem.ops", **labels).inc(n)
+            if nbytes:
+                m.counter("nvshmem.bytes", **labels).inc(nbytes)
+        self._op_acc.clear()
+        for (pe, src), (n, wait_us) in sorted(self._wait_acc.items()):
+            m.counter("nvshmem.wait.count", pe=str(pe), src=src).inc(n)
+            m.counter("nvshmem.wait.us", pe=str(pe), src=src).inc(wait_us)
+        self._wait_acc.clear()
+
+    # -- flow correlation ------------------------------------------------------
+
+    def next_flow_id(self) -> int:
+        """Allocate a trace flow id (deterministic: issue order)."""
+        self._flow_seq += 1
+        return self._flow_seq
+
+    def _note_signal_flow(self, pe: int, index: int, flow_id: int, src_pe: int) -> None:
+        """Record that ``flow_id`` from ``src_pe`` last updated signal
+        word ``index`` on PE ``pe`` (called at signal-application time)."""
+        self._last_signal_flow[(pe, index)] = (flow_id, src_pe)
+
+    def last_signal_flow(self, pe: int, index: int) -> tuple[int, int] | None:
+        """``(flow_id, src_pe)`` of the last signal applied to the word,
+        or ``None`` if it was never remotely signaled."""
+        return self._last_signal_flow.get((pe, index))
 
     # -- allocation ------------------------------------------------------------
 

@@ -87,6 +87,15 @@ class NVSHMEMDevice:
         self.runtime = runtime
         self.pe = pe
         self.lane = lane
+        # accumulation slots, shared runtime-wide — device handles are
+        # short-lived, and registry lookups are too slow for the per-op
+        # path (the runtime flushes these into the registry post-run);
+        # the registry is bound here because ctx.metrics is fixed for
+        # the context's lifetime and the property hop costs on hot paths
+        self._metrics = runtime.ctx.metrics
+        self._op_acc = runtime._op_acc
+        self._wait_acc = runtime._wait_acc
+        self._wait_hist = runtime._wait_hist
 
     # -- internals -------------------------------------------------------------
 
@@ -115,8 +124,33 @@ class NVSHMEMDevice:
         else:
             flag.add(value)
 
-    def _trace(self, name: str, category: str, start: float) -> None:
-        self._ctx.trace(self.lane, name, category, start, self._ctx.sim.now)
+    def _trace(self, name: str, category: str, start: float, meta: Any = None) -> None:
+        self._ctx.trace(self.lane, name, category, start, self._ctx.sim.now, meta)
+
+    def _record_op(self, op: str, dest_pe: int, nbytes: float = 0) -> None:
+        """Account one device-side op in the metrics registry (count,
+        modeled bytes, and link traffic for data-carrying ops)."""
+        if self._metrics is None:
+            return
+        acc = self._op_acc.get((self.pe, op, dest_pe))
+        if acc is None:
+            acc = self._op_acc[(self.pe, op, dest_pe)] = [0, 0.0]
+        acc[0] += 1
+        if nbytes:
+            acc[1] += nbytes
+            # puts compute their own wire time (scope-dependent), so they
+            # bypass topology.transfer_us — account the link traffic here
+            self._ctx.topology.record_transfer(self.pe, dest_pe, nbytes)
+
+    def _sample_pending(self) -> None:
+        """Emit a Chrome-trace counter sample of in-flight deliveries."""
+        tracer = self._ctx.tracer
+        if tracer is not None:
+            tracer.add_counter(
+                f"nvshmem.pending.pe{self.pe}",
+                self._ctx.sim.now,
+                self.runtime.pending(self.pe).value,
+            )
 
     def _deliver_async(
         self,
@@ -125,10 +159,18 @@ class NVSHMEMDevice:
         write: Any,
         signal: tuple[Flag, int, SignalOp] | None,
         name: str,
+        flow: int | None = None,
+        signal_index: int | None = None,
     ) -> None:
-        """Spawn the asynchronous delivery leg of an ``nbi`` operation."""
+        """Spawn the asynchronous delivery leg of an ``nbi`` operation.
+
+        ``flow`` tags the delivery span as the producer of a trace flow
+        event (the span ends exactly when the signal is applied, which
+        is what a downstream ``signal_wait_until`` chains on).
+        """
         pending = self.runtime.pending(self.pe)
         pending.add(1)
+        self._sample_pending()
         sim = self._ctx.sim
 
         def delivery() -> Generator[Any, Any, None]:
@@ -139,8 +181,14 @@ class NVSHMEMDevice:
             if signal is not None:
                 flag, value, op = signal
                 self._apply_signal(flag, value, op)
+                if flow is not None and signal_index is not None:
+                    self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
             pending.add(-1)
-            self._ctx.trace(f"wire.pe{self.pe}->pe{dest_pe}", name, "comm", start, sim.now)
+            self._sample_pending()
+            meta = {"flow_s": flow} if flow is not None else None
+            self._ctx.trace(
+                f"wire.pe{self.pe}->pe{dest_pe}", name, "comm", start, sim.now, meta
+            )
 
         sim.spawn(delivery(), name=f"nvshmem.{name}.pe{self.pe}->pe{dest_pe}")
 
@@ -175,6 +223,7 @@ class NVSHMEMDevice:
         """
         values = np.asarray(values)
         size = int(nbytes) if nbytes is not None else values.nbytes
+        self._record_op("putmem", dest_pe, size)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
         write = self._writer(dst, dst_index, values, dest_pe)
@@ -196,6 +245,7 @@ class NVSHMEMDevice:
         """Non-blocking put: returns after initiation; complete at ``quiet``."""
         values = np.array(values, copy=True)  # snapshot source at issue
         size = int(nbytes) if nbytes is not None else values.nbytes
+        self._record_op("putmem_nbi", dest_pe, size)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
@@ -220,6 +270,8 @@ class NVSHMEMDevice:
         """Blocking put + signal: data lands, then the signal updates."""
         values = np.asarray(values)
         size = int(nbytes) if nbytes is not None else values.nbytes
+        self._record_op("putmem_signal", dest_pe, size)
+        flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
         write = self._writer(dst, dst_index, values, dest_pe)
@@ -227,7 +279,8 @@ class NVSHMEMDevice:
             write()
         yield Delay(self._cost.nvshmem_signal_us)
         self._apply_signal(signal.flag(dest_pe, signal_index), signal_value, sig_op)
-        self._trace(name, "comm", start)
+        self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
+        self._trace(name, "comm", start, {"flow_s": flow})
 
     def putmem_signal_nbi(
         self,
@@ -251,6 +304,8 @@ class NVSHMEMDevice:
         """
         values = np.array(values, copy=True)
         size = int(nbytes) if nbytes is not None else values.nbytes
+        self._record_op("putmem_signal_nbi", dest_pe, size)
+        flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
@@ -261,6 +316,8 @@ class NVSHMEMDevice:
             self._writer(dst, dst_index, values, dest_pe),
             (signal.flag(dest_pe, signal_index), signal_value, sig_op),
             name,
+            flow=flow,
+            signal_index=signal_index,
         )
 
     # -- strided / single-element --------------------------------------------------
@@ -283,6 +340,7 @@ class NVSHMEMDevice:
         """
         values = np.array(values, copy=True)
         n = int(elements) if elements is not None else values.size
+        self._record_op("iput", dest_pe, n * values.itemsize)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
@@ -300,6 +358,7 @@ class NVSHMEMDevice:
         name: str = "p",
     ) -> Generator[Any, Any, None]:
         """Single-element put (``nvshmem_TYPE_p``), non-blocking."""
+        self._record_op("p", dest_pe, 8)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_p_us)
         self._trace(f"{name}:issue", "comm", start)
@@ -334,6 +393,7 @@ class NVSHMEMDevice:
             raise ValueError("threads must be positive")
         values = np.array(values, copy=True)
         n = int(elements) if elements is not None else values.size
+        self._record_op("p_mapped", dest_pe, n * 8)
         waves = -(-n // threads)
         start = self._ctx.sim.now
         yield Delay(waves * self._cost.nvshmem_p_us)
@@ -361,6 +421,8 @@ class NVSHMEMDevice:
         previously issued ``nbi`` data.  Call :meth:`quiet` first when
         the signal must publish earlier puts (§5.3.1).
         """
+        self._record_op("signal_op", dest_pe, 8)
+        flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_signal_us)
         self._trace(f"{name}:issue", "comm", start)
@@ -368,6 +430,7 @@ class NVSHMEMDevice:
         self._deliver_async(
             dest_pe, link.latency_us, None,
             (signal.flag(dest_pe, signal_index), value, op), name,
+            flow=flow, signal_index=signal_index,
         )
 
     def signal_wait_until(
@@ -381,10 +444,34 @@ class NVSHMEMDevice:
     ) -> Generator[Any, Any, int]:
         """Block on this PE's local signal word until ``cond`` holds."""
         flag = signal.flag(self.pe, signal_index)
+        self._record_op("signal_wait", self.pe)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_wait_poll_us)
         yield WaitFlag(flag, lambda v: cond.check(v, target))
-        self._trace(name, "sync", start)
+        info = self.runtime.last_signal_flow(self.pe, signal_index)
+        meta = None
+        src_label = "local"
+        if info is not None:
+            flow_id, src_pe = info
+            meta = {"flow_f": flow_id}
+            src_label = str(src_pe)
+        m = self._metrics
+        if m is not None:
+            wait_us = self._ctx.sim.now - start
+            acc = self._wait_acc.get((self.pe, src_label))
+            if acc is None:
+                acc = self._wait_acc[(self.pe, src_label)] = [0, 0.0]
+            acc[0] += 1
+            acc[1] += wait_us
+            # the histogram needs every observation, so it is resolved
+            # once per (pe, src) and fed immediately
+            hist = self._wait_hist.get((self.pe, src_label))
+            if hist is None:
+                hist = self._wait_hist[(self.pe, src_label)] = m.histogram(
+                    "nvshmem.wait.us.hist", pe=str(self.pe), src=src_label
+                )
+            hist.observe(wait_us)
+        self._trace(name, "sync", start, meta)
         return flag.value
 
     # -- ordering ---------------------------------------------------------------------
@@ -392,6 +479,7 @@ class NVSHMEMDevice:
     def quiet(self, *, name: str = "quiet") -> Generator[Any, Any, None]:
         """Block until all of this PE's pending deliveries complete."""
         pending = self.runtime.pending(self.pe)
+        self._record_op("quiet", self.pe)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_quiet_us)
         yield WaitFlag(pending, lambda v: v == 0)

@@ -1,0 +1,53 @@
+"""Unified observability layer: metrics, trace enrichment, inspection.
+
+Three pieces, all deterministic and zero-cost when disabled:
+
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms) threaded through the engine,
+  interconnect, NVSHMEM, SDFG codegen, and sweep layers;
+- :mod:`repro.obs.critical` — critical-path extraction over the traced
+  span DAG (lane order + signal flow links);
+- ``python -m repro.obs`` — the inspection CLI (``summary``, ``links``,
+  ``ops``, ``critical-path``, ``diff``).
+
+See ``docs/observability.md`` for the metrics catalogue and the
+determinism contract.
+"""
+
+from repro.obs.critical import CriticalPathReport, PathStep, critical_path
+from repro.obs.diff import diff_metrics, flatten_metrics, load_metrics
+from repro.obs.metrics import (
+    DEFAULT_US_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    critical_path_table,
+    links_table,
+    ops_table,
+    summary_table,
+)
+
+__all__ = [
+    "DEFAULT_US_EDGES",
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PathStep",
+    "active_metrics",
+    "critical_path",
+    "critical_path_table",
+    "diff_metrics",
+    "flatten_metrics",
+    "links_table",
+    "load_metrics",
+    "ops_table",
+    "summary_table",
+    "use_metrics",
+]

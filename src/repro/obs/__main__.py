@@ -1,0 +1,173 @@
+"""Inspection CLI for the observability layer.
+
+Usage::
+
+    python -m repro.obs summary                  # run a small stencil, report
+    python -m repro.obs summary --variant baseline_copy --gpus 4
+    python -m repro.obs links --metrics-out metrics.json
+    python -m repro.obs ops --trace-out trace.json
+    python -m repro.obs critical-path --iterations 8
+    python -m repro.obs diff old.json new.json --threshold 0.05
+
+The run subcommands (``summary`` / ``links`` / ``ops`` /
+``critical-path``) execute one stencil variant on the simulator with
+metrics and tracing enabled and print the corresponding report table.
+``--metrics-out`` writes the byte-stable registry dump (same bytes on
+every run of the same configuration, at any ``--jobs``);
+``--trace-out`` writes the Chrome-trace JSON (open in Perfetto /
+``chrome://tracing``).
+
+``diff`` compares two metric dumps (registry dumps or any nested JSON
+of numbers, e.g. ``BENCH_*.json``) and exits with status 1 when any
+metric increased by more than ``--threshold`` (relative).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.critical import critical_path
+from repro.obs.diff import diff_metrics, load_metrics
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.report import (
+    critical_path_table,
+    links_table,
+    ops_table,
+    summary_table,
+)
+
+RUN_COMMANDS = ("summary", "links", "ops", "critical-path")
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad shape {text!r}: expected e.g. 66x130 or 34x34x34"
+        ) from None
+    if not shape or any(dim <= 0 for dim in shape):
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}: dims must be positive")
+    return shape
+
+
+def _add_run_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--variant", default="cpufree",
+                     help="stencil variant to run (default: cpufree)")
+    sub.add_argument("--gpus", type=int, default=2,
+                     help="number of GPUs/PEs (default: 2)")
+    sub.add_argument("--shape", type=_parse_shape, default=(66, 130),
+                     help="global domain shape, e.g. 66x130 (default)")
+    sub.add_argument("--iterations", type=int, default=4,
+                     help="stencil iterations (default: 4)")
+    sub.add_argument("--no-compute", action="store_true",
+                     help="communication/synchronization only (paper's "
+                          "no-compute mode)")
+    sub.add_argument("--metrics-out", metavar="PATH",
+                     help="write the metrics registry dump (JSON) to PATH")
+    sub.add_argument("--trace-out", metavar="PATH",
+                     help="write the Chrome-trace JSON to PATH")
+    sub.add_argument("--top", type=int, default=5,
+                     help="rows in top-k listings (default: 5)")
+
+
+def _run_variant(args: argparse.Namespace):
+    """Execute the configured stencil run under a fresh registry."""
+    # import here so `diff` works without pulling in the whole simulator
+    from repro.stencil.base import VARIANTS, StencilConfig
+
+    if args.variant not in VARIANTS:
+        raise SystemExit(
+            f"unknown variant {args.variant!r}; choose from {sorted(VARIANTS)}"
+        )
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        config = StencilConfig(
+            global_shape=args.shape,
+            num_gpus=args.gpus,
+            iterations=args.iterations,
+            no_compute=args.no_compute,
+        )
+        result = VARIANTS[args.variant](config).run()
+    return result, registry
+
+
+def _write_outputs(args: argparse.Namespace, result, registry: MetricsRegistry) -> None:
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(registry.to_json())
+        print(f"(metrics dump written to {args.metrics_out})", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            json.dump(result.tracer.to_chrome_trace(), fh, indent=1)
+            fh.write("\n")
+        print(f"(chrome trace written to {args.trace_out})", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect a simulated run: metrics, traces, critical path.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in RUN_COMMANDS:
+        sub = subparsers.add_parser(command)
+        _add_run_options(sub)
+    diff = subparsers.add_parser("diff")
+    diff.add_argument("old", help="baseline metrics JSON")
+    diff.add_argument("new", help="candidate metrics JSON")
+    diff.add_argument("--threshold", type=float, default=0.05,
+                      help="relative increase that counts as a regression "
+                           "(default: 0.05)")
+    diff.add_argument("--all", action="store_true",
+                      help="print every compared metric, not just changes")
+    args = parser.parse_args(argv)
+
+    if args.command == "diff":
+        return _diff_command(args)
+
+    result, registry = _run_variant(args)
+    if args.command == "summary":
+        header = (f"{args.variant}: {'x'.join(map(str, args.shape))} on "
+                  f"{args.gpus} GPU(s), {args.iterations} iteration(s)")
+        print(header)
+        print()
+        print(summary_table(result.tracer, result.total_time_us, top=args.top))
+    elif args.command == "links":
+        print(links_table(registry))
+    elif args.command == "ops":
+        print(ops_table(registry))
+    else:  # critical-path
+        report = critical_path(result.tracer.spans, iterations=args.iterations)
+        print(critical_path_table(report, top=max(args.top, 20)))
+    _write_outputs(args, result, registry)
+    return 0
+
+
+def _diff_command(args: argparse.Namespace) -> int:
+    old = load_metrics(args.old)
+    new = load_metrics(args.new)
+    deltas = diff_metrics(old, new)
+    only_old = sorted(old.keys() - new.keys())
+    only_new = sorted(new.keys() - old.keys())
+    regressions = [d for d in deltas if d.is_regression(args.threshold)]
+    for delta in deltas:
+        if not args.all and delta.rel == 0.0:
+            continue
+        marker = "REGRESSION" if delta.is_regression(args.threshold) else (
+            "improved" if delta.rel < 0 else "within threshold")
+        rel = "new" if delta.rel == float("inf") else f"{100.0 * delta.rel:+.1f}%"
+        print(f"{delta.key}: {delta.old:g} -> {delta.new:g} ({rel}) [{marker}]")
+    for key in only_old:
+        print(f"{key}: only in {args.old}")
+    for key in only_new:
+        print(f"{key}: only in {args.new}")
+    print(f"{len(deltas)} metric(s) compared, {len(regressions)} regression(s) "
+          f"beyond {100.0 * args.threshold:.1f}%")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

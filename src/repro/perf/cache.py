@@ -48,13 +48,16 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def key(self, fn: Callable, args: tuple) -> str:
+    def key(self, fn: Callable, args: tuple, variant: str = "") -> str:
         """Cache key for calling ``fn(*args)`` against current sources.
 
         ``repr(args)`` must be a faithful value rendering — sweep
         workers take primitives and frozen dataclasses, which it is.
+        ``variant`` distinguishes entries whose stored *format* differs
+        for the same call (e.g. metrics-collecting sweeps store
+        ``(result, metrics)`` pairs instead of bare results).
         """
-        payload = f"{fn.__module__}.{fn.__qualname__}|{args!r}|{source_digest()}"
+        payload = f"{fn.__module__}.{fn.__qualname__}|{args!r}|{variant}|{source_digest()}"
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def get(self, key: str) -> tuple[bool, Any]:

@@ -21,9 +21,23 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.obs.metrics import MetricsRegistry, active_metrics, use_metrics
 from repro.perf.cache import ResultCache
 
 __all__ = ["SweepRunner", "active_runner", "use_runner"]
+
+
+def _call_with_metrics(fn: Callable, args: tuple) -> tuple[Any, dict]:
+    """Top-level (picklable) wrapper: run one sweep point against a
+    fresh registry and return ``(result, metrics dump)``.  The caller
+    merges dumps in submission order, so the combined registry is
+    byte-identical no matter the job count — and identical whether the
+    point was computed or replayed from the cache (the dump is cached
+    alongside the result)."""
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        result = fn(*args)
+    return result, registry.to_dict()
 
 
 class SweepRunner:
@@ -46,31 +60,68 @@ class SweepRunner:
     def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list[Any]:
         """``[fn(*args) for args in argtuples]``, accelerated."""
         argtuples = list(argtuples)
+        ambient = active_metrics()
+        with_metrics = ambient is not None
         results: list[Any] = [None] * len(argtuples)
         keys: list[str | None] = [None] * len(argtuples)
         pending: list[int] = []
+        hits_now = misses_now = 0
         for i, args in enumerate(argtuples):
             if self.cache is not None:
-                keys[i] = self.cache.key(fn, args)
+                keys[i] = self.cache.key(fn, args,
+                                         variant="+metrics" if with_metrics else "")
                 hit, value = self.cache.get(keys[i])
                 if hit:
                     results[i] = value
                     self.hits += 1
+                    hits_now += 1
                     continue
                 self.misses += 1
+                misses_now += 1
             pending.append(i)
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
+                    if with_metrics:
+                        futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
+                                   for i in pending]
+                    else:
+                        futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
                     for i, future in futures:
                         results[i] = future.result()
             else:
                 for i in pending:
-                    results[i] = fn(*argtuples[i])
+                    if with_metrics:
+                        # in-process: keep the registry itself so the
+                        # merge can skip the dump round-trip
+                        registry = MetricsRegistry()
+                        with use_metrics(registry):
+                            results[i] = (fn(*argtuples[i]), registry)
+                    else:
+                        results[i] = fn(*argtuples[i])
             if self.cache is not None:
                 for i in pending:
-                    self.cache.put(keys[i], results[i])
+                    value = results[i]
+                    if with_metrics and isinstance(value[1], MetricsRegistry):
+                        # normalize to the picklable cached form
+                        value = results[i] = (value[0], value[1].to_dict())
+                    self.cache.put(keys[i], value)
+        if with_metrics:
+            # unwrap (result, dump) pairs; merge in submission order
+            unwrapped: list[Any] = []
+            for value in results:
+                result, dump = value
+                if isinstance(dump, MetricsRegistry):
+                    ambient.merge_registry(dump)
+                else:
+                    ambient.merge_dict(dump)
+                unwrapped.append(result)
+            results = unwrapped
+            # cache hit/miss tallies stay OFF the registry: they reflect
+            # on-disk state, not simulated behavior, and would break the
+            # byte-identical-dumps contract (the CLI prints self.hits /
+            # self.misses to stdout instead)
+            ambient.counter("perf.sweep.points").inc(len(argtuples))
         return results
 
 

@@ -27,6 +27,7 @@ from repro.hw import (
     NodeTopology,
     Storage,
 )
+from repro.obs.metrics import MetricsRegistry, active_metrics
 from repro.runtime.kernel import (
     DeviceKernelContext,
     KernelSpec,
@@ -46,6 +47,7 @@ class MultiGPUContext:
         node: NodeSpec,
         cost: CostModel = DEFAULT_COST_MODEL,
         tracer: Tracer | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.node = node
         self.cost = cost
@@ -53,6 +55,12 @@ class MultiGPUContext:
         self.topology = NodeTopology(node)
         self.memory = MemoryManager(node.num_gpus)
         self.tracer = tracer
+        #: observability registry — explicit, or the ambient one
+        #: installed via ``repro.obs.use_metrics`` (None = disabled)
+        self.metrics = metrics if metrics is not None else active_metrics()
+        self.topology.metrics = self.metrics
+        self._published_engine: dict[str, float] = {}
+        self._metric_flushers: list[Callable[[], None]] = []
         self._streams: dict[tuple[int, str], Stream] = {}
 
     @property
@@ -86,17 +94,56 @@ class MultiGPUContext:
         """The host thread driving GPU ``rank``."""
         return HostThread(self, rank)
 
+    def add_metric_flusher(self, flush: Callable[[], None]) -> None:
+        """Register a component hook that folds privately accumulated
+        metrics into the registry; invoked after each :meth:`run`."""
+        self._metric_flushers.append(flush)
+
     # -- tracing ----------------------------------------------------------------
 
-    def trace(self, lane: str, name: str, category: str, start: float, end: float) -> None:
+    def trace(self, lane: str, name: str, category: str, start: float, end: float,
+              meta: Any = None) -> None:
         if self.tracer is not None:
-            self.tracer.record(lane, name, category, start, end)
+            self.tracer.record(lane, name, category, start, end, meta)
 
     # -- orchestration ------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
         """Run the simulation to completion; returns final time (µs)."""
-        return self.sim.run(until)
+        total = self.sim.run(until)
+        self._publish_engine_metrics()
+        return total
+
+    def _publish_engine_metrics(self) -> None:
+        """Fold the engine's plain-int counters into the registry.
+
+        Delta-tracked so repeated ``run()`` calls (e.g. ``until=``
+        stepping) never double count.
+        """
+        m = self.metrics
+        if m is None:
+            return
+        self.topology.flush_metrics()
+        for flush in self._metric_flushers:
+            flush()
+        sim = self.sim
+        scalars = {
+            "sim.events_dispatched": sim.n_events,
+            "sim.heap_pops": sim.n_heap_pops,
+            "sim.ready_pops": sim.n_ready_pops,
+            "sim.processes_spawned": sim.n_spawned,
+        }
+        for name, value in scalars.items():
+            delta = value - self._published_engine.get(name, 0)
+            if delta:
+                m.counter(name).inc(delta)
+                self._published_engine[name] = value
+        for flag, count in sorted(sim.flag_wakeups.items()):
+            key = f"flag:{flag}"
+            delta = count - self._published_engine.get(key, 0)
+            if delta:
+                m.counter("sim.flag.wakeups", flag=flag).inc(delta)
+                self._published_engine[key] = count
 
 
 class HostThread:

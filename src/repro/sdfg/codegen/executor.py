@@ -125,6 +125,11 @@ class SDFGExecutor:
         num_ranks = len(rank_args)
         if num_ranks > self.ctx.num_gpus:
             raise ValueError("more ranks than GPUs")
+        if self.ctx.metrics is not None:
+            self.ctx.metrics.counter(
+                "sdfg.executor.runs",
+                mode="persistent" if self.persistent else "discrete",
+            ).inc()
         self._check_symmetric_shapes(rank_args)
         ranks = [self._prepare_rank(r, rank_args[r], num_ranks) for r in range(num_ranks)]
         self._count_iterations(ranks[0].bindings)

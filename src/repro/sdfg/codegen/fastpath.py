@@ -39,6 +39,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import active_metrics
 from repro.sdfg.memlet import Memlet, Range
 from repro.sdfg.nodes import AccessNode, Tasklet
 
@@ -161,13 +162,35 @@ class StatePlan:
 
     def execute(self, arrays: dict[str, np.ndarray], bindings: dict[str, int],
                 *, mode: str = "vector") -> None:
+        m = active_metrics()
         for plan in self.plans:
             if mode == "scalar" and plan.mode is not MapMode.GENERIC:
+                taken = "scalar"
                 plan.run_scalar(arrays, bindings)
             elif mode == "validate" and plan.mode is not MapMode.GENERIC:
+                taken = "validate"
                 _run_validated(plan, arrays, bindings)
             else:
+                taken = "generic" if plan.mode is MapMode.GENERIC else "vectorized"
                 plan.run_vectorized(arrays, bindings)
+            if m is not None:
+                _exec_counter(m, taken).inc()
+
+
+#: resolved map_exec counters, keyed on registry identity — label
+#: canonicalization is too slow for the per-map-execution path
+_exec_memo: tuple[Any, dict[str, Any]] | None = None
+
+
+def _exec_counter(m, taken: str):
+    global _exec_memo
+    if _exec_memo is None or _exec_memo[0] is not m:
+        _exec_memo = (m, {})
+    counter = _exec_memo[1].get(taken)
+    if counter is None:
+        counter = _exec_memo[1][taken] = m.counter("sdfg.fastpath.map_exec",
+                                                   mode=taken)
+    return counter
 
 
 def _run_validated(plan: TaskletPlan, arrays: dict[str, np.ndarray],
@@ -344,9 +367,14 @@ def _plan_tasklet(state, tasklet: Tasklet, sdfg) -> TaskletPlan:
 def plan_state(state, sdfg) -> StatePlan:
     """Get-or-build the compiled :class:`StatePlan` for ``state``."""
     plan = getattr(state, "_fastpath_plan", None)
+    m = active_metrics()
     if plan is None:
+        if m is not None:
+            m.counter("sdfg.fastpath.plan_cache", outcome="miss").inc()
         plan = StatePlan(tuple(_plan_tasklet(state, t, sdfg) for t in state.tasklets))
         state._fastpath_plan = plan
+    elif m is not None:
+        m.counter("sdfg.fastpath.plan_cache", outcome="hit").inc()
     return plan
 
 

@@ -171,12 +171,17 @@ class Flag:
         if not self._waiters:
             return
         still_blocked: list[tuple[Process, Callable[[Any], bool]]] = []
+        resumed = 0
         for proc, predicate in self._waiters:
             if predicate(self._value):
                 self.sim._resume(proc, self._value)
+                resumed += 1
             else:
                 still_blocked.append((proc, predicate))
         self._waiters = still_blocked
+        if resumed:
+            wakeups = self.sim.flag_wakeups
+            wakeups[self.name] = wakeups.get(self.name, 0) + resumed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Flag {self.name}={self._value} waiters={len(self._waiters)}>"
@@ -207,6 +212,16 @@ class Simulator:
         self._seq = 0
         self._processes: list[Process] = []
         self._blocked = 0
+        # Observability counters — plain ints so the hot loop pays one
+        # attribute increment, published into a MetricsRegistry by the
+        # owning context after run().  Purely diagnostic: they never
+        # influence scheduling or simulated time.
+        self.n_events = 0
+        self.n_heap_pops = 0
+        self.n_ready_pops = 0
+        self.n_spawned = 0
+        #: waiter resumptions per flag name
+        self.flag_wakeups: dict[str, int] = {}
 
     # -- process management -------------------------------------------------
 
@@ -216,6 +231,7 @@ class Simulator:
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
         proc = Process(self, gen, name)
         self._processes.append(proc)
+        self.n_spawned += 1
         self._push(self.now, proc, None)
         return proc
 
@@ -256,8 +272,10 @@ class Simulator:
             # hold a same-time event with a smaller seq.
             if ready and (not heap or (ready[0][0], ready[0][1]) <= (heap[0][0], heap[0][1])):
                 event = ready.popleft()
+                self.n_ready_pops += 1
             else:
                 event = heapq.heappop(heap)
+                self.n_heap_pops += 1
             time = event[0]
             if until is not None and time > until:
                 heapq.heappush(heap, event)
@@ -277,6 +295,7 @@ class Simulator:
     def _step(self, proc: Process, value: Any) -> None:
         if not proc.alive:  # joined process already finished
             return
+        self.n_events += 1
         try:
             command = proc.gen.send(value)
         except StopIteration as stop:

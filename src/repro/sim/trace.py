@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Any
 
 __all__ = [
     "Span",
@@ -24,13 +25,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Span:
-    """A half-open interval ``[start, end)`` of activity on a lane."""
+    """A half-open interval ``[start, end)`` of activity on a lane.
+
+    ``meta`` carries optional enrichment used by the observability
+    layer — notably ``{"flow_s": id}`` on a span that produces a signal
+    and ``{"flow_f": id}`` on the wait it satisfies (Chrome-trace flow
+    events, critical-path dependencies).  It never affects timing.
+    """
 
     lane: str
     name: str
     category: str
     start: float
     end: float
+    meta: Any = None
 
     @property
     def duration(self) -> float:
@@ -44,20 +52,46 @@ class Tracer:
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._open: dict[tuple[str, str], tuple[str, float]] = {}
+        #: counter samples as ``(name, time, value)`` — exported as
+        #: Chrome-trace counter ("C") events
+        self.counter_samples: list[tuple[str, float, float]] = []
 
-    def record(self, lane: str, name: str, category: str, start: float, end: float) -> None:
+    def record(self, lane: str, name: str, category: str, start: float, end: float,
+               meta: Any = None) -> None:
         """Record a completed span (most callers know both endpoints)."""
         if end < start:
             raise ValueError(f"span ends before it starts: {name} [{start}, {end})")
-        self.spans.append(Span(lane, name, category, start, end))
+        self.spans.append(Span(lane, name, category, start, end, meta))
 
     def begin(self, lane: str, name: str, category: str, now: float) -> None:
         """Open a span; pair with :meth:`end` using the same (lane, name)."""
         self._open[(lane, name)] = (category, now)
 
     def end(self, lane: str, name: str, now: float) -> None:
-        category, start = self._open.pop((lane, name))
+        try:
+            category, start = self._open.pop((lane, name))
+        except KeyError:
+            raise ValueError(
+                f"Tracer.end() without a matching begin(): no open span "
+                f"named {name!r} on lane {lane!r}"
+            ) from None
         self.record(lane, name, category, start, now)
+
+    def close_all(self, now: float) -> list[tuple[str, str]]:
+        """Close every dangling open span at ``now`` (crash hygiene:
+        a process that died mid-span still shows up in the timeline).
+        Returns the closed ``(lane, name)`` pairs, sorted."""
+        closed = sorted(self._open)
+        for lane, name in closed:
+            category, start = self._open[(lane, name)]
+            self.record(lane, name, category, start, max(start, now))
+        self._open.clear()
+        return closed
+
+    def add_counter(self, name: str, now: float, value: float) -> None:
+        """Record one sample of a time-varying counter (e.g. in-flight
+        deliveries per PE)."""
+        self.counter_samples.append((name, now, value))
 
     # -- queries -------------------------------------------------------------
 
@@ -120,7 +154,10 @@ class Tracer:
             }
             for lane, tid in lane_ids.items()
         ]
-        for span in sorted(self.spans, key=lambda s: s.start):
+        flow_starts: list[dict] = []
+        flow_finishes: list[dict] = []
+        seen_flow_ids: set = set()
+        for span in sorted(self.spans, key=lambda s: (s.start, s.end, s.lane, s.name)):
             events.append({
                 "name": span.name,
                 "cat": span.category,
@@ -130,10 +167,33 @@ class Tracer:
                 "ts": span.start,
                 "dur": span.duration,
             })
+            meta = span.meta if isinstance(span.meta, dict) else {}
+            if "flow_s" in meta:
+                seen_flow_ids.add(meta["flow_s"])
+                flow_starts.append({
+                    "name": "signal", "cat": "flow", "ph": "s", "id": meta["flow_s"],
+                    "pid": 0, "tid": lane_ids[span.lane], "ts": span.end,
+                })
+            if "flow_f" in meta:
+                flow_finishes.append({
+                    "name": "signal", "cat": "flow", "ph": "f", "bp": "e",
+                    "id": meta["flow_f"], "pid": 0, "tid": lane_ids[span.lane],
+                    "ts": span.end,
+                })
+        events.extend(flow_starts)
+        # only emit finishes whose start half exists (spec requires pairing)
+        events.extend(e for e in flow_finishes if e["id"] in seen_flow_ids)
+        for name, ts, value in sorted(self.counter_samples):
+            events.append({
+                "name": name, "cat": "counter", "ph": "C", "pid": 0,
+                "ts": ts, "args": {"value": value},
+            })
         return events
 
     def render_ascii(self, width: int = 80, lane_prefix: str | None = None) -> str:
-        """Render a coarse ASCII timeline (one row per lane)."""
+        """Render a coarse ASCII timeline: a time-axis ruler, one row
+        per lane, and an inline legend.  Zero-duration spans appear as
+        a single ``*`` glyph instead of being stretched to a cell."""
         spans = self.spans if lane_prefix is None else [
             s for s in self.spans if s.lane.startswith(lane_prefix)
         ]
@@ -143,19 +203,39 @@ class Tracer:
         t1 = max(s.end for s in spans)
         extent = max(t1 - t0, 1e-12)
         glyph = {"compute": "#", "comm": "~", "sync": "|", "api": "."}
-        rows = []
+        rows = [self._ruler_row(t0, t1, width)]
         for lane in sorted({s.lane for s in spans}):
             row = [" "] * width
             for s in spans:
                 if s.lane != lane:
                     continue
                 lo = int((s.start - t0) / extent * (width - 1))
+                if s.duration == 0.0:
+                    row[lo] = "*"
+                    continue
                 hi = max(lo + 1, int((s.end - t0) / extent * (width - 1)) + 1)
                 ch = glyph.get(s.category, "?")
                 for i in range(lo, min(hi, width)):
                     row[i] = ch
             rows.append(f"{lane:>24} |{''.join(row)}|")
+        rows.append(f"{'legend':>24}  # compute   ~ comm   | sync   "
+                    f". api   * zero-duration")
         return "\n".join(rows)
+
+    @staticmethod
+    def _ruler_row(t0: float, t1: float, width: int) -> str:
+        """Time-axis ruler: tick marks at the quartiles, labeled in µs."""
+        ticks = [0, (width - 1) // 4, (width - 1) // 2, 3 * (width - 1) // 4, width - 1]
+        ruler = ["-"] * width
+        for tick in ticks:
+            ruler[tick] = "+"
+        labels = [" "] * width
+        for tick in ticks:
+            text = f"{t0 + (t1 - t0) * tick / max(1, width - 1):.1f}"
+            at = min(tick, width - len(text))
+            labels[at:at + len(text)] = text
+        header = f"{'t (us)':>24} |{''.join(ruler)}|"
+        return f"{'':>24}  {''.join(labels)}\n{header}"
 
 
 def merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:

@@ -351,6 +351,13 @@ class StencilVariant(abc.ABC):
         for rank in range(self.config.num_gpus):
             self.ctx.sim.spawn(self.host_program(rank), name=f"{self.name}.host{rank}")
         total = self.ctx.run()
+        m = self.ctx.metrics
+        if m is not None:
+            m.counter("stencil.runs", variant=self.name).inc()
+            m.counter("stencil.iterations", variant=self.name).inc(
+                self.config.iterations
+            )
+            m.counter("stencil.sim_time_us", variant=self.name).inc(total)
         result = None
         if self.config.with_data and not self.config.no_compute and self.arrays is not None:
             parity = self.write_parity(self.config.iterations)

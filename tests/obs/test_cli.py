@@ -1,0 +1,107 @@
+"""End-to-end tests for the ``python -m repro.obs`` CLI (in-process)."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+RUN_ARGS = ["--shape", "66x130", "--gpus", "2", "--iterations", "2"]
+
+
+class TestRunCommands:
+    def test_summary(self, capsys):
+        assert main(["summary", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "cpufree: 66x130 on 2 GPU(s), 2 iteration(s)" in out
+        assert "total simulated time:" in out
+        assert "overlap ratio" in out
+        assert "lane" in out and "busy %" in out
+
+    def test_links(self, capsys):
+        assert main(["links", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "src" in out and "bytes" in out and "mean sharers" in out
+
+    def test_ops(self, capsys):
+        assert main(["ops", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "op" in out and "count" in out
+        assert "signal waits" in out
+
+    def test_critical_path(self, capsys):
+        assert main(["critical-path", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "us/iteration" in out
+        assert "contributed us" in out
+
+    def test_unknown_variant_exits(self):
+        with pytest.raises(SystemExit, match="unknown variant"):
+            main(["summary", "--variant", "nope", *RUN_ARGS])
+
+
+class TestOutputs:
+    def test_metrics_out_byte_identical_across_runs(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["summary", *RUN_ARGS, "--metrics-out", str(a)]) == 0
+        assert main(["summary", *RUN_ARGS, "--metrics-out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["counters"]  # non-trivial dump
+
+    def test_trace_out_is_valid_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["ops", *RUN_ARGS, "--trace-out", str(path)]) == 0
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "M" in phases
+        # flow events link puts to satisfied waits
+        assert "s" in phases and "f" in phases
+
+
+class TestDiff:
+    @staticmethod
+    def _dump(path, values):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for name, value in values.items():
+            reg.counter(name).inc(value)
+        path.write_text(reg.to_json())
+
+    def test_identical_dumps_exit_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, {"sim.events_dispatched": 100})
+        self._dump(b, {"sim.events_dispatched": 100})
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, {"sim.events_dispatched": 100})
+        self._dump(b, {"sim.events_dispatched": 150})
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "+50.0%" in out
+
+    def test_threshold_tolerates_small_increase(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, {"x": 100})
+        self._dump(b, {"x": 104})
+        assert main(["diff", str(a), str(b), "--threshold", "0.05"]) == 0
+        assert main(["diff", str(a), str(b), "--threshold", "0.01"]) == 1
+
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, {"x": 100})
+        self._dump(b, {"x": 50})
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_nested_bench_json_diffable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps({"suite": {"wall_seconds": 2.0}}))
+        b.write_text(json.dumps({"suite": {"wall_seconds": 1.9}}))
+        assert main(["diff", str(a), str(b)]) == 0

@@ -1,0 +1,71 @@
+"""Unit tests for metric-dump flattening and regression diffing."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.diff import diff_metrics, flatten_metrics, load_metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFlatten:
+    def test_registry_dump_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", src=0, dst=1).inc(3)
+        reg.gauge("level").set(7)
+        reg.histogram("wait", edges=(1.0,)).observe(0.5)
+        flat = flatten_metrics(json.loads(reg.to_json()))
+        assert flat["ops{dst=1,src=0}"] == 3.0
+        assert flat["level"] == 7.0
+        assert flat["wait:sum"] == 0.5
+        assert flat["wait:count"] == 1.0
+
+    def test_nested_json_shape(self):
+        payload = {
+            "pr": 2,
+            "suite": {"wall_seconds": 1.5, "name": "figures"},
+            "flags": {"enabled": True},
+        }
+        flat = flatten_metrics(payload)
+        assert flat == {"pr": 2.0, "suite.wall_seconds": 1.5}
+        # strings and bools are not metrics
+        assert "suite.name" not in flat and "flags.enabled" not in flat
+
+    def test_load_metrics_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_metrics(str(path))
+
+
+class TestDiff:
+    def test_equal_values_have_zero_rel(self):
+        deltas = diff_metrics({"x": 5.0}, {"x": 5.0})
+        assert len(deltas) == 1 and deltas[0].rel == 0.0
+        assert not deltas[0].is_regression(0.0)
+
+    def test_relative_increase(self):
+        (delta,) = diff_metrics({"x": 10.0}, {"x": 12.0})
+        assert delta.rel == pytest.approx(0.2)
+        assert delta.is_regression(0.05)
+        assert not delta.is_regression(0.25)
+
+    def test_decrease_is_never_a_regression(self):
+        (delta,) = diff_metrics({"x": 10.0}, {"x": 5.0})
+        assert delta.rel == pytest.approx(-0.5)
+        assert not delta.is_regression(0.0)
+
+    def test_from_zero_is_infinite_increase(self):
+        (delta,) = diff_metrics({"x": 0.0}, {"x": 1.0})
+        assert math.isinf(delta.rel) and delta.rel > 0
+        assert delta.is_regression(1000.0)
+
+    def test_only_shared_keys_compared(self):
+        deltas = diff_metrics({"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0})
+        assert [d.key for d in deltas] == ["b"]
+
+    def test_sorted_by_key(self):
+        deltas = diff_metrics({"z": 1.0, "a": 1.0, "m": 1.0},
+                              {"z": 1.0, "a": 1.0, "m": 1.0})
+        assert [d.key for d in deltas] == ["a", "m", "z"]

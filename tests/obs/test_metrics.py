@@ -1,0 +1,175 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_US_EDGES,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc()
+        assert reg.value("x") == 2
+
+    def test_inc_by_amount(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(4096)
+        assert reg.value("bytes") == 4096
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="decrement"):
+            reg.counter("x").inc(-1)
+
+    def test_labels_identify_series(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", src=0, dst=1).inc()
+        reg.counter("ops", src=1, dst=0).inc(3)
+        assert reg.value("ops", src=0, dst=1) == 1
+        assert reg.value("ops", src=1, dst=0) == 3
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", a=1, b=2).inc()
+        reg.counter("ops", b=2, a=1).inc()
+        assert reg.value("ops", a=1, b=2) == 2
+        assert len(reg) == 1
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(3)
+        reg.gauge("level").set(7)
+        assert reg.value("level") == 7
+
+
+class TestHistogram:
+    def test_buckets_and_overflow(self):
+        h = Histogram(edges=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 2]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_value_on_edge_falls_in_lower_bucket(self):
+        h = Histogram(edges=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(edges=(2.0, 1.0))
+
+    def test_default_edges(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait_us")
+        assert h.edges == DEFAULT_US_EDGES
+
+    def test_merge_requires_equal_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different edges"):
+            a._merge({"edges": [1.0, 3.0], "counts": [0, 0, 0], "sum": 0, "count": 0})
+
+
+class TestRegistryDump:
+    def test_to_json_is_byte_stable_across_creation_order(self):
+        a = MetricsRegistry()
+        a.counter("x", k=1).inc()
+        a.counter("y").inc(2)
+        a.gauge("g").set(5)
+        b = MetricsRegistry()
+        b.gauge("g").set(5)
+        b.counter("y").inc(2)
+        b.counter("x", k=1).inc()
+        assert a.to_json() == b.to_json()
+
+    def test_to_json_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.histogram("h", edges=(1.0,)).observe(0.5)
+        payload = json.loads(reg.to_json())
+        assert payload["counters"][0]["name"] == "x"
+        assert payload["histograms"][0]["counts"] == [1, 0]
+
+    def test_merge_dict_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("x").inc(2)
+        a.histogram("h", edges=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("x").inc(3)
+        b.counter("y", lane=0).inc()
+        b.histogram("h", edges=(1.0,)).observe(2.0)
+        b.gauge("g").set(9)
+        a.merge_dict(b.to_dict())
+        assert a.value("x") == 5
+        assert a.value("y", lane=0) == 1
+        assert a.value("g") == 9
+        h = a.histogram("h", edges=(1.0,))
+        assert h.counts == [1, 1] and h.count == 2
+
+    def test_merge_is_associative_over_worker_order(self):
+        """Merging worker dumps in submission order gives one canonical
+        dump regardless of how work was partitioned."""
+        def make(n):
+            r = MetricsRegistry()
+            r.counter("x").inc(n)
+            r.histogram("h").observe(float(n))
+            return r
+
+        serial = MetricsRegistry()
+        for n in (1, 2, 3):
+            serial.merge_dict(make(n).to_dict())
+        pair = MetricsRegistry()
+        ab = MetricsRegistry()
+        ab.merge_dict(make(1).to_dict())
+        ab.merge_dict(make(2).to_dict())
+        pair.merge_dict(ab.to_dict())
+        pair.merge_dict(make(3).to_dict())
+        assert serial.to_json() == pair.to_json()
+
+    def test_find_returns_sorted_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", src=1).inc()
+        reg.counter("ops", src=0).inc()
+        labels = [l for l, _ in reg.find("ops")]
+        assert labels == [{"src": "0"}, {"src": "1"}]
+
+
+class TestActiveRegistry:
+    def test_disabled_by_default(self):
+        assert active_metrics() is None
+
+    def test_use_metrics_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with use_metrics(reg) as installed:
+            assert installed is reg
+            assert active_metrics() is reg
+        assert active_metrics() is None
+
+    def test_nesting_restores_outer(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_metrics(outer):
+            with use_metrics(inner):
+                assert active_metrics() is inner
+            assert active_metrics() is outer
+
+    def test_restored_after_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_metrics(reg):
+                raise RuntimeError("boom")
+        assert active_metrics() is None

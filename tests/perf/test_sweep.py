@@ -93,7 +93,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         key = cache.key(_stencil_point, _small_tasks()[0])
         payload = (f"{_stencil_point.__module__}.{_stencil_point.__qualname__}"
-                   f"|{_small_tasks()[0]!r}|{source_digest()}")
+                   f"|{_small_tasks()[0]!r}||{source_digest()}")
         import hashlib
 
         assert key == hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,87 @@
+"""Property-based tests for the tracer's overlap/union analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Tracer, interval_union_length, merge_intervals
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def intervals(draw, max_size=12):
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_size))):
+        a = draw(finite)
+        b = draw(finite)
+        out.append((min(a, b), max(a, b)))
+    return out
+
+
+@st.composite
+def tracers(draw):
+    tracer = Tracer()
+    lanes = ("gpu0", "gpu1")
+    for lo, hi in draw(intervals()):
+        tracer.record(draw(st.sampled_from(lanes)), "c", "compute", lo, hi)
+    for lo, hi in draw(intervals()):
+        tracer.record(draw(st.sampled_from(lanes)), "x", "comm", lo, hi)
+    return tracer
+
+
+class TestOverlapRatio:
+    @settings(max_examples=40, deadline=None)
+    @given(tracers())
+    def test_bounded_between_zero_and_one(self, tracer):
+        ratio = tracer.overlap_ratio()
+        assert 0.0 <= ratio <= 1.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(intervals())
+    def test_zero_without_communication(self, compute):
+        tracer = Tracer()
+        for lo, hi in compute:
+            tracer.record("gpu0", "c", "compute", lo, hi)
+        assert tracer.overlap_ratio() == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(intervals(max_size=8))
+    def test_one_when_comm_inside_compute(self, comm):
+        tracer = Tracer()
+        for lo, hi in comm:
+            tracer.record("gpu0", "x", "comm", lo, hi)
+            tracer.record("gpu1", "c", "compute", lo, hi)
+        ratio = tracer.overlap_ratio()
+        if tracer.total("comm") > 0.0:
+            assert ratio == 1.0 or abs(ratio - 1.0) < 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(tracers())
+    def test_invariant_under_span_recording_order(self, tracer):
+        reordered = Tracer()
+        for span in reversed(tracer.spans):
+            reordered.record(span.lane, span.name, span.category,
+                             span.start, span.end)
+        assert reordered.overlap_ratio() == tracer.overlap_ratio()
+
+
+class TestUnion:
+    @settings(max_examples=40, deadline=None)
+    @given(intervals())
+    def test_merge_produces_disjoint_sorted_intervals(self, ivs):
+        merged = merge_intervals(ivs)
+        for (lo1, hi1), (lo2, hi2) in zip(merged, merged[1:]):
+            assert hi1 < lo2
+
+    @settings(max_examples=40, deadline=None)
+    @given(intervals(), intervals())
+    def test_union_is_subadditive(self, a, b):
+        joint = interval_union_length(a + b)
+        assert joint <= interval_union_length(a) + interval_union_length(b) + 1e-6
+        assert joint >= max(interval_union_length(a), interval_union_length(b)) - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(intervals())
+    def test_union_invariant_under_duplication(self, ivs):
+        assert interval_union_length(ivs + ivs) == interval_union_length(ivs)

@@ -1,8 +1,11 @@
 """Tests for the Chrome Tracing export."""
 
 import json
+import pathlib
 
 from repro.sim import Tracer
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_chrome_trace.json"
 
 
 def make_tracer():
@@ -66,3 +69,34 @@ def test_events_sorted_by_start_time():
 
 def test_empty_tracer_gives_empty_trace():
     assert Tracer().to_chrome_trace() == []
+
+
+def make_golden_tracer():
+    """Fixed scenario exercising every event type the export emits:
+    lane metadata (M), durations (X), flow start/finish (s/f), and
+    counter samples (C)."""
+    tr = Tracer()
+    tr.record("gpu0.stream", "jacobi", "compute", 0.0, 10.0)
+    tr.record("gpu0.stream", "putmem_signal", "comm", 10.0, 12.5,
+              meta={"flow_s": 1})
+    tr.record("gpu1.stream", "signal_wait_until", "sync", 9.0, 12.5,
+              meta={"flow_f": 1})
+    tr.record("gpu1.stream", "jacobi", "compute", 12.5, 22.5)
+    tr.record("host0", "launch", "api", 0.0, 0.0)
+    tr.add_counter("nvshmem.pending.pe1", 10.0, 1)
+    tr.add_counter("nvshmem.pending.pe1", 12.5, 0)
+    return tr
+
+
+def test_golden_trace_matches_committed_file():
+    """Any change to the export format must update the golden file
+    (regenerate with ``make_golden_tracer().to_chrome_trace()``) —
+    a deliberate speed bump on silently breaking Perfetto consumers."""
+    events = make_golden_tracer().to_chrome_trace()
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert events == golden
+
+
+def test_golden_trace_covers_every_event_type():
+    phases = {e["ph"] for e in make_golden_tracer().to_chrome_trace()}
+    assert phases == {"M", "X", "s", "f", "C"}

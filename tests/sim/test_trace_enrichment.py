@@ -1,0 +1,117 @@
+"""Tests for the tracer's observability enrichments: descriptive
+``end()`` errors, ``close_all``, counter samples, flow events, and the
+upgraded ASCII renderer."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestEndErrors:
+    def test_end_without_begin_names_lane_and_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError) as err:
+            tracer.end("gpu0", "halo", now=1.0)
+        message = str(err.value)
+        assert "'halo'" in message and "'gpu0'" in message
+        assert "without a matching begin()" in message
+
+    def test_end_twice_raises_on_second(self):
+        tracer = Tracer()
+        tracer.begin("gpu0", "halo", "comm", now=0.0)
+        tracer.end("gpu0", "halo", now=1.0)
+        with pytest.raises(ValueError, match="matching begin"):
+            tracer.end("gpu0", "halo", now=2.0)
+
+
+class TestCloseAll:
+    def test_closes_dangling_spans_at_now(self):
+        tracer = Tracer()
+        tracer.begin("gpu0", "a", "compute", now=0.0)
+        tracer.begin("gpu1", "b", "sync", now=2.0)
+        closed = tracer.close_all(now=5.0)
+        assert closed == [("gpu0", "a"), ("gpu1", "b")]
+        assert {(s.lane, s.name, s.end) for s in tracer.spans} == {
+            ("gpu0", "a", 5.0), ("gpu1", "b", 5.0),
+        }
+
+    def test_never_creates_negative_spans(self):
+        tracer = Tracer()
+        tracer.begin("gpu0", "late", "api", now=10.0)
+        tracer.close_all(now=3.0)
+        (span,) = tracer.spans
+        assert span.start == span.end == 10.0
+
+    def test_idempotent(self):
+        tracer = Tracer()
+        tracer.begin("gpu0", "a", "compute", now=0.0)
+        tracer.close_all(now=1.0)
+        assert tracer.close_all(now=2.0) == []
+        assert len(tracer.spans) == 1
+
+
+class TestCounterSamples:
+    def test_samples_become_counter_events(self):
+        tracer = Tracer()
+        tracer.record("gpu0", "work", "compute", 0.0, 1.0)
+        tracer.add_counter("pending", 0.5, 2)
+        tracer.add_counter("pending", 0.8, 1)
+        counters = [e for e in tracer.to_chrome_trace() if e["ph"] == "C"]
+        assert [(e["ts"], e["args"]["value"]) for e in counters] == [(0.5, 2), (0.8, 1)]
+        assert all(e["name"] == "pending" for e in counters)
+
+
+class TestFlowEvents:
+    def test_matched_flow_emits_start_and_finish(self):
+        tracer = Tracer()
+        tracer.record("gpu0", "put", "comm", 0.0, 2.0, meta={"flow_s": 11})
+        tracer.record("gpu1", "wait", "sync", 0.0, 3.0, meta={"flow_f": 11})
+        events = tracer.to_chrome_trace()
+        (start,) = [e for e in events if e["ph"] == "s"]
+        (finish,) = [e for e in events if e["ph"] == "f"]
+        assert start["id"] == finish["id"] == 11
+        assert start["ts"] == 2.0  # arrow leaves when the producer ends
+        assert finish["ts"] == 3.0
+        assert finish["bp"] == "e"
+
+    def test_orphan_finish_is_dropped(self):
+        tracer = Tracer()
+        tracer.record("gpu1", "wait", "sync", 0.0, 3.0, meta={"flow_f": 42})
+        events = tracer.to_chrome_trace()
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+
+class TestRenderAscii:
+    def _tracer(self):
+        tracer = Tracer()
+        tracer.record("gpu0", "work", "compute", 0.0, 6.0)
+        tracer.record("gpu0", "put", "comm", 6.0, 8.0)
+        tracer.record("gpu1", "wait", "sync", 0.0, 8.0)
+        tracer.record("gpu1", "flagset", "api", 8.0, 8.0)
+        return tracer
+
+    def test_ruler_row_with_us_labels(self):
+        text = self._tracer().render_ascii(width=40)
+        lines = text.splitlines()
+        assert "t (us)" in lines[1]
+        assert lines[1].count("+") == 5  # ends + quartile ticks
+        assert "0.0" in lines[0] and "8.0" in lines[0]
+
+    def test_legend_line(self):
+        text = self._tracer().render_ascii()
+        assert "# compute" in text and "~ comm" in text
+        assert "| sync" in text and ". api" in text
+        assert "* zero-duration" in text
+
+    def test_zero_duration_span_renders_star(self):
+        text = self._tracer().render_ascii(width=40)
+        gpu1_row = next(l for l in text.splitlines() if l.lstrip().startswith("gpu1"))
+        assert "*" in gpu1_row
+
+    def test_empty_timeline(self):
+        assert Tracer().render_ascii() == "(empty timeline)"
+
+    def test_category_glyphs_present(self):
+        text = self._tracer().render_ascii(width=60)
+        gpu0_row = next(l for l in text.splitlines() if l.lstrip().startswith("gpu0"))
+        assert "#" in gpu0_row and "~" in gpu0_row

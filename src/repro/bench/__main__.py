@@ -85,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="collect observability metrics across the run and "
                              "write the registry dump (JSON) to PATH; the dump "
                              "is byte-identical at any --jobs setting")
+    parser.add_argument("--fault-profile", type=str, default=None, metavar="NAME",
+                        help="run every figure under this fault profile "
+                             "(e.g. transient or transient@7); the profile is "
+                             "recorded in the metrics dump and in the report "
+                             "header")
     args = parser.parse_args(argv)
 
     if args.paper:
@@ -114,8 +119,17 @@ def main(argv: list[str] | None = None) -> int:
     registry = MetricsRegistry() if args.metrics_out else None
     sections: list[str] = []
     timings: list[tuple[str, float]] = []
-    with use_runner(runner), (use_metrics(registry) if registry is not None
-                              else nullcontext()):
+    if args.fault_profile is not None:
+        # the header is part of the report body so a faulted report can
+        # never be mistaken for (or diffed against) a clean one
+        sections.append(f"[fault profile: {args.fault_profile}]")
+        sections.append("")
+        if registry is not None:
+            registry.gauge("bench.fault_profile", profile=args.fault_profile).set(1)
+    from repro.faults.profiles import use_fault_profile
+
+    with use_fault_profile(args.fault_profile), use_runner(runner), (
+            use_metrics(registry) if registry is not None else nullcontext()):
         if profiler is not None:
             profiler.enable()
         for figure_id in selected:

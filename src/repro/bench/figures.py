@@ -35,6 +35,7 @@ from repro.sdfg.programs import (
     build_jacobi_2d_sdfg,
     cpufree_pipeline,
 )
+from repro.faults.profiles import active_fault_profile, get_injector
 from repro.perf import active_runner
 from repro.sim import Tracer
 from repro.stencil import StencilConfig, run_variant
@@ -157,13 +158,23 @@ def _stencil_rows(
 # ------------------------------ Figure 2.2 ---------------------------------------
 
 
-def _fig22b_point(variant: str, shape8: tuple[int, ...], iterations: int) -> Row:
-    """Sweep worker: full + no-compute run of one variant at 8 GPUs."""
+def _fig22b_point(
+    variant: str,
+    shape8: tuple[int, ...],
+    iterations: int,
+    fault_profile: str | None = None,
+) -> Row:
+    """Sweep worker: full + no-compute run of one variant at 8 GPUs.
+
+    ``fault_profile`` travels in the argument tuple (not as ambient
+    state): it must reach pool workers and be part of the cache key.
+    """
     full = run_variant(variant, StencilConfig(
-        global_shape=shape8, num_gpus=8, iterations=iterations, with_data=False))
+        global_shape=shape8, num_gpus=8, iterations=iterations, with_data=False,
+        fault_profile=fault_profile))
     nocomp = run_variant(variant, StencilConfig(
         global_shape=shape8, num_gpus=8, iterations=iterations,
-        with_data=False, no_compute=True))
+        with_data=False, no_compute=True, fault_profile=fault_profile))
     comm_fraction = min(1.0, nocomp.total_time_us / full.total_time_us)
     return Row(
         series=variant, x=8,
@@ -186,7 +197,8 @@ def fig22_motivation(iterations: int = 40) -> tuple[FigureData, FigureData]:
     shape8 = weak_shape_2d(SIZE_CLASSES_2D["small"], 8)
     variants = ("baseline_overlap", "cpufree")
     b_rows = active_runner().map(
-        _fig22b_point, [(variant, shape8, iterations) for variant in variants])
+        _fig22b_point,
+        [(variant, shape8, iterations, active_fault_profile()) for variant in variants])
     headlines: dict[str, float] = {}
     for variant, row in zip(variants, b_rows):
         headlines[f"{variant}_comm_fraction"] = row.extra["comm_fraction"]
@@ -287,19 +299,22 @@ def fig62_3d(
 # ------------------------------ Figure 6.3 ---------------------------------------
 
 
-def _run_dace(build, pipeline_args, decomp_args, ranks: int):
+def _run_dace(build, pipeline_args, decomp_args, ranks: int,
+              fault_profile: str | None = None):
     sdfg = build()
     kind, conjugates = pipeline_args
     if kind == "baseline":
         sdfg = baseline_pipeline(sdfg)
     else:
         sdfg = cpufree_pipeline(sdfg, conjugates)
-    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer())
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer(),
+                          faults=get_injector(fault_profile))
     executor = SDFGExecutor(sdfg, ctx, with_data=False)
     return executor.run(decomp_args)
 
 
-def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int) -> Row:
+def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int,
+                   fault_profile: str | None = None) -> Row:
     """Sweep worker: one (GPU count, pipeline) point of Fig 6.3a.
 
     Timing-only runs need just the per-rank scalar parameters, so the
@@ -307,7 +322,7 @@ def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int) -> Row:
     """
     decomp = SlabDecomposition1D(per_gpu_n * gpus, gpus)
     report = _run_dace(build_jacobi_1d_sdfg, (kind, CONJUGATES_1D),
-                       decomp.rank_params(tsteps), gpus)
+                       decomp.rank_params(tsteps), gpus, fault_profile)
     return Row(
         series=f"dace_{kind}", x=gpus,
         per_iteration_us=report.per_iteration_us,
@@ -322,7 +337,7 @@ def fig63a_dace_1d(
 ) -> FigureData:
     """Fig 6.3a: DaCe Jacobi 1D, discrete MPI baseline vs generated
     CPU-Free, weak scaling (constant elements per GPU)."""
-    tasks = [(gpus, kind, per_gpu_n, tsteps)
+    tasks = [(gpus, kind, per_gpu_n, tsteps, active_fault_profile())
              for gpus in gpu_counts for kind in ("baseline", "cpufree")]
     rows = active_runner().map(_dace_1d_point, tasks)
     fig = FigureData("6.3a", "DaCe Jacobi 1D: baseline vs CPU-Free", rows)
@@ -350,12 +365,13 @@ def _fig63b_domain(base_edge: int, gpus: int) -> tuple[int, int]:
     return gy, gx
 
 
-def _dace_2d_point(gpus: int, kind: str, base_edge: int, tsteps: int) -> Row:
+def _dace_2d_point(gpus: int, kind: str, base_edge: int, tsteps: int,
+                   fault_profile: str | None = None) -> Row:
     """Sweep worker: one (GPU count, pipeline) point of Fig 6.3b."""
     gy, gx = _fig63b_domain(base_edge, gpus)
     decomp = GridDecomposition2D(gy, gx, gpus)
     report = _run_dace(build_jacobi_2d_sdfg, (kind, CONJUGATES_2D),
-                       decomp.rank_params(tsteps), gpus)
+                       decomp.rank_params(tsteps), gpus, fault_profile)
     return Row(
         series=f"dace_{kind}", x=gpus,
         per_iteration_us=report.per_iteration_us,
@@ -375,7 +391,7 @@ def fig63b_dace_2d(
     wide (py <= px), so P = 2 and 8 produce rectangular tiles with
     long strided columns — the baseline's unbalanced-partition bump.
     """
-    tasks = [(gpus, kind, base_edge, tsteps)
+    tasks = [(gpus, kind, base_edge, tsteps, active_fault_profile())
              for gpus in gpu_counts for kind in ("baseline", "cpufree")]
     rows = active_runner().map(_dace_2d_point, tasks)
     fig = FigureData("6.3b", "DaCe Jacobi 2D: baseline vs CPU-Free (strided halos)", rows)

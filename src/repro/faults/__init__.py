@@ -1,0 +1,54 @@
+"""Deterministic fault injection and self-healing communication.
+
+The fault plane has three pieces:
+
+- **Plans** (:mod:`repro.faults.plan`): immutable, seeded descriptions
+  of link degradation, straggler PEs, and transient delivery failures.
+- **Injection** (:mod:`repro.faults.inject`): a per-run
+  :class:`FaultInjector` that the topology, cost accounting, and
+  NVSHMEM transport consult behind ``None``-safe hooks — disabled, the
+  simulator executes byte-identical to a build without this package.
+- **Profiles & harness** (:mod:`repro.faults.profiles`,
+  :mod:`repro.faults.harness`): named fault scenarios and the
+  ``python -m repro.faults`` chaos matrix that asserts every stencil
+  variant converges (or fails with the right diagnostic) under them.
+
+See ``docs/robustness.md`` for the taxonomy and knobs.
+"""
+
+from repro.faults.inject import (
+    RETRY_EDGES,
+    DeliveryError,
+    FaultEvent,
+    FaultInjector,
+    SignalWaitTimeout,
+)
+from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault, StragglerFault
+from repro.faults.profiles import (
+    DEFAULT_SEED,
+    PROFILES,
+    active_fault_profile,
+    get_injector,
+    get_plan,
+    parse_profile,
+    use_fault_profile,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "PROFILES",
+    "RETRY_EDGES",
+    "DeliveryError",
+    "DeliveryFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "SignalWaitTimeout",
+    "StragglerFault",
+    "active_fault_profile",
+    "get_injector",
+    "get_plan",
+    "parse_profile",
+    "use_fault_profile",
+]

@@ -1,0 +1,164 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable description of *what* to break and
+*how hard*: link degradation rules, straggler PEs, and transient
+delivery failures, plus the resilience knobs (retry budget, backoff,
+wait timeouts, watchdog budget) the runtime uses to survive them.
+
+Plans carry an explicit ``seed``; the :class:`~repro.faults.inject.
+FaultInjector` derives one PRNG substream per injection site from it
+(``sha256(seed:site)``) so fault sequences are reproducible regardless
+of event interleaving, worker-process fan-out, or unrelated code using
+``random``.  Nothing in this module touches global PRNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeliveryFault", "FaultPlan", "LinkFault", "StragglerFault"]
+
+
+def _check_prob(value: float, what: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{what} must be a probability in [0, 1], got {value!r}")
+
+
+def _wild_match(pattern: int | None, value: int) -> bool:
+    return pattern is None or pattern == value
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade (or kill) the link between two GPUs.
+
+    ``src``/``dst`` of ``None`` are wildcards matching any GPU.  Rules
+    are symmetric by default (an NVLink failure affects both
+    directions); host links and loopback are never matched — the host
+    path is the staged-copy escape hatch and must stay reliable.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    #: multiply bandwidth by this factor (0 < scale <= 1 degrades)
+    bandwidth_scale: float = 1.0
+    #: add this much latency to every transfer (µs)
+    extra_latency_us: float = 0.0
+    #: per-transfer random extra latency drawn uniformly from [0, jitter_us)
+    jitter_us: float = 0.0
+    #: link is permanently down: transfers must stage through the host
+    down: bool = False
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.bandwidth_scale > 0):
+            raise ValueError(f"bandwidth_scale must be positive, got {self.bandwidth_scale!r}")
+        if self.extra_latency_us < 0 or self.jitter_us < 0:
+            raise ValueError("extra_latency_us and jitter_us must be non-negative")
+
+    def matches(self, src: int, dst: int) -> bool:
+        if src == dst or src < 0 or dst < 0:
+            return False
+        if _wild_match(self.src, src) and _wild_match(self.dst, dst):
+            return True
+        return self.symmetric and _wild_match(self.src, dst) and _wild_match(self.dst, src)
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Slow down compute on one PE by a multiplicative factor."""
+
+    pe: int
+    compute_scale: float
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ValueError(f"straggler pe must be >= 0, got {self.pe}")
+        if not (self.compute_scale > 0):
+            raise ValueError(f"compute_scale must be positive, got {self.compute_scale!r}")
+
+
+@dataclass(frozen=True)
+class DeliveryFault:
+    """Transiently drop or delay NVSHMEM put/signal deliveries.
+
+    Directional (``src -> dst``, ``None`` wildcards).  A *dropped*
+    delivery is retried by the sender with exponential backoff — unless
+    ``silent`` is set, in which case the delivery vanishes without the
+    sender noticing (the lost-signal scenario the watchdog exists for).
+    ``max_drops`` caps how many deliveries the rule may kill in one run
+    (``None`` = unlimited), letting profiles inject a single targeted
+    loss deterministically.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_us: float = 0.0
+    silent: bool = False
+    max_drops: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_prob(self.drop_prob, "drop_prob")
+        _check_prob(self.delay_prob, "delay_prob")
+        if self.delay_us < 0:
+            raise ValueError(f"delay_us must be non-negative, got {self.delay_us!r}")
+        if self.max_drops is not None and self.max_drops < 0:
+            raise ValueError(f"max_drops must be >= 0, got {self.max_drops}")
+
+    def matches(self, src: int, dst: int) -> bool:
+        return _wild_match(self.src, src) and _wild_match(self.dst, dst)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded bundle of fault rules plus resilience knobs."""
+
+    name: str = "custom"
+    seed: int = 2024
+    links: tuple[LinkFault, ...] = ()
+    stragglers: tuple[StragglerFault, ...] = ()
+    deliveries: tuple[DeliveryFault, ...] = ()
+    #: how many times a non-silent dropped delivery is retried
+    retry_limit: int = 8
+    #: first retry backoff (simulated µs); grows by retry_backoff_factor
+    retry_backoff_us: float = 2.0
+    retry_backoff_factor: float = 2.0
+    #: per-attempt signal_wait timeout under faults (None = wait forever)
+    wait_timeout_us: float | None = None
+    #: watchdog budget per monitored signal wait (None = no watchdog)
+    watchdog_budget_us: float | None = None
+    #: what the chaos harness should assert: "converge" (run completes,
+    #: result bit-identical to the reference) or "diagnostic" (run must
+    #: end in a WatchdogError naming the stuck signal)
+    expect: str = "converge"
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        if not (self.retry_backoff_us > 0):
+            raise ValueError(f"retry_backoff_us must be positive, got {self.retry_backoff_us!r}")
+        if not (self.retry_backoff_factor >= 1.0):
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor!r}")
+        for knob, value in (("wait_timeout_us", self.wait_timeout_us),
+                            ("watchdog_budget_us", self.watchdog_budget_us)):
+            if value is not None and not (value > 0):
+                raise ValueError(f"{knob} must be positive when set, got {value!r}")
+        if self.expect not in ("converge", "diagnostic"):
+            raise ValueError(f"expect must be 'converge' or 'diagnostic', got {self.expect!r}")
+
+    @property
+    def inert(self) -> bool:
+        """True when the plan injects nothing and arms nothing — a run
+        under an inert plan is byte-identical to a fault-free run."""
+        return not (self.links or self.stragglers or self.deliveries
+                    or self.watchdog_budget_us is not None
+                    or self.wait_timeout_us is not None)
+
+    def injector(self):
+        """Build a fresh :class:`~repro.faults.inject.FaultInjector`."""
+        from repro.faults.inject import FaultInjector
+
+        return FaultInjector(self)

@@ -1,0 +1,162 @@
+"""Named fault profiles and the ambient profile context.
+
+A *profile spec* is a profile name with an optional seed suffix:
+``"transient"``, ``"transient@7"``.  :func:`get_plan` resolves it to a
+:class:`~repro.faults.plan.FaultPlan`; :func:`get_injector` builds the
+per-run :class:`~repro.faults.inject.FaultInjector` (``None`` for the
+inert ``"none"`` profile, so fault-free runs execute the unmodified
+code path).
+
+The ambient profile installed with :func:`use_fault_profile` is
+consulted by ``StencilConfig`` *at construction time* in the main
+process — the resolved spec travels to sweep workers inside the pickled
+config, never as module state, which is what keeps ``--jobs 1`` and
+``--jobs 4`` byte-identical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault, StragglerFault
+
+__all__ = [
+    "PROFILES",
+    "active_fault_profile",
+    "get_injector",
+    "get_plan",
+    "parse_profile",
+    "use_fault_profile",
+]
+
+DEFAULT_SEED = 2024
+
+
+def _none(seed: int) -> FaultPlan:
+    return FaultPlan(name="none", seed=seed)
+
+
+def _transient(seed: int) -> FaultPlan:
+    """Default chaos profile: latency jitter everywhere plus transient
+    delivery drops/delays — everything recoverable, runs must converge."""
+    return FaultPlan(
+        name="transient",
+        seed=seed,
+        links=(LinkFault(jitter_us=2.0),),
+        deliveries=(DeliveryFault(drop_prob=0.12, delay_prob=0.15, delay_us=4.0),),
+        retry_limit=12,
+        retry_backoff_us=1.5,
+        retry_backoff_factor=2.0,
+        watchdog_budget_us=1_000_000.0,
+    )
+
+
+def _degraded(seed: int) -> FaultPlan:
+    """Deterministic slow node: one straggler PE and degraded links."""
+    return FaultPlan(
+        name="degraded",
+        seed=seed,
+        links=(LinkFault(bandwidth_scale=0.3, extra_latency_us=1.5),),
+        stragglers=(StragglerFault(pe=0, compute_scale=1.75),),
+        watchdog_budget_us=1_000_000.0,
+    )
+
+
+def _link_down(seed: int) -> FaultPlan:
+    """Permanent failure of the 0<->1 NVLink: transfers must take the
+    host-staged degraded path; runs still converge."""
+    return FaultPlan(
+        name="link_down",
+        seed=seed,
+        links=(LinkFault(src=0, dst=1, down=True),),
+        watchdog_budget_us=1_000_000.0,
+    )
+
+
+def _lost_signal(seed: int) -> FaultPlan:
+    """Silent (unretried) delivery loss on the whole 0->1 route — the
+    CPU-Free hang scenario: PE1 never sees PE0's halo signal and blocks
+    forever in ``signal_wait_until``.  (A *single* loss self-heals in
+    the iteration-numbered SET protocol: the next iteration's signal
+    satisfies the stuck wait, so the hang needs the route to keep
+    eating messages.)  The watchdog must convert the hang into a
+    diagnostic, so the harness expects ``"diagnostic"``."""
+    return FaultPlan(
+        name="lost_signal",
+        seed=seed,
+        deliveries=(DeliveryFault(src=0, dst=1, drop_prob=1.0, silent=True),),
+        watchdog_budget_us=2_000.0,
+        expect="diagnostic",
+    )
+
+
+_BUILDERS: dict[str, Callable[[int], FaultPlan]] = {
+    "none": _none,
+    "transient": _transient,
+    "degraded": _degraded,
+    "link_down": _link_down,
+    "lost_signal": _lost_signal,
+}
+
+#: all known profile names, in presentation order
+PROFILES = ("none", "transient", "degraded", "link_down", "lost_signal")
+
+
+def parse_profile(spec: str) -> tuple[str, int]:
+    """Split ``"name"`` / ``"name@seed"`` into ``(name, seed)``."""
+    name, sep, seed_text = spec.partition("@")
+    if not sep:
+        return name, DEFAULT_SEED
+    try:
+        return name, int(seed_text)
+    except ValueError:
+        raise ValueError(f"bad fault-profile seed in {spec!r} (want name@integer)") from None
+
+
+def get_plan(spec: str) -> FaultPlan:
+    """Resolve a profile spec to its :class:`FaultPlan`."""
+    name, seed = parse_profile(spec)
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(PROFILES)
+        raise ValueError(f"unknown fault profile {name!r} (known: {known})")
+    return builder(seed)
+
+
+def get_injector(spec: str | None) -> FaultInjector | None:
+    """Injector for a profile spec, or ``None`` when the spec is absent
+    or resolves to an inert plan (fault-free runs stay untouched)."""
+    if spec is None:
+        return None
+    plan = get_plan(spec)
+    if plan.inert:
+        return None
+    return FaultInjector(plan)
+
+
+#: module-level ambient profile spec (None = no faults)
+_active: str | None = None
+
+
+def active_fault_profile() -> str | None:
+    """The profile spec new stencil configs should adopt, if any."""
+    return _active
+
+
+@contextmanager
+def use_fault_profile(spec: str | None) -> Iterator[str | None]:
+    """Install ``spec`` as the ambient fault profile for the block.
+
+    Validates eagerly so CLI typos fail before any sweep starts.
+    """
+    if spec is not None:
+        get_plan(spec)
+    global _active
+    previous = _active
+    _active = spec
+    try:
+        yield spec
+    finally:
+        _active = previous

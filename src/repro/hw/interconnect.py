@@ -63,6 +63,9 @@ class NodeTopology:
         #: optional MetricsRegistry for per-link traffic accounting
         #: (installed by the owning context; never affects timing)
         self.metrics = None
+        #: optional FaultInjector (installed by the owning context);
+        #: None = the fault plane is fully inert
+        self.faults = None
         #: per-link traffic accumulated as plain slots and folded into
         #: the registry by :meth:`flush_metrics` — registry lookups are
         #: too slow for the per-transfer path
@@ -78,8 +81,12 @@ class NodeTopology:
         if src == dst:
             return self._local
         if src == HOST or dst == HOST:
-            return self._host
-        return self._peer
+            base = self._host
+        else:
+            base = self._peer
+        if self.faults is not None:
+            return self.faults.effective_link(src, dst, base)
+        return base
 
     def peers(self, device: int) -> list[int]:
         """All GPUs reachable from ``device`` (everyone, on HGX)."""
@@ -89,9 +96,20 @@ class NodeTopology:
         return [d for d in range(self.num_gpus) if d != device]
 
     def transfer_us(self, src: int, dst: int, nbytes: float, *, sharers: int = 1) -> float:
-        """Modeled duration of a ``src -> dst`` copy of ``nbytes``."""
+        """Modeled duration of a ``src -> dst`` copy of ``nbytes``.
+
+        Under an active fault plan the route may pick up latency jitter,
+        and a link marked permanently down reroutes through the host
+        (``src -> host -> dst`` staged copy) instead of hanging.
+        """
         if self.metrics is not None:
             self.record_transfer(src, dst, nbytes, sharers=sharers)
+        faults = self.faults
+        if faults is not None:
+            if faults.link_down(src, dst):
+                return faults.staged_transfer_us(self, src, dst, nbytes, sharers=sharers)
+            return (self.link(src, dst).transfer_us(nbytes, sharers=sharers)
+                    + faults.transfer_jitter_us(src, dst))
         return self.link(src, dst).transfer_us(nbytes, sharers=sharers)
 
     def record_transfer(self, src: int, dst: int, nbytes: float, *,

@@ -47,6 +47,14 @@ class NVSHMEMRuntime:
         # ``signal_wait_until`` can tag its span with the same id.
         self._flow_seq = 0
         self._last_signal_flow: dict[tuple[int, int], tuple[int, int]] = {}
+        # Per-(src, dst) delivery channels, engaged only under an active
+        # fault plan: jitter and retransmission must not reorder
+        # deliveries between the same pair of PEs (real transports keep
+        # point-to-point ordering through link-level retry).  Each
+        # channel is an issue counter plus a "last completed seq" flag
+        # that delivery legs wait on before applying their effects.
+        self._chan_issue: dict[tuple[int, int], int] = {}
+        self._chan_done: dict[tuple[int, int], Flag] = {}
         # Op/wait accounting accumulated as plain slots shared by every
         # NVSHMEMDevice handle (handles are created per kernel body) and
         # folded into the registry by flush_metrics() — registry lookups
@@ -80,6 +88,20 @@ class NVSHMEMRuntime:
         self._flow_seq += 1
         return self._flow_seq
 
+    def channel_seq(self, src: int, dst: int) -> tuple[int, Flag]:
+        """Allocate the next delivery sequence number on ``src -> dst``
+        and return it with the channel's completion flag (fault-mode
+        FIFO ordering — see ``_chan_issue`` above)."""
+        key = (src, dst)
+        done = self._chan_done.get(key)
+        if done is None:
+            done = self._chan_done[key] = Flag(
+                self.ctx.sim, 0, name=f"nvshmem.chan.pe{src}->pe{dst}"
+            )
+        seq = self._chan_issue.get(key, 0) + 1
+        self._chan_issue[key] = seq
+        return seq, done
+
     def _note_signal_flow(self, pe: int, index: int, flow_id: int, src_pe: int) -> None:
         """Record that ``flow_id`` from ``src_pe`` last updated signal
         word ``index`` on PE ``pe`` (called at signal-application time)."""
@@ -103,8 +125,21 @@ class NVSHMEMRuntime:
         return self.heap.malloc(name, shape, dtype, fill)
 
     def malloc_signals(self, name: str, n_signals: int) -> SignalArray:
-        """Allocate symmetric signal words (flags in the symmetric heap)."""
-        return self.heap.malloc_signals(name, n_signals)
+        """Allocate symmetric signal words (flags in the symmetric heap).
+
+        When the context runs under a fault plan with a watchdog, every
+        signal word is marked for monitoring: a ``signal_wait_until``
+        on it must resume within the watchdog budget or the run ends in
+        a :class:`~repro.sim.WatchdogError` diagnostic instead of a
+        silent hang.  Host joins and barriers stay unmonitored.
+        """
+        signals = self.heap.malloc_signals(name, n_signals)
+        watchdog = self.ctx.sim.watchdog
+        if watchdog is not None:
+            for pe in range(self.n_pes):
+                for index in range(n_signals):
+                    watchdog.watch(signals.flag(pe, index))
+        return signals
 
     # -- device access ------------------------------------------------------------
 

@@ -35,7 +35,9 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.sim import Delay, Flag, WaitFlag
+from repro.faults.inject import DeliveryError, SignalWaitTimeout
+from repro.hw.interconnect import HOST
+from repro.sim import TIMEOUT, Delay, Flag, WaitFlag
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nvshmem.api import NVSHMEMRuntime
@@ -96,6 +98,8 @@ class NVSHMEMDevice:
         self._op_acc = runtime._op_acc
         self._wait_acc = runtime._wait_acc
         self._wait_hist = runtime._wait_hist
+        #: fault injector (None = happy path, zero overhead)
+        self._faults = runtime.ctx.faults
 
     # -- internals -------------------------------------------------------------
 
@@ -117,6 +121,63 @@ class NVSHMEMDevice:
     def _wire_time(self, dest_pe: int, nbytes: int, scope: Scope) -> float:
         link = self._ctx.topology.link(self.pe, dest_pe)
         return link.latency_us + nbytes / (link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
+
+    def _staged_wire(self, dest_pe: int, nbytes: float) -> float | None:
+        """Host-staged wire time when the direct link is marked down by
+        an active fault plan, else ``None`` (use the direct route).
+        The degraded path runs as host-driven DMA at full host-link
+        bandwidth: ``pe -> host`` then ``host -> dest_pe``."""
+        faults = self._faults
+        if faults is None or not faults.link_down(self.pe, dest_pe):
+            return None
+        topology = self._ctx.topology
+        wire = (topology.link(self.pe, HOST).transfer_us(nbytes)
+                + topology.link(HOST, dest_pe).transfer_us(nbytes))
+        faults.note_degraded_put(self.pe, dest_pe, nbytes)
+        return wire
+
+    def _faulty_wire(
+        self,
+        dest_pe: int,
+        nbytes: float,
+        scope: Scope,
+        name: str,
+        flag_name: str | None = None,
+    ) -> Generator[Any, Any, None]:
+        """Wire-time leg of a *blocking* put under an active fault plan:
+        staged host routing when the link is down, per-attempt latency
+        jitter, and bounded retry with exponential backoff (in simulated
+        time) on dropped deliveries."""
+        faults = self._faults
+        staged = self._staged_wire(dest_pe, nbytes)
+        if staged is not None:
+            yield Delay(staged)
+            return
+        wire = self._wire_time(dest_pe, nbytes, scope)
+        if not faults.delivery_faults_apply(self.pe, dest_pe):
+            yield Delay(wire + faults.transfer_jitter_us(self.pe, dest_pe))
+            return
+        plan = faults.plan
+        attempt = 0
+        while True:
+            yield Delay(wire + faults.transfer_jitter_us(self.pe, dest_pe))
+            outcome, extra_us = faults.delivery_outcome(
+                self.pe, dest_pe, name, flag_name, attempt)
+            if outcome == "ok":
+                break
+            if outcome == "delay":
+                yield Delay(extra_us)
+                break
+            # dropped — a blocking put observes the failure and retries
+            # (silent losses are indistinguishable from drops here)
+            attempt += 1
+            if attempt > plan.retry_limit:
+                raise DeliveryError(
+                    f"{name}: pe{self.pe}->pe{dest_pe} delivery dropped "
+                    f"{attempt} time(s); retry limit {plan.retry_limit} exhausted")
+            yield Delay(faults.retry_backoff_us(attempt))
+        if attempt:
+            faults.note_retries(self.pe, dest_pe, attempt)
 
     def _apply_signal(self, flag: Flag, value: int, op: SignalOp) -> None:
         if op is SignalOp.SET:
@@ -161,33 +222,100 @@ class NVSHMEMDevice:
         name: str,
         flow: int | None = None,
         signal_index: int | None = None,
+        allow_faults: bool = True,
     ) -> None:
         """Spawn the asynchronous delivery leg of an ``nbi`` operation.
 
         ``flow`` tags the delivery span as the producer of a trace flow
         event (the span ends exactly when the signal is applied, which
         is what a downstream ``signal_wait_until`` chains on).
+
+        Under an active fault plan the delivery may pick up jitter, be
+        delayed, or be dropped: non-silent drops retry with exponential
+        backoff up to the plan's retry limit (then raise
+        :class:`DeliveryError`); *silent* drops vanish — the sender's
+        pending counter still drains, but neither data nor signal ever
+        arrive, which is the lost-signal hang the watchdog diagnoses.
+        ``allow_faults=False`` exempts host-staged (degraded-path)
+        deliveries, which don't traverse the faulty NVLink.
+
+        Under faults, deliveries between the same ``(src, dst)`` pair
+        complete in issue order (each leg waits for its predecessor
+        before applying its effects): jitter and retransmission must
+        not let a later halo overtake an earlier one, exactly as real
+        transports preserve point-to-point ordering through link-level
+        retry.  Fault-free runs skip the machinery entirely — issue
+        order and a constant wire time already imply arrival order.
         """
         pending = self.runtime.pending(self.pe)
         pending.add(1)
         self._sample_pending()
         sim = self._ctx.sim
+        faults = self._faults if allow_faults else None
+        faulty = faults is not None and faults.delivery_faults_apply(self.pe, dest_pe)
+        if self._faults is not None:
+            seq, chan_done = self.runtime.channel_seq(self.pe, dest_pe)
+        else:
+            seq, chan_done = None, None
 
         def delivery() -> Generator[Any, Any, None]:
             start = sim.now
-            yield Delay(wire_us)
-            if write is not None:
-                write()
-            if signal is not None:
-                flag, value, op = signal
-                self._apply_signal(flag, value, op)
-                if flow is not None and signal_index is not None:
-                    self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
+            lost = False
+            if faults is None:
+                yield Delay(wire_us)
+            elif not faulty:
+                yield Delay(wire_us + faults.transfer_jitter_us(self.pe, dest_pe))
+            else:
+                flag_name = signal[0].name if signal is not None else None
+                plan = faults.plan
+                attempt = 0
+                while True:
+                    yield Delay(wire_us + faults.transfer_jitter_us(self.pe, dest_pe))
+                    outcome, extra_us = faults.delivery_outcome(
+                        self.pe, dest_pe, name, flag_name, attempt)
+                    if outcome == "ok":
+                        break
+                    if outcome == "delay":
+                        yield Delay(extra_us)
+                        break
+                    if outcome == "lost":
+                        lost = True
+                        break
+                    attempt += 1
+                    if attempt > plan.retry_limit:
+                        pending.add(-1)
+                        self._sample_pending()
+                        if chan_done is not None:
+                            chan_done.set(seq)
+                        raise DeliveryError(
+                            f"{name}: pe{self.pe}->pe{dest_pe} delivery dropped "
+                            f"{attempt} time(s); retry limit {plan.retry_limit} "
+                            f"exhausted")
+                    yield Delay(faults.retry_backoff_us(attempt))
+                if attempt:
+                    faults.note_retries(self.pe, dest_pe, attempt)
+            if chan_done is not None:
+                # FIFO channel: hold effects until every earlier
+                # delivery on this (src, dst) pair has completed
+                yield WaitFlag(chan_done, lambda v, prev=seq - 1: v >= prev)
+            if not lost:
+                if write is not None:
+                    write()
+                if signal is not None:
+                    flag, value, op = signal
+                    self._apply_signal(flag, value, op)
+                    if flow is not None and signal_index is not None:
+                        self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
+            if chan_done is not None:
+                # advance the channel even for lost deliveries, else
+                # everything behind the loss would stall forever
+                chan_done.set(seq)
             pending.add(-1)
             self._sample_pending()
-            meta = {"flow_s": flow} if flow is not None else None
+            meta = {"flow_s": flow} if flow is not None and not lost else None
+            label = f"{name}:lost" if lost else name
             self._ctx.trace(
-                f"wire.pe{self.pe}->pe{dest_pe}", name, "comm", start, sim.now, meta
+                f"wire.pe{self.pe}->pe{dest_pe}", label, "comm", start, sim.now, meta
             )
 
         sim.spawn(delivery(), name=f"nvshmem.{name}.pe{self.pe}->pe{dest_pe}")
@@ -225,7 +353,11 @@ class NVSHMEMDevice:
         size = int(nbytes) if nbytes is not None else values.nbytes
         self._record_op("putmem", dest_pe, size)
         start = self._ctx.sim.now
-        yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        if self._faults is None:
+            yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        else:
+            yield Delay(self._cost.nvshmem_put_latency_us)
+            yield from self._faulty_wire(dest_pe, size, scope, name)
         write = self._writer(dst, dst_index, values, dest_pe)
         if write is not None:
             write()
@@ -249,8 +381,10 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
-        wire = self._wire_time(dest_pe, size, scope)
-        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name)
+        staged = self._staged_wire(dest_pe, size)
+        wire = staged if staged is not None else self._wire_time(dest_pe, size, scope)
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe),
+                            None, name, allow_faults=staged is None)
 
     def putmem_signal(
         self,
@@ -273,7 +407,13 @@ class NVSHMEMDevice:
         self._record_op("putmem_signal", dest_pe, size)
         flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now
-        yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        if self._faults is None:
+            yield Delay(self._cost.nvshmem_put_latency_us + self._wire_time(dest_pe, size, scope))
+        else:
+            yield Delay(self._cost.nvshmem_put_latency_us)
+            yield from self._faulty_wire(
+                dest_pe, size, scope, name,
+                flag_name=signal.flag(dest_pe, signal_index).name)
         write = self._writer(dst, dst_index, values, dest_pe)
         if write is not None:
             write()
@@ -309,7 +449,9 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
-        wire = self._wire_time(dest_pe, size, scope) + self._cost.nvshmem_signal_us
+        staged = self._staged_wire(dest_pe, size)
+        wire = (staged if staged is not None else self._wire_time(dest_pe, size, scope)
+                ) + self._cost.nvshmem_signal_us
         self._deliver_async(
             dest_pe,
             wire,
@@ -318,6 +460,7 @@ class NVSHMEMDevice:
             name,
             flow=flow,
             signal_index=signal_index,
+            allow_faults=staged is None,
         )
 
     # -- strided / single-element --------------------------------------------------
@@ -344,9 +487,14 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
         self._trace(f"{name}:issue", "comm", start)
-        link = self._ctx.topology.link(self.pe, dest_pe)
-        wire = link.latency_us + n * self._cost.nvshmem_iput_element_us
-        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name)
+        staged = self._staged_wire(dest_pe, n * values.itemsize)
+        if staged is not None:
+            wire = staged
+        else:
+            link = self._ctx.topology.link(self.pe, dest_pe)
+            wire = link.latency_us + n * self._cost.nvshmem_iput_element_us
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe),
+                            None, name, allow_faults=staged is None)
 
     def p(
         self,
@@ -362,13 +510,14 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_p_us)
         self._trace(f"{name}:issue", "comm", start)
-        link = self._ctx.topology.link(self.pe, dest_pe)
+        staged = self._staged_wire(dest_pe, 8)
+        wire = staged if staged is not None else self._ctx.topology.link(self.pe, dest_pe).latency_us
 
         def write() -> None:
             if dst is not None:
                 dst.on(dest_pe).data[dst_index] = value
 
-        self._deliver_async(dest_pe, link.latency_us, write, None, name)
+        self._deliver_async(dest_pe, wire, write, None, name, allow_faults=staged is None)
 
     def p_mapped(
         self,
@@ -398,9 +547,11 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(waves * self._cost.nvshmem_p_us)
         self._trace(f"{name}:issue", "comm", start)
-        wire = self._wire_time(dest_pe, n * 8, Scope.WARP)
+        staged = self._staged_wire(dest_pe, n * 8)
+        wire = staged if staged is not None else self._wire_time(dest_pe, n * 8, Scope.WARP)
         self._deliver_async(
-            dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name
+            dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name,
+            allow_faults=staged is None,
         )
 
     # -- signaling -------------------------------------------------------------------
@@ -426,11 +577,12 @@ class NVSHMEMDevice:
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_signal_us)
         self._trace(f"{name}:issue", "comm", start)
-        link = self._ctx.topology.link(self.pe, dest_pe)
+        staged = self._staged_wire(dest_pe, 8)
+        wire = staged if staged is not None else self._ctx.topology.link(self.pe, dest_pe).latency_us
         self._deliver_async(
-            dest_pe, link.latency_us, None,
+            dest_pe, wire, None,
             (signal.flag(dest_pe, signal_index), value, op), name,
-            flow=flow, signal_index=signal_index,
+            flow=flow, signal_index=signal_index, allow_faults=staged is None,
         )
 
     def signal_wait_until(
@@ -440,14 +592,52 @@ class NVSHMEMDevice:
         cond: WaitCond,
         target: int,
         *,
+        timeout_us: float | None = None,
+        retries: int | None = None,
         name: str = "signal_wait_until",
     ) -> Generator[Any, Any, int]:
-        """Block on this PE's local signal word until ``cond`` holds."""
+        """Block on this PE's local signal word until ``cond`` holds.
+
+        With a ``timeout_us`` (explicit, or inherited from an active
+        fault plan's ``wait_timeout_us``) the wait is re-armed up to
+        ``retries`` times, each attempt's budget growing by the plan's
+        backoff factor; exhaustion raises :class:`SignalWaitTimeout`
+        naming the signal and the last delivery attempt seen for it.
+        Without a timeout the wait is unbounded, as in real NVSHMEM —
+        the :class:`~repro.sim.Watchdog` is then the hang diagnosis.
+        """
         flag = signal.flag(self.pe, signal_index)
         self._record_op("signal_wait", self.pe)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_wait_poll_us)
-        yield WaitFlag(flag, lambda v: cond.check(v, target))
+        faults = self._faults
+        if timeout_us is None and faults is not None:
+            timeout_us = faults.plan.wait_timeout_us
+        if timeout_us is None:
+            yield WaitFlag(flag, lambda v: cond.check(v, target))
+        else:
+            if retries is None:
+                retries = faults.plan.retry_limit if faults is not None else 0
+            backoff = faults.plan.retry_backoff_factor if faults is not None else 2.0
+            budget = timeout_us
+            attempt = 0
+            while True:
+                result = yield WaitFlag(flag, lambda v: cond.check(v, target),
+                                        timeout=budget)
+                if result is not TIMEOUT:
+                    break
+                attempt += 1
+                if faults is not None:
+                    faults.note_wait_timeout(flag.name, attempt)
+                if attempt > retries:
+                    context = faults.watchdog_context(flag) if faults is not None else None
+                    suffix = f" ({context})" if context else ""
+                    raise SignalWaitTimeout(
+                        f"{name}: pe{self.pe} gave up waiting for {flag.name} "
+                        f"{cond.name} {target} after {attempt} timeout(s), last "
+                        f"budget {budget:.3f}us{suffix}")
+                budget *= backoff
+                yield Delay(self._cost.nvshmem_wait_poll_us)
         info = self.runtime.last_signal_flow(self.pe, signal_index)
         meta = None
         src_label = "local"

@@ -71,6 +71,9 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
                      help="write the Chrome-trace JSON to PATH")
     sub.add_argument("--top", type=int, default=5,
                      help="rows in top-k listings (default: 5)")
+    sub.add_argument("--fault-profile", metavar="NAME", default=None,
+                     help="run under this fault profile (e.g. transient or "
+                          "lost_signal@7); recorded in the metrics dump")
 
 
 def _run_variant(args: argparse.Namespace):
@@ -89,6 +92,7 @@ def _run_variant(args: argparse.Namespace):
             num_gpus=args.gpus,
             iterations=args.iterations,
             no_compute=args.no_compute,
+            fault_profile=args.fault_profile,
         )
         result = VARIANTS[args.variant](config).run()
     return result, registry

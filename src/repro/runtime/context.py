@@ -48,6 +48,7 @@ class MultiGPUContext:
         cost: CostModel = DEFAULT_COST_MODEL,
         tracer: Tracer | None = None,
         metrics: "MetricsRegistry | None" = None,
+        faults: Any = None,
     ) -> None:
         self.node = node
         self.cost = cost
@@ -62,6 +63,10 @@ class MultiGPUContext:
         self._published_engine: dict[str, float] = {}
         self._metric_flushers: list[Callable[[], None]] = []
         self._streams: dict[tuple[int, str], Stream] = {}
+        #: optional FaultInjector (None = fault plane fully inert)
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self)
 
     @property
     def num_gpus(self) -> int:
@@ -98,6 +103,12 @@ class MultiGPUContext:
         """Register a component hook that folds privately accumulated
         metrics into the registry; invoked after each :meth:`run`."""
         self._metric_flushers.append(flush)
+
+    def link_down(self, src: int, dst: int) -> bool:
+        """True when an active fault plan marks the direct ``src -> dst``
+        link permanently down (variants use this to pick their
+        degraded host-staged path)."""
+        return self.faults is not None and self.faults.link_down(src, dst)
 
     # -- tracing ----------------------------------------------------------------
 

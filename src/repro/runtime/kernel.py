@@ -99,6 +99,9 @@ class DeviceKernelContext:
             tiling_factor=tiling_factor,
             perks_residency=perks_residency,
         )
+        faults = self.ctx.faults
+        if faults is not None:
+            cost *= faults.compute_scale(self.device)
         yield from self.busy(cost, name=name, category=category)
 
     def busy(self, duration_us: float, name: str, category: str) -> Generator[Any, Any, None]:

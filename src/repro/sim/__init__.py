@@ -12,6 +12,7 @@ experiments reproducible without real hardware.
 """
 
 from repro.sim.engine import (
+    TIMEOUT,
     DeadlockError,
     Delay,
     Flag,
@@ -21,6 +22,8 @@ from repro.sim.engine import (
     Simulator,
     WaitFlag,
     WaitProcess,
+    Watchdog,
+    WatchdogError,
 )
 from repro.sim.resources import Channel, Mutex, Semaphore
 from repro.sim.trace import (
@@ -43,9 +46,12 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Span",
+    "TIMEOUT",
     "Tracer",
     "WaitFlag",
     "WaitProcess",
+    "Watchdog",
+    "WatchdogError",
     "interval_union_length",
     "merge_intervals",
     "overlap_length",

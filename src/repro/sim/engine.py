@@ -8,10 +8,13 @@ command objects:
     Suspend for ``dt`` units of simulated time (microseconds by
     convention throughout this project).
 
-``WaitFlag(flag, predicate)``
+``WaitFlag(flag, predicate, timeout=None)``
     Suspend until ``predicate(flag.value)`` is true.  The check happens
     immediately (zero-time resume if already satisfied) and again on
-    every mutation of the flag.
+    every mutation of the flag.  With a ``timeout`` (simulated time),
+    the process instead resumes with the :data:`TIMEOUT` sentinel if
+    the predicate still fails when the budget expires — the primitive
+    under retrying NVSHMEM waits.
 
 ``WaitProcess(process)``
     Suspend until another process terminates; resumes with its return
@@ -35,14 +38,23 @@ the main loop merges the ready queue and the heap by that key.
 :meth:`Flag.set` skips the waiter scan when the stored value does not
 change, so a predicate that consults ambient state (e.g. ``sim.now``)
 is not re-evaluated on no-op writes.
+
+Hang diagnosis: a :class:`Watchdog` attached via
+:meth:`Simulator.attach_watchdog` monitors waits on flags marked with a
+``watch_budget_us`` and converts a wait that outlives its budget — or a
+drained heap with watched waiters still blocked — into a
+:class:`WatchdogError` naming the stuck process, the signal it waits
+on, and any registered context (e.g. the last delivery attempt).
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from collections import deque
 from collections.abc import Callable, Generator
 from dataclasses import dataclass
+from os.path import basename
 from typing import Any
 
 __all__ = [
@@ -53,8 +65,11 @@ __all__ = [
     "ProcessFailed",
     "SimulationError",
     "Simulator",
+    "TIMEOUT",
     "WaitFlag",
     "WaitProcess",
+    "Watchdog",
+    "WatchdogError",
 ]
 
 
@@ -65,14 +80,43 @@ class SimulationError(RuntimeError):
 class DeadlockError(SimulationError):
     """Raised when no events remain but processes are still blocked.
 
-    The message lists the blocked processes and what each one is
-    waiting for — this is the primary debugging aid for signaling
-    protocol mistakes (e.g. a halo-exchange flag that is never set).
+    The message carries the simulated timestamp and, for every blocked
+    process, what it is waiting for, since when, and where it was
+    spawned; join chains are chased so the root blocker is named first.
+    This is the primary debugging aid for signaling protocol mistakes
+    (e.g. a halo-exchange flag that is never set).
     """
+
+
+class WatchdogError(DeadlockError):
+    """Raised by a :class:`Watchdog`: a monitored wait exceeded its
+    simulated-time budget (or the event heap drained while watched
+    waiters were still blocked).  Subclasses :class:`DeadlockError` so
+    existing hang handling keeps working, but the message additionally
+    names the stuck signal and the last delivery attempt reported by
+    registered context providers."""
 
 
 class ProcessFailed(SimulationError):
     """Raised when joining a process that terminated with an exception."""
+
+
+class _TimeoutSentinel:
+    """Singleton resume value delivered when a ``WaitFlag`` times out."""
+
+    _instance: "_TimeoutSentinel | None" = None
+
+    def __new__(cls) -> "_TimeoutSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMEOUT"
+
+
+#: resume value a timed ``WaitFlag`` yields back when the budget expires
+TIMEOUT = _TimeoutSentinel()
 
 
 @dataclass(frozen=True)
@@ -82,16 +126,34 @@ class Delay:
     dt: float
 
     def __post_init__(self) -> None:
-        if self.dt < 0:
-            raise ValueError(f"negative delay: {self.dt}")
+        # `not (dt >= 0)` also catches NaN, which would otherwise poison
+        # the (time, seq) heap ordering far from the offending yield.
+        if not (self.dt >= 0):
+            raise ValueError(
+                f"Delay dt must be a non-negative number, got {self.dt!r} "
+                f"(negative and NaN delays would corrupt event ordering)"
+            )
 
 
 @dataclass(frozen=True)
 class WaitFlag:
-    """Command: suspend until ``predicate(flag.value)`` holds."""
+    """Command: suspend until ``predicate(flag.value)`` holds.
+
+    ``timeout`` (simulated time, ``None`` = wait forever) bounds the
+    wait: if the predicate still fails after ``timeout``, the process
+    resumes with the :data:`TIMEOUT` sentinel instead of the flag
+    value.  Callers must compare ``result is TIMEOUT``.
+    """
 
     flag: "Flag"
     predicate: Callable[[Any], bool]
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and not (self.timeout > 0):
+            raise ValueError(
+                f"WaitFlag timeout must be a positive number, got {self.timeout!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -99,6 +161,22 @@ class WaitProcess:
     """Command: suspend until ``process`` finishes; resumes with its result."""
 
     process: "Process"
+
+
+class _TimeoutEntry:
+    """Heap token arming a ``WaitFlag`` timeout.
+
+    Cancellation is lazy: resuming the waiter flips ``cancelled`` and the
+    main loop discards the token when it surfaces — crucially *before*
+    advancing ``sim.now``, so a resolved wait never inflates the final
+    simulated time.
+    """
+
+    __slots__ = ("flag", "cancelled")
+
+    def __init__(self, flag: "Flag") -> None:
+        self.flag = flag
+        self.cancelled = False
 
 
 class Process:
@@ -109,9 +187,14 @@ class Process:
     process that joins it.
     """
 
-    __slots__ = ("sim", "gen", "name", "alive", "result", "error", "_joiners", "_waiting_on")
+    __slots__ = (
+        "sim", "gen", "name", "alive", "result", "error", "_joiners",
+        "_waiting_on", "_waiting_flag", "_waiting_join", "_blocked_since",
+        "_timeout", "_spawn_site",
+    )
 
-    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str) -> None:
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str,
+                 site: tuple[str, int] | None = None) -> None:
         self.sim = sim
         self.gen = gen
         self.name = name
@@ -121,10 +204,23 @@ class Process:
         self._joiners: list[Process] = []
         #: human-readable description of the blocking command (deadlock report)
         self._waiting_on: str = "<not started>"
+        #: the Flag / Process currently blocked on (None when runnable)
+        self._waiting_flag: Flag | None = None
+        self._waiting_join: Process | None = None
+        #: sim.now when the current blocking wait began (None when runnable)
+        self._blocked_since: float | None = None
+        #: pending WaitFlag timeout token, if any
+        self._timeout: _TimeoutEntry | None = None
+        #: (filename, lineno) of the spawn() call site
+        self._spawn_site = site
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
         return f"<Process {self.name} {state}>"
+
+
+def _format_site(site: tuple[str, int] | None) -> str:
+    return f"{basename(site[0])}:{site[1]}" if site is not None else "?"
 
 
 class Flag:
@@ -135,15 +231,22 @@ class Flag:
     spin loops are modeled as :class:`WaitFlag` commands on a ``Flag``.
     Mutations are instantaneous in simulated time; the *cost* of the
     signaling operation is charged separately by the caller.
+
+    ``watch_budget_us`` opts the flag into watchdog monitoring: every
+    wait on a marked flag must resume within that many simulated
+    microseconds or the attached :class:`Watchdog` raises.  Left
+    ``None`` (the default) the flag is never monitored — legitimate
+    whole-run waits (host joins, grid barriers) stay exempt.
     """
 
-    __slots__ = ("sim", "name", "_value", "_waiters")
+    __slots__ = ("sim", "name", "_value", "_waiters", "watch_budget_us")
 
     def __init__(self, sim: "Simulator", value: int = 0, name: str = "flag") -> None:
         self.sim = sim
         self.name = name
         self._value = value
         self._waiters: list[tuple[Process, Callable[[Any], bool]]] = []
+        self.watch_budget_us: float | None = None
 
     @property
     def value(self) -> int:
@@ -187,6 +290,111 @@ class Flag:
         return f"<Flag {self.name}={self._value} waiters={len(self._waiters)}>"
 
 
+class Watchdog:
+    """Quiescence-without-progress detector for signal protocols.
+
+    Unlike an OS watchdog this is *not* a spawned process (a periodic
+    poller would keep the event heap alive and stretch the measured
+    timeline).  It hooks the simulator's time advance: whenever a wait
+    starts on a flag marked via :meth:`watch` (or a flag whose
+    ``watch_budget_us`` was set directly), a deadline is recorded, and
+    the main loop checks overdue deadlines before stepping past them.
+    Entries are validated lazily — a waiter that resumed and re-blocked
+    leaves a stale entry behind, detected by comparing the recorded
+    ``blocked_since`` timestamp.
+
+    ``context providers`` registered with :meth:`add_context` are
+    callables ``(flag) -> str | None`` consulted when building the
+    diagnostic; the fault-injection layer uses one to report the last
+    delivery attempt targeting the stuck signal.
+    """
+
+    def __init__(self, budget_us: float, name: str = "watchdog") -> None:
+        if not (budget_us > 0):
+            raise ValueError(f"watchdog budget must be positive, got {budget_us!r}")
+        self.budget_us = budget_us
+        self.name = name
+        #: set once the watchdog has raised (inspection aid for tests)
+        self.fired = False
+        self._heap: list[tuple[float, int, Process, Flag, float]] = []
+        self._seq = 0
+        self._next_deadline = float("inf")
+        self._context: list[Callable[[Flag], str | None]] = []
+
+    def watch(self, flag: Flag, budget_us: float | None = None) -> Flag:
+        """Mark ``flag`` for monitoring; waits must resume within
+        ``budget_us`` (default: this watchdog's budget)."""
+        flag.watch_budget_us = self.budget_us if budget_us is None else budget_us
+        return flag
+
+    def add_context(self, provider: Callable[[Flag], str | None]) -> None:
+        """Register a diagnostic context provider consulted on firing."""
+        self._context.append(provider)
+
+    # -- internals (driven by the Simulator) ---------------------------------
+
+    def _arm(self, deadline: float, proc: Process, flag: Flag, since: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (deadline, self._seq, proc, flag, since))
+        if deadline < self._next_deadline:
+            self._next_deadline = deadline
+
+    def _check(self, sim: "Simulator", event_time: float) -> None:
+        """Fire any overdue, still-valid deadline strictly before
+        ``event_time`` (same-time events get to deliver their wakeups
+        first, so a signal landing exactly at the deadline wins)."""
+        heap = self._heap
+        while heap and heap[0][0] < event_time:
+            deadline, _, proc, flag, since = heapq.heappop(heap)
+            if proc.alive and proc._waiting_flag is flag and proc._blocked_since == since:
+                if deadline > sim.now:
+                    sim.now = deadline
+                self.fired = True
+                raise WatchdogError(self._describe(sim, proc, flag, since, deadline))
+        self._next_deadline = heap[0][0] if heap else float("inf")
+
+    def _context_lines(self, flag: Flag) -> list[str]:
+        lines = []
+        for provider in self._context:
+            text = provider(flag)
+            if text:
+                lines.append(text)
+        return lines
+
+    def _describe(self, sim: "Simulator", proc: Process, flag: Flag,
+                  since: float, deadline: float) -> str:
+        lines = [
+            f"watchdog[{self.name}]: {proc.name} stuck waiting on signal "
+            f"{flag.name} (value={flag.value}) since t={since:.3f}us — no wakeup "
+            f"within budget {flag.watch_budget_us:.3f}us (deadline t={deadline:.3f}us); "
+            f"spawned at {_format_site(proc._spawn_site)}",
+        ]
+        for text in self._context_lines(flag):
+            lines.append(f"  {text}")
+        others = [p for p in sim._processes
+                  if p.alive and p._blocked_since is not None and p is not proc]
+        if others:
+            lines.append(f"  {len(others)} other blocked process(es):")
+            lines.append(sim._wait_report(others, indent="    "))
+        return "\n".join(lines)
+
+    def _drain_error(self, sim: "Simulator", blocked: list[Process],
+                     report: str) -> WatchdogError:
+        """Rich diagnostic for a heap drain with watched waiters blocked."""
+        self.fired = True
+        lines = [
+            f"watchdog[{self.name}]: simulation quiescent at t={sim.now:.3f}us "
+            f"with {len(blocked)} blocked process(es) and no pending events:",
+            report,
+        ]
+        for proc in blocked:
+            flag = proc._waiting_flag
+            if flag is not None and flag.watch_budget_us is not None:
+                for text in self._context_lines(flag):
+                    lines.append(f"  [{proc.name}] {text}")
+        return WatchdogError("\n".join(lines))
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -212,6 +420,8 @@ class Simulator:
         self._seq = 0
         self._processes: list[Process] = []
         self._blocked = 0
+        #: hang monitor installed via attach_watchdog (None = unmonitored)
+        self.watchdog: Watchdog | None = None
         # Observability counters — plain ints so the hot loop pays one
         # attribute increment, published into a MetricsRegistry by the
         # owning context after run().  Purely diagnostic: they never
@@ -229,7 +439,8 @@ class Simulator:
         """Register ``gen`` as a process and schedule its first step now."""
         if not isinstance(gen, Generator):
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
-        proc = Process(self, gen, name)
+        frame = sys._getframe(1)
+        proc = Process(self, gen, name, (frame.f_code.co_filename, frame.f_lineno))
         self._processes.append(proc)
         self.n_spawned += 1
         self._push(self.now, proc, None)
@@ -238,6 +449,11 @@ class Simulator:
     def flag(self, value: int = 0, name: str = "flag") -> Flag:
         """Convenience constructor for a :class:`Flag` bound to this sim."""
         return Flag(self, value, name)
+
+    def attach_watchdog(self, watchdog: Watchdog) -> Watchdog:
+        """Install ``watchdog`` as this simulator's hang monitor."""
+        self.watchdog = watchdog
+        return watchdog
 
     # -- scheduling internals ------------------------------------------------
 
@@ -254,6 +470,13 @@ class Simulator:
     def _resume(self, proc: Process, value: Any) -> None:
         """Schedule ``proc`` to continue at the current time."""
         self._blocked -= 1
+        proc._waiting_flag = None
+        proc._waiting_join = None
+        proc._blocked_since = None
+        token = proc._timeout
+        if token is not None:
+            token.cancelled = True
+            proc._timeout = None
         self._push(self.now, proc, value)
 
     # -- main loop -----------------------------------------------------------
@@ -277,6 +500,12 @@ class Simulator:
                 event = heapq.heappop(heap)
                 self.n_heap_pops += 1
             time = event[0]
+            value = event[3]
+            is_timeout = value.__class__ is _TimeoutEntry
+            if is_timeout and value.cancelled:
+                # Lazily-cancelled timeout token: discard before the
+                # time advance so a resolved wait never inflates now.
+                continue
             if until is not None and time > until:
                 heapq.heappush(heap, event)
                 self.now = until
@@ -284,13 +513,67 @@ class Simulator:
             if time < self.now - 1e-12:
                 raise SimulationError("event scheduled in the past")
             if time > self.now:
+                wd = self.watchdog
+                if wd is not None and wd._next_deadline < time:
+                    wd._check(self, time)
                 self.now = time
-            self._step(event[2], event[3])
+            if is_timeout:
+                self._fire_timeout(event[2], value)
+            else:
+                self._step(event[2], value)
         alive_blocked = [p for p in self._processes if p.alive]
         if alive_blocked:
-            detail = ", ".join(f"{p.name} waiting on {p._waiting_on}" for p in alive_blocked)
-            raise DeadlockError(f"deadlock: {len(alive_blocked)} blocked process(es): {detail}")
+            report = self._wait_report(alive_blocked)
+            wd = self.watchdog
+            if wd is not None and any(
+                p._waiting_flag is not None and p._waiting_flag.watch_budget_us is not None
+                for p in alive_blocked
+            ):
+                raise wd._drain_error(self, alive_blocked, report)
+            raise DeadlockError(
+                f"deadlock at t={self.now:.3f}us: "
+                f"{len(alive_blocked)} blocked process(es):\n{report}"
+            )
         return self.now
+
+    def _wait_report(self, blocked: list[Process], indent: str = "  ") -> str:
+        """One line per blocked process: what it waits on, since when,
+        and its spawn site.  Join chains are chased to the root blocker
+        — the process everyone is transitively waiting for — which is
+        reported first on each chain line."""
+
+        def describe(p: Process) -> str:
+            since = "" if p._blocked_since is None else f" since t={p._blocked_since:.3f}us"
+            return (f"{p.name} waiting on {p._waiting_on}{since} "
+                    f"(spawned at {_format_site(p._spawn_site)})")
+
+        roots = [p for p in blocked if p._waiting_join is None]
+        joiners = [p for p in blocked if p._waiting_join is not None]
+        lines = [f"{indent}{describe(p)}" for p in roots]
+        for p in joiners:
+            chain = [p]
+            seen = {id(p)}
+            while chain[-1]._waiting_join is not None and id(chain[-1]._waiting_join) not in seen:
+                nxt = chain[-1]._waiting_join
+                seen.add(id(nxt))
+                chain.append(nxt)
+            root = chain[-1]
+            path = " -> ".join(q.name for q in chain)
+            lines.append(
+                f"{indent}root blocker {describe(root)} [join chain: {path}]"
+            )
+        return "\n".join(lines)
+
+    def _fire_timeout(self, proc: Process, entry: _TimeoutEntry) -> None:
+        if proc._timeout is not entry:  # stale token for a resolved wait
+            return
+        flag = entry.flag
+        flag._waiters = [w for w in flag._waiters if w[0] is not proc]
+        proc._timeout = None
+        proc._waiting_flag = None
+        proc._blocked_since = None
+        self._blocked -= 1
+        self._step(proc, TIMEOUT)
 
     def _step(self, proc: Process, value: Any) -> None:
         if not proc.alive:  # joined process already finished
@@ -333,10 +616,21 @@ class Simulator:
         flag = command.flag
         if command.predicate(flag.value):
             self._push(self.now, proc, flag.value)
-        else:
-            proc._waiting_on = f"Flag({flag.name}={flag.value})"
-            self._blocked += 1
-            flag._waiters.append((proc, command.predicate))
+            return
+        proc._waiting_on = f"Flag({flag.name}={flag.value})"
+        proc._waiting_flag = flag
+        proc._blocked_since = self.now
+        self._blocked += 1
+        flag._waiters.append((proc, command.predicate))
+        if command.timeout is not None:
+            token = _TimeoutEntry(flag)
+            proc._timeout = token
+            self._push(self.now + command.timeout, proc, token)
+        wd = self.watchdog
+        if wd is not None:
+            budget = flag.watch_budget_us
+            if budget is not None:
+                wd._arm(self.now + budget, proc, flag, self.now)
 
     def _join(self, proc: Process, target: Process) -> None:
         if not target.alive:
@@ -345,6 +639,8 @@ class Simulator:
             self._push(self.now, proc, target.result)
         else:
             proc._waiting_on = f"join({target.name})"
+            proc._waiting_join = target
+            proc._blocked_since = self.now
             self._blocked += 1
             target._joiners.append(proc)
 

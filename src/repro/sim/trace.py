@@ -55,6 +55,10 @@ class Tracer:
         #: counter samples as ``(name, time, value)`` — exported as
         #: Chrome-trace counter ("C") events
         self.counter_samples: list[tuple[str, float, float]] = []
+        #: point-in-time markers as ``(time, name, category, args)`` —
+        #: exported as Chrome-trace instant ("i") events; the fault
+        #: layer uses these to pin injected faults on the timeline
+        self.instant_events: list[tuple[float, str, str, Any]] = []
 
     def record(self, lane: str, name: str, category: str, start: float, end: float,
                meta: Any = None) -> None:
@@ -92,6 +96,11 @@ class Tracer:
         """Record one sample of a time-varying counter (e.g. in-flight
         deliveries per PE)."""
         self.counter_samples.append((name, now, value))
+
+    def add_instant(self, name: str, now: float, category: str = "instant",
+                    args: Any = None) -> None:
+        """Record a zero-duration marker (e.g. an injected fault)."""
+        self.instant_events.append((now, name, category, args))
 
     # -- queries -------------------------------------------------------------
 
@@ -188,6 +197,18 @@ class Tracer:
                 "name": name, "cat": "counter", "ph": "C", "pid": 0,
                 "ts": ts, "args": {"value": value},
             })
+        # stable sort on (ts, name) only: args dicts are not orderable,
+        # and insertion order (deterministic) breaks remaining ties
+        for ts, name, category, args in sorted(
+            self.instant_events, key=lambda e: (e[0], e[1])
+        ):
+            event = {
+                "name": name, "cat": category, "ph": "i", "s": "g",
+                "pid": 0, "ts": ts,
+            }
+            if args is not None:
+                event["args"] = args
+            events.append(event)
         return events
 
     def render_ascii(self, width: int = 80, lane_prefix: str | None = None) -> str:

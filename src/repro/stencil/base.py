@@ -25,6 +25,7 @@ from typing import Any, ClassVar
 import numpy as np
 
 from repro.core import SpecializationPlan, plan_blocks
+from repro.faults.profiles import active_fault_profile, get_injector
 from repro.hw import DEFAULT_COST_MODEL, HGX_A100_8GPU, CostModel, DeviceBuffer, NodeSpec
 from repro.nvshmem import NVSHMEMRuntime, SymmetricArray
 from repro.runtime import MultiGPUContext
@@ -78,6 +79,13 @@ class StencilConfig:
         Allocate real NumPy arrays and compute them.  Disable for
         large timing sweeps; timing is identical either way because
         simulated time is charged analytically.
+    ``fault_profile``
+        Fault-profile spec (``"transient"``, ``"lost_signal@7"``, ...)
+        or ``None`` for a fault-free run.  Defaults to the ambient
+        profile installed via ``repro.faults.use_fault_profile`` —
+        resolved here, at construction time in the main process, so the
+        spec travels to sweep workers inside the (pickled, cache-keyed)
+        config rather than as module state.
     """
 
     global_shape: tuple[int, ...]
@@ -89,12 +97,15 @@ class StencilConfig:
     with_data: bool = True
     threads_per_block: int = 1024
     seed: int = 2024
+    fault_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
             raise ValueError("iterations must be positive")
         if self.num_gpus > self.node.num_gpus:
             object.__setattr__(self, "node", self.node.scaled_to(self.num_gpus))
+        if self.fault_profile is None:
+            object.__setattr__(self, "fault_profile", active_fault_profile())
 
 
 @dataclass
@@ -162,8 +173,11 @@ class StencilVariant(abc.ABC):
         self.config = config
         self.decomp = SlabDecomposition(config.global_shape, config.num_gpus)
         self.tracer = Tracer()
+        #: per-run fault injector (None = fault plane inert)
+        self.faults = get_injector(config.fault_profile)
         self.ctx = MultiGPUContext(
-            config.node.scaled_to(config.num_gpus), config.cost, self.tracer
+            config.node.scaled_to(config.num_gpus), config.cost, self.tracer,
+            faults=self.faults,
         )
         self.nvshmem: NVSHMEMRuntime | None = (
             NVSHMEMRuntime(self.ctx) if self.uses_nvshmem else None

@@ -51,7 +51,20 @@ class BaselineP2P(StencilVariant):
                 yield from self.compute_layers(dev, rank, it, 1, rows - 1, name="jacobi")
                 # ... then store boundaries straight into peer memory
                 for side, nbr in neighbors.items():
-                    if self.config.with_data:
+                    if self.ctx.link_down(rank, nbr):
+                        # degraded mode: the direct NVLink is dead, so
+                        # the halo stages through host memory instead of
+                        # hanging on the P2P path (transfer_us routes
+                        # src -> host -> dst and accounts the staging)
+                        cost = self.ctx.topology.transfer_us(rank, nbr, self.halo_nbytes)
+                        yield from dev.busy(cost, f"halo_{side}_staged", "comm")
+                        if self.config.with_data:
+                            assert self.devbufs is not None
+                            parity = self.write_parity(it)
+                            self.devbufs[nbr][parity].data[
+                                self.halo_layer(nbr, self.opposite(side))
+                            ] = self.boundary_values(rank, it, side)
+                    elif self.config.with_data:
                         assert self.devbufs is not None
                         parity = self.write_parity(it)
                         yield from dev.peer_store(

@@ -1,0 +1,155 @@
+"""FaultInjector unit behavior: link math, stragglers, deliveries,
+determinism of the injected-event stream."""
+
+import pytest
+
+from repro.faults import DeliveryFault, FaultPlan, LinkFault, StragglerFault
+from repro.hw import HGX_A100_8GPU
+from repro.hw.interconnect import HOST
+from repro.runtime.context import MultiGPUContext
+from repro.sim import Tracer
+
+
+def _ctx(plan, num_gpus=2):
+    return MultiGPUContext(HGX_A100_8GPU.scaled_to(num_gpus), tracer=Tracer(),
+                           faults=plan.injector())
+
+
+class TestLinkFaults:
+    def test_bandwidth_scale_slows_transfers(self):
+        clean = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        ctx = _ctx(FaultPlan(links=(LinkFault(bandwidth_scale=0.5),)))
+        nbytes = 1 << 20
+        assert (ctx.topology.transfer_us(0, 1, nbytes)
+                > clean.topology.transfer_us(0, 1, nbytes))
+
+    def test_extra_latency_added(self):
+        clean = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        ctx = _ctx(FaultPlan(links=(LinkFault(extra_latency_us=3.0),)))
+        got = ctx.topology.transfer_us(0, 1, 8)
+        want = clean.topology.transfer_us(0, 1, 8) + 3.0
+        assert got == pytest.approx(want)
+
+    def test_degradation_recorded_once(self):
+        ctx = _ctx(FaultPlan(links=(LinkFault(bandwidth_scale=0.5),)))
+        ctx.topology.transfer_us(0, 1, 8)
+        ctx.topology.transfer_us(0, 1, 8)
+        events = [e for e in ctx.faults.events if e.kind == "link_degraded"]
+        assert len(events) == 1
+
+    def test_loopback_untouched(self):
+        clean = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        ctx = _ctx(FaultPlan(links=(LinkFault(bandwidth_scale=0.01,
+                                              extra_latency_us=9.0),)))
+        assert (ctx.topology.transfer_us(1, 1, 4096)
+                == clean.topology.transfer_us(1, 1, 4096))
+
+    def test_link_down_routes_through_host(self):
+        ctx = _ctx(FaultPlan(links=(LinkFault(src=0, dst=1, down=True),)))
+        topo = ctx.topology
+        nbytes = 1 << 16
+        staged = (topo.link(0, HOST).transfer_us(nbytes)
+                  + topo.link(HOST, 1).transfer_us(nbytes))
+        assert topo.transfer_us(0, 1, nbytes) == pytest.approx(staged)
+        assert ctx.link_down(0, 1) and ctx.link_down(1, 0)
+        assert not ctx.link_down(0, 0)
+        assert [e.kind for e in ctx.faults.events] == ["staged_copy"]
+
+    def test_jitter_bounded_and_recorded(self):
+        jitter = 2.0
+        ctx = _ctx(FaultPlan(links=(LinkFault(jitter_us=jitter),)))
+        clean = MultiGPUContext(HGX_A100_8GPU.scaled_to(2))
+        base = clean.topology.transfer_us(0, 1, 8)
+        for _ in range(50):
+            got = ctx.topology.transfer_us(0, 1, 8)
+            assert base <= got < base + jitter
+        assert len([e for e in ctx.faults.events if e.kind == "jitter"]) == 50
+
+
+class TestStragglers:
+    def test_compute_scale(self):
+        plan = FaultPlan(stragglers=(StragglerFault(pe=1, compute_scale=2.5),))
+        inj = plan.injector()
+        assert inj.compute_scale(1) == 2.5
+        assert inj.compute_scale(0) == 1.0
+
+
+class TestDeliveryOutcomes:
+    def test_max_drops_caps_rule(self):
+        plan = FaultPlan(deliveries=(
+            DeliveryFault(drop_prob=1.0, silent=True, max_drops=2),))
+        inj = plan.injector()
+        outcomes = [inj.delivery_outcome(0, 1, "put", None, 0)[0] for _ in range(5)]
+        assert outcomes == ["lost", "lost", "ok", "ok", "ok"]
+
+    def test_drop_vs_lost(self):
+        loud = FaultPlan(deliveries=(DeliveryFault(drop_prob=1.0),)).injector()
+        silent = FaultPlan(deliveries=(
+            DeliveryFault(drop_prob=1.0, silent=True),)).injector()
+        assert loud.delivery_outcome(0, 1, "put", None, 0)[0] == "drop"
+        assert silent.delivery_outcome(0, 1, "put", None, 0)[0] == "lost"
+
+    def test_delay_carries_magnitude(self):
+        plan = FaultPlan(deliveries=(DeliveryFault(delay_prob=1.0, delay_us=4.0),))
+        assert plan.injector().delivery_outcome(0, 1, "put", None, 0) == ("delay", 4.0)
+
+    def test_route_filtering(self):
+        plan = FaultPlan(deliveries=(DeliveryFault(src=0, dst=1, drop_prob=1.0),))
+        inj = plan.injector()
+        assert inj.delivery_faults_apply(0, 1)
+        assert not inj.delivery_faults_apply(1, 0)
+        assert inj.delivery_outcome(1, 0, "put", None, 0) == ("ok", 0.0)
+
+    def test_last_attempt_tracked_for_flag(self):
+        plan = FaultPlan(deliveries=(DeliveryFault(drop_prob=1.0, silent=True),))
+        inj = plan.injector()
+        inj.delivery_outcome(0, 1, "put", "sig[pe1][0]", 0)
+        t, src, outcome, attempt = inj.last_attempt["sig[pe1][0]"]
+        assert (src, outcome, attempt) == (0, "lost", 0)
+
+    def test_backoff_grows_exponentially(self):
+        plan = FaultPlan(retry_backoff_us=2.0, retry_backoff_factor=3.0)
+        inj = plan.injector()
+        assert [inj.retry_backoff_us(n) for n in (1, 2, 3)] == [2.0, 6.0, 18.0]
+
+
+class TestDeterminism:
+    def _events(self, seed, n=200):
+        plan = FaultPlan(
+            seed=seed,
+            links=(LinkFault(jitter_us=2.0),),
+            deliveries=(DeliveryFault(drop_prob=0.2, delay_prob=0.2, delay_us=1.0),),
+        )
+        ctx = _ctx(plan)
+        for i in range(n):
+            ctx.topology.transfer_us(0, 1, 64 + i)
+            ctx.faults.delivery_outcome(0, 1, "put", None, 0)
+        return [e.key() for e in ctx.faults.events]
+
+    def test_same_seed_same_stream(self):
+        assert self._events(7) == self._events(7)
+
+    def test_different_seed_different_stream(self):
+        assert self._events(7) != self._events(8)
+
+    def test_sites_have_independent_substreams(self):
+        """Draws on one route must not perturb another route's stream."""
+        plan = FaultPlan(seed=5, deliveries=(DeliveryFault(drop_prob=0.5),))
+        lone = plan.injector()
+        mixed = plan.injector()
+        lone_stream = [lone.delivery_outcome(0, 1, "put", None, 0)[0]
+                       for _ in range(50)]
+        mixed_stream = []
+        for _ in range(50):
+            mixed.delivery_outcome(2, 3, "put", None, 0)  # interleaved other-site draws
+            mixed_stream.append(mixed.delivery_outcome(0, 1, "put", None, 0)[0])
+        assert lone_stream == mixed_stream
+
+    def test_summary_digest_stable(self):
+        plan = FaultPlan(seed=3, deliveries=(DeliveryFault(drop_prob=0.5),))
+        a, b = plan.injector(), plan.injector()
+        for inj in (a, b):
+            for _ in range(20):
+                inj.delivery_outcome(0, 1, "put", None, 0)
+        assert a.summary() == b.summary()
+        assert a.summary()["events_sha256"] == b.summary()["events_sha256"]

@@ -1,0 +1,144 @@
+"""Fault-plan and profile validation."""
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_SEED,
+    DeliveryFault,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    PROFILES,
+    StragglerFault,
+    get_injector,
+    get_plan,
+    parse_profile,
+    use_fault_profile,
+)
+from repro.faults.profiles import active_fault_profile
+
+
+class TestRuleValidation:
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            DeliveryFault(drop_prob=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            DeliveryFault(delay_prob=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_us"):
+            DeliveryFault(delay_us=-1.0)
+
+    def test_bad_link_knobs_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            LinkFault(bandwidth_scale=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            LinkFault(extra_latency_us=-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            LinkFault(jitter_us=-1.0)
+
+    def test_bad_straggler_rejected(self):
+        with pytest.raises(ValueError, match="pe"):
+            StragglerFault(pe=-1, compute_scale=2.0)
+        with pytest.raises(ValueError, match="compute_scale"):
+            StragglerFault(pe=0, compute_scale=0.0)
+
+    def test_bad_plan_knobs_rejected(self):
+        with pytest.raises(ValueError, match="retry_limit"):
+            FaultPlan(retry_limit=-1)
+        with pytest.raises(ValueError, match="retry_backoff_us"):
+            FaultPlan(retry_backoff_us=0.0)
+        with pytest.raises(ValueError, match="retry_backoff_factor"):
+            FaultPlan(retry_backoff_factor=0.5)
+        with pytest.raises(ValueError, match="wait_timeout_us"):
+            FaultPlan(wait_timeout_us=0.0)
+        with pytest.raises(ValueError, match="watchdog_budget_us"):
+            FaultPlan(watchdog_budget_us=-5.0)
+        with pytest.raises(ValueError, match="expect"):
+            FaultPlan(expect="explode")
+
+
+class TestRuleMatching:
+    def test_link_fault_symmetric_by_default(self):
+        rule = LinkFault(src=0, dst=1)
+        assert rule.matches(0, 1)
+        assert rule.matches(1, 0)
+        assert not rule.matches(0, 2)
+
+    def test_link_fault_directional(self):
+        rule = LinkFault(src=0, dst=1, symmetric=False)
+        assert rule.matches(0, 1)
+        assert not rule.matches(1, 0)
+
+    def test_link_fault_never_matches_loopback_or_host(self):
+        rule = LinkFault()  # full wildcard
+        assert not rule.matches(2, 2)
+        assert not rule.matches(-1, 3)  # HOST is negative
+        assert not rule.matches(3, -1)
+        assert rule.matches(2, 3)
+
+    def test_delivery_fault_directional(self):
+        rule = DeliveryFault(src=0, dst=1, drop_prob=1.0)
+        assert rule.matches(0, 1)
+        assert not rule.matches(1, 0)
+        assert DeliveryFault(drop_prob=1.0).matches(5, 6)
+
+
+class TestProfiles:
+    def test_parse_profile_default_seed(self):
+        assert parse_profile("transient") == ("transient", DEFAULT_SEED)
+
+    def test_parse_profile_explicit_seed(self):
+        assert parse_profile("lost_signal@7") == ("lost_signal", 7)
+
+    def test_parse_profile_bad_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            parse_profile("transient@abc")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            get_plan("chaos_monkey")
+
+    def test_every_profile_resolves(self):
+        for name in PROFILES:
+            plan = get_plan(name)
+            assert plan.name == name
+            assert plan.seed == DEFAULT_SEED
+
+    def test_none_profile_is_inert(self):
+        assert get_plan("none").inert
+        assert get_injector("none") is None
+        assert get_injector(None) is None
+
+    def test_active_profiles_not_inert(self):
+        for name in PROFILES:
+            if name == "none":
+                continue
+            assert not get_plan(name).inert
+            assert isinstance(get_injector(name), FaultInjector)
+
+    def test_seed_threaded_into_plan(self):
+        assert get_plan("transient@99").seed == 99
+
+    def test_lost_signal_expects_diagnostic(self):
+        assert get_plan("lost_signal").expect == "diagnostic"
+        for name in ("none", "transient", "degraded", "link_down"):
+            assert get_plan(name).expect == "converge"
+
+
+class TestAmbientProfile:
+    def test_ambient_default_is_none(self):
+        assert active_fault_profile() is None
+
+    def test_use_fault_profile_scopes_and_restores(self):
+        with use_fault_profile("transient@3"):
+            assert active_fault_profile() == "transient@3"
+            with use_fault_profile("degraded"):
+                assert active_fault_profile() == "degraded"
+            assert active_fault_profile() == "transient@3"
+        assert active_fault_profile() is None
+
+    def test_use_fault_profile_validates_eagerly(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            with use_fault_profile("nope"):
+                pass  # pragma: no cover

@@ -1,0 +1,93 @@
+"""Property-based tests for link cost monotonicity and fault-plan
+replay determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import DeliveryFault, FaultPlan, LinkFault
+from repro.hw import HGX_A100_8GPU
+from repro.hw.interconnect import Link
+from repro.runtime.context import MultiGPUContext
+from repro.sim import Tracer
+
+links = st.builds(
+    Link,
+    bandwidth_gbps=st.floats(min_value=1e-3, max_value=1e4,
+                             allow_nan=False, allow_infinity=False),
+    latency_us=st.floats(min_value=0.0, max_value=1e3,
+                         allow_nan=False, allow_infinity=False),
+)
+sizes = st.integers(min_value=0, max_value=1 << 32)
+sharer_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestLinkMonotonicity:
+    @given(links, sizes, sizes, sharer_counts)
+    def test_monotone_in_nbytes(self, link, a, b, sharers):
+        lo, hi = sorted((a, b))
+        assert (link.transfer_us(lo, sharers=sharers)
+                <= link.transfer_us(hi, sharers=sharers))
+
+    @given(links, sizes.filter(lambda n: n > 0), sharer_counts, sharer_counts)
+    def test_monotone_in_sharers(self, link, nbytes, a, b):
+        lo, hi = sorted((a, b))
+        assert (link.transfer_us(nbytes, sharers=lo)
+                <= link.transfer_us(nbytes, sharers=hi))
+
+    @given(links, sizes)
+    def test_latency_is_floor(self, link, nbytes):
+        got = link.transfer_us(nbytes)
+        assert got == 0.0 if nbytes == 0 else got >= link.latency_us
+
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    links=st.tuples(st.builds(
+        LinkFault,
+        jitter_us=st.floats(min_value=0.0, max_value=5.0,
+                            allow_nan=False, allow_infinity=False),
+    )),
+    deliveries=st.tuples(st.builds(
+        DeliveryFault,
+        drop_prob=st.floats(min_value=0.0, max_value=0.5),
+        delay_prob=st.floats(min_value=0.0, max_value=0.5),
+        delay_us=st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+    )),
+)
+
+
+def _replay(plan):
+    """Drive a fresh context through a fixed schedule of transfers and
+    delivery draws; return the injected-event keys."""
+    ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer(),
+                          faults=plan.injector())
+    for i in range(40):
+        src, dst = i % 4, (i + 1) % 4
+        ctx.topology.transfer_us(src, dst, 128 + i)
+        ctx.faults.delivery_outcome(src, dst, "put", None, i % 3)
+    return [e.key() for e in ctx.faults.events]
+
+
+class TestReplayDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(plans)
+    def test_same_plan_same_event_stream(self, plan):
+        assert _replay(plan) == _replay(plan)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plans)
+    def test_summary_digest_replays(self, plan):
+        """The JSON-ready summary (including the event-stream SHA) is a
+        pure function of the plan: two fresh replays agree exactly."""
+        a = MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer(),
+                            faults=plan.injector())
+        b = MultiGPUContext(HGX_A100_8GPU.scaled_to(4), tracer=Tracer(),
+                            faults=plan.injector())
+        for ctx in (a, b):
+            for i in range(25):
+                ctx.topology.transfer_us(i % 4, (i + 2) % 4, 64 * (i + 1))
+                ctx.faults.delivery_outcome(i % 4, (i + 1) % 4, "put",
+                                            f"sig[pe{(i + 1) % 4}][0]", 0)
+        assert a.faults.summary() == b.faults.summary()

@@ -66,6 +66,7 @@ class CostModel:
     nvshmem_iput_element_us: float = 0.002  #: per-element cost of strided iput
     nvshmem_p_us: float = 0.5              #: single-element put (thread-issued)
     nvshmem_quiet_us: float = 1.4          #: memory-ordering fence to completion
+    nvshmem_fence_us: float = 0.5          #: per-route ordering fence (non-blocking)
     nvshmem_host_barrier_us: float = 9.0   #: nvshmem_barrier_all from host
     #: fraction of link bandwidth a single issuing thread achieves
     #: (cooperative nvshmemx_*_block calls reach 1.0 — paper §5.3.2)

@@ -43,10 +43,25 @@ class NVSHMEMRuntime:
         )
         # Flow-event correlation (observability): a monotonic id is
         # allocated per signal-carrying op at issue time; the delivery
-        # leg notes it here when the signal lands so the matching
-        # ``signal_wait_until`` can tag its span with the same id.
+        # leg notes it here when the signal lands, keyed by the value
+        # the word took — so the matching ``signal_wait_until`` can
+        # look up the delivery whose update it actually observed (the
+        # satisfying one), not merely the last to land.
         self._flow_seq = 0
-        self._last_signal_flow: dict[tuple[int, int], tuple[int, int]] = {}
+        self._signal_flow: dict[tuple[int, int, int], tuple[int, int]] = {}
+        # Per-(src, dst) route accounting for ``fence``: plain-int
+        # issue/completion counters (always maintained — dict writes,
+        # zero simulator events) plus a completion Flag created lazily
+        # only when a post-fence delivery actually has to wait for a
+        # pre-fence one.  A fence snapshots the issue counter as the
+        # route's "bar"; deliveries issued later hold their effects
+        # until the done counter reaches their bar.  Runs that never
+        # fence (or fence with nothing in flight) create no flags and
+        # stay byte-identical.
+        self._route_issued: dict[tuple[int, int], int] = {}
+        self._route_done: dict[tuple[int, int], int] = {}
+        self._route_done_flag: dict[tuple[int, int], Flag] = {}
+        self._fence_bar: dict[tuple[int, int], int] = {}
         # Per-(src, dst) delivery channels, engaged only under an active
         # fault plan: jitter and retransmission must not reorder
         # deliveries between the same pair of PEs (real transports keep
@@ -102,15 +117,74 @@ class NVSHMEMRuntime:
         self._chan_issue[key] = seq
         return seq, done
 
-    def _note_signal_flow(self, pe: int, index: int, flow_id: int, src_pe: int) -> None:
-        """Record that ``flow_id`` from ``src_pe`` last updated signal
-        word ``index`` on PE ``pe`` (called at signal-application time)."""
-        self._last_signal_flow[(pe, index)] = (flow_id, src_pe)
+    def _note_signal_flow(
+        self, pe: int, index: int, value: int, flow_id: int, src_pe: int
+    ) -> None:
+        """Record that ``flow_id`` from ``src_pe`` drove signal word
+        ``index`` on PE ``pe`` to ``value`` (called at
+        signal-application time, only when the value actually changed —
+        a same-value set wakes nobody and must not claim attribution)."""
+        self._signal_flow[(pe, index, value)] = (flow_id, src_pe)
 
-    def last_signal_flow(self, pe: int, index: int) -> tuple[int, int] | None:
-        """``(flow_id, src_pe)`` of the last signal applied to the word,
-        or ``None`` if it was never remotely signaled."""
-        return self._last_signal_flow.get((pe, index))
+    def signal_flow_at(self, pe: int, index: int, value: int) -> tuple[int, int] | None:
+        """``(flow_id, src_pe)`` of the delivery that drove the signal
+        word to ``value`` — the one a waiter resumed with ``value``
+        actually observed — or ``None`` for locally-set words.
+
+        Keying by value keeps attribution exact even when a second
+        delivery lands in the same timestep before the waiter steps
+        (the old last-writer bookkeeping named that later delivery).
+        If distinct deliveries ever revisit the same value (a set to a
+        previously used number), the latest one wins — accepted, since
+        the protocol values in this repo are monotonic iteration
+        counters.
+        """
+        return self._signal_flow.get((pe, index, value))
+
+    # -- per-route ordering (fence) ----------------------------------------------
+
+    def route_issue(self, src: int, dst: int) -> int:
+        """Count one non-blocking delivery issued on ``src -> dst``;
+        returns the fence bar the delivery must respect (0 = none)."""
+        key = (src, dst)
+        self._route_issued[key] = self._route_issued.get(key, 0) + 1
+        return self._fence_bar.get(key, 0)
+
+    def route_complete(self, src: int, dst: int) -> None:
+        """Count one delivery on ``src -> dst`` as complete (called on
+        every exit path of a delivery leg, including lost and failed
+        ones, else fenced deliveries behind it would stall forever)."""
+        key = (src, dst)
+        done = self._route_done.get(key, 0) + 1
+        self._route_done[key] = done
+        flag = self._route_done_flag.get(key)
+        if flag is not None:
+            flag.set(done)
+
+    def route_done_count(self, src: int, dst: int) -> int:
+        return self._route_done.get((src, dst), 0)
+
+    def route_done_flag(self, src: int, dst: int) -> Flag:
+        """Completion flag for ``src -> dst``, created on first need
+        and seeded with the current done count."""
+        key = (src, dst)
+        flag = self._route_done_flag.get(key)
+        if flag is None:
+            flag = self._route_done_flag[key] = Flag(
+                self.ctx.sim,
+                self._route_done.get(key, 0),
+                name=f"nvshmem.route.pe{src}->pe{dst}",
+            )
+        return flag
+
+    def set_fence(self, src: int) -> None:
+        """``nvshmem_fence`` from PE ``src``: snapshot the issue counter
+        of every route with in-flight deliveries as its new bar."""
+        for (route_src, dst), issued in self._route_issued.items():
+            if route_src != src:
+                continue
+            if issued > self._route_done.get((route_src, dst), 0):
+                self._fence_bar[(route_src, dst)] = issued
 
     # -- allocation ------------------------------------------------------------
 
@@ -121,8 +195,16 @@ class NVSHMEMRuntime:
         dtype: np.dtype | type = np.float64,
         fill: float | None = 0.0,
     ) -> SymmetricArray:
-        """``nvshmem_malloc``: collective symmetric allocation."""
-        return self.heap.malloc(name, shape, dtype, fill)
+        """``nvshmem_malloc``: collective symmetric allocation.
+
+        When a sanitizer is attached to the context, the allocation is
+        registered for happens-before access tracking.
+        """
+        arr = self.heap.malloc(name, shape, dtype, fill)
+        sanitizer = self.ctx.sanitizer
+        if sanitizer is not None:
+            sanitizer.register_array(arr)
+        return arr
 
     def malloc_signals(self, name: str, n_signals: int) -> SignalArray:
         """Allocate symmetric signal words (flags in the symmetric heap).

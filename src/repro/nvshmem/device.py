@@ -251,12 +251,16 @@ class NVSHMEMDevice:
         pending.add(1)
         self._sample_pending()
         sim = self._ctx.sim
+        runtime = self.runtime
         faults = self._faults if allow_faults else None
         faulty = faults is not None and faults.delivery_faults_apply(self.pe, dest_pe)
         if self._faults is not None:
             seq, chan_done = self.runtime.channel_seq(self.pe, dest_pe)
         else:
             seq, chan_done = None, None
+        # fence ordering: remember the bar active at issue time (0 when
+        # the PE never fenced this route — the common, event-free case)
+        fence_bar = runtime.route_issue(self.pe, dest_pe)
 
         def delivery() -> Generator[Any, Any, None]:
             start = sim.now
@@ -287,6 +291,7 @@ class NVSHMEMDevice:
                         self._sample_pending()
                         if chan_done is not None:
                             chan_done.set(seq)
+                        runtime.route_complete(self.pe, dest_pe)
                         raise DeliveryError(
                             f"{name}: pe{self.pe}->pe{dest_pe} delivery dropped "
                             f"{attempt} time(s); retry limit {plan.retry_limit} "
@@ -298,18 +303,29 @@ class NVSHMEMDevice:
                 # FIFO channel: hold effects until every earlier
                 # delivery on this (src, dst) pair has completed
                 yield WaitFlag(chan_done, lambda v, prev=seq - 1: v >= prev)
+            if fence_bar and runtime.route_done_count(self.pe, dest_pe) < fence_bar:
+                # issued after a fence: hold effects until every
+                # pre-fence delivery on this route has completed (the
+                # bar is a pre-issue snapshot, so it is always < this
+                # delivery's own seq — no self-wait, no deadlock)
+                yield WaitFlag(runtime.route_done_flag(self.pe, dest_pe),
+                               lambda v, bar=fence_bar: v >= bar)
             if not lost:
                 if write is not None:
                     write()
                 if signal is not None:
                     flag, value, op = signal
+                    before = flag.value
                     self._apply_signal(flag, value, op)
-                    if flow is not None and signal_index is not None:
-                        self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
+                    if (flow is not None and signal_index is not None
+                            and flag.value != before):
+                        runtime._note_signal_flow(
+                            dest_pe, signal_index, flag.value, flow, self.pe)
             if chan_done is not None:
                 # advance the channel even for lost deliveries, else
                 # everything behind the loss would stall forever
                 chan_done.set(seq)
+            runtime.route_complete(self.pe, dest_pe)
             pending.add(-1)
             self._sample_pending()
             meta = {"flow_s": flow} if flow is not None and not lost else None
@@ -320,14 +336,27 @@ class NVSHMEMDevice:
 
         sim.spawn(delivery(), name=f"nvshmem.{name}.pe{self.pe}->pe{dest_pe}")
 
-    @staticmethod
-    def _writer(dst: "SymmetricArray", dst_index: Any, values: np.ndarray, dest_pe: int):
-        """Deferred store of ``values`` into PE ``dest_pe``'s copy of ``dst``."""
+    def _writer(self, dst: "SymmetricArray", dst_index: Any, values: np.ndarray,
+                dest_pe: int, name: str = "put"):
+        """Deferred store of ``values`` into PE ``dest_pe``'s copy of ``dst``.
+
+        Runs in the delivery process (or the caller, for blocking
+        puts), so a sanitizer attributes the store to the process whose
+        clock actually orders it — the chained signal then publishes
+        exactly this store to waiters.
+        """
         if dst is None:
             return None
+        sanitizer = self._ctx.sanitizer
+        src_pe = self.pe
 
         def write() -> None:
             dst.on(dest_pe).data[dst_index] = values
+            if sanitizer is not None:
+                sanitizer.record_symmetric(
+                    dst, dest_pe, dst_index, "write",
+                    site=f"{name}:pe{src_pe}->pe{dest_pe}", by_pe=src_pe,
+                )
 
         return write
 
@@ -358,7 +387,7 @@ class NVSHMEMDevice:
         else:
             yield Delay(self._cost.nvshmem_put_latency_us)
             yield from self._faulty_wire(dest_pe, size, scope, name)
-        write = self._writer(dst, dst_index, values, dest_pe)
+        write = self._writer(dst, dst_index, values, dest_pe, name)
         if write is not None:
             write()
         self._trace(name, "comm", start)
@@ -383,7 +412,7 @@ class NVSHMEMDevice:
         self._trace(f"{name}:issue", "comm", start)
         staged = self._staged_wire(dest_pe, size)
         wire = staged if staged is not None else self._wire_time(dest_pe, size, scope)
-        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe),
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe, name),
                             None, name, allow_faults=staged is None)
 
     def putmem_signal(
@@ -414,12 +443,16 @@ class NVSHMEMDevice:
             yield from self._faulty_wire(
                 dest_pe, size, scope, name,
                 flag_name=signal.flag(dest_pe, signal_index).name)
-        write = self._writer(dst, dst_index, values, dest_pe)
+        write = self._writer(dst, dst_index, values, dest_pe, name)
         if write is not None:
             write()
         yield Delay(self._cost.nvshmem_signal_us)
-        self._apply_signal(signal.flag(dest_pe, signal_index), signal_value, sig_op)
-        self.runtime._note_signal_flow(dest_pe, signal_index, flow, self.pe)
+        flag = signal.flag(dest_pe, signal_index)
+        before = flag.value
+        self._apply_signal(flag, signal_value, sig_op)
+        if flag.value != before:
+            self.runtime._note_signal_flow(
+                dest_pe, signal_index, flag.value, flow, self.pe)
         self._trace(name, "comm", start, {"flow_s": flow})
 
     def putmem_signal_nbi(
@@ -455,7 +488,7 @@ class NVSHMEMDevice:
         self._deliver_async(
             dest_pe,
             wire,
-            self._writer(dst, dst_index, values, dest_pe),
+            self._writer(dst, dst_index, values, dest_pe, name),
             (signal.flag(dest_pe, signal_index), signal_value, sig_op),
             name,
             flow=flow,
@@ -493,7 +526,7 @@ class NVSHMEMDevice:
         else:
             link = self._ctx.topology.link(self.pe, dest_pe)
             wire = link.latency_us + n * self._cost.nvshmem_iput_element_us
-        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe),
+        self._deliver_async(dest_pe, wire, self._writer(dst, dst_index, values, dest_pe, name),
                             None, name, allow_faults=staged is None)
 
     def p(
@@ -512,10 +545,17 @@ class NVSHMEMDevice:
         self._trace(f"{name}:issue", "comm", start)
         staged = self._staged_wire(dest_pe, 8)
         wire = staged if staged is not None else self._ctx.topology.link(self.pe, dest_pe).latency_us
+        sanitizer = self._ctx.sanitizer
+        src_pe = self.pe
 
         def write() -> None:
             if dst is not None:
                 dst.on(dest_pe).data[dst_index] = value
+                if sanitizer is not None:
+                    sanitizer.record_symmetric(
+                        dst, dest_pe, dst_index, "write",
+                        site=f"{name}:pe{src_pe}->pe{dest_pe}", by_pe=src_pe,
+                    )
 
         self._deliver_async(dest_pe, wire, write, None, name, allow_faults=staged is None)
 
@@ -550,7 +590,7 @@ class NVSHMEMDevice:
         staged = self._staged_wire(dest_pe, n * 8)
         wire = staged if staged is not None else self._wire_time(dest_pe, n * 8, Scope.WARP)
         self._deliver_async(
-            dest_pe, wire, self._writer(dst, dst_index, values, dest_pe), None, name,
+            dest_pe, wire, self._writer(dst, dst_index, values, dest_pe, name), None, name,
             allow_faults=staged is None,
         )
 
@@ -614,7 +654,7 @@ class NVSHMEMDevice:
         if timeout_us is None and faults is not None:
             timeout_us = faults.plan.wait_timeout_us
         if timeout_us is None:
-            yield WaitFlag(flag, lambda v: cond.check(v, target))
+            result = yield WaitFlag(flag, lambda v: cond.check(v, target))
         else:
             if retries is None:
                 retries = faults.plan.retry_limit if faults is not None else 0
@@ -638,7 +678,10 @@ class NVSHMEMDevice:
                         f"budget {budget:.3f}us{suffix}")
                 budget *= backoff
                 yield Delay(self._cost.nvshmem_wait_poll_us)
-        info = self.runtime.last_signal_flow(self.pe, signal_index)
+        # attribute to the delivery that drove the word to the value
+        # this wait actually resumed with — a later delivery landing in
+        # the same timestep must not claim the histogram/flow link
+        info = self.runtime.signal_flow_at(self.pe, signal_index, int(result))
         meta = None
         src_label = "local"
         if info is not None:
@@ -676,13 +719,23 @@ class NVSHMEMDevice:
         self._trace(name, "sync", start)
 
     def fence(self, *, name: str = "fence") -> Generator[Any, Any, None]:
-        """Ordering fence.
+        """Ordering fence (``nvshmem_fence``).
 
-        Real NVSHMEM ``fence`` only orders deliveries (weaker than
-        ``quiet``); the simulator's delivery legs may complete out of
-        order, so we conservatively model ``fence`` as ``quiet``.
+        Real NVSHMEM ``fence`` is weaker than ``quiet``: it does not
+        wait for anything, it only guarantees that deliveries issued
+        *after* it become visible no earlier than deliveries issued
+        *before* it on the same (src, dst) route.  Modeled exactly
+        that way: the fence snapshots each in-flight route's issue
+        counter as a bar (see ``NVSHMEMRuntime.set_fence``), and
+        post-fence delivery legs hold their effects until the route's
+        completion counter reaches the bar.  The caller pays only a
+        small constant issue cost and never blocks.
         """
-        yield from self.quiet(name=name)
+        self._record_op("fence", self.pe)
+        start = self._ctx.sim.now
+        yield Delay(self._cost.nvshmem_fence_us)
+        self.runtime.set_fence(self.pe)
+        self._trace(name, "sync", start)
 
     def barrier_all(self) -> Generator[Any, Any, None]:
         """Device-side barrier across all PEs (includes a quiet)."""

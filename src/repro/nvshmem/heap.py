@@ -16,12 +16,43 @@ DES: each signal word is a :class:`repro.sim.Flag`.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.hw.memory import DeviceBuffer, MemoryManager, Storage
 from repro.sim import Flag, Simulator
 
-__all__ = ["SignalArray", "SymmetricArray", "SymmetricHeap"]
+__all__ = ["SignalArray", "SymmetricArray", "SymmetricHeap", "element_range"]
+
+#: (shape, repr(index)) -> flat [lo, hi) covering interval; index
+#: expressions in stencil code are a handful of slices reused every
+#: iteration, so this stays tiny.
+_RANGE_CACHE: dict[tuple[tuple[int, ...], str], tuple[int, int]] = {}
+
+
+def element_range(shape: tuple[int, ...], index: Any) -> tuple[int, int]:
+    """Flat element interval ``[lo, hi)`` covered by ``array[index]``.
+
+    The covering interval of the selected elements in row-major order —
+    conservative for strided selections (it may include skipped
+    elements), exact for the contiguous row-block slices the stencil
+    variants use.  Used by the sanitizer to express heap accesses as
+    offset ranges into a symmetric allocation.
+    """
+    key = (shape, repr(index))
+    cached = _RANGE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    total = int(np.prod(shape))
+    selected = np.arange(total).reshape(shape)[index]
+    if selected.size == 0:
+        lo, hi = 0, 0
+    else:
+        lo = int(selected.min())
+        hi = int(selected.max()) + 1
+    _RANGE_CACHE[key] = (lo, hi)
+    return lo, hi
 
 
 class SymmetricArray:

@@ -74,6 +74,10 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--fault-profile", metavar="NAME", default=None,
                      help="run under this fault profile (e.g. transient or "
                           "lost_signal@7); recorded in the metrics dump")
+    sub.add_argument("--sanitize", action="store_true",
+                     help="attach the happens-before race detector "
+                          "(repro.sanitize); findings are printed, added to "
+                          "the trace as instant events, and exit status 1")
 
 
 def _run_variant(args: argparse.Namespace):
@@ -94,8 +98,26 @@ def _run_variant(args: argparse.Namespace):
             no_compute=args.no_compute,
             fault_profile=args.fault_profile,
         )
-        result = VARIANTS[args.variant](config).run()
-    return result, registry
+        variant = VARIANTS[args.variant](config)
+        sanitizer = None
+        if getattr(args, "sanitize", False):
+            from repro.sanitize import attach_sanitizer
+
+            sanitizer = attach_sanitizer(variant.ctx)
+        result = variant.run()
+    findings = []
+    if sanitizer is not None:
+        from repro.sanitize import detect_races
+
+        findings = detect_races(sanitizer)
+        # race findings become Chrome instant events, anchored at the
+        # moment the second (completing) access of each pair happened
+        for finding in findings:
+            result.tracer.add_instant(
+                finding.finding_id, finding.second.time_us,
+                category="race", args=finding.describe(),
+            )
+    return result, registry, findings
 
 
 def _write_outputs(args: argparse.Namespace, result, registry: MetricsRegistry) -> None:
@@ -132,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "diff":
         return _diff_command(args)
 
-    result, registry = _run_variant(args)
+    result, registry, findings = _run_variant(args)
     if args.command == "summary":
         header = (f"{args.variant}: {'x'.join(map(str, args.shape))} on "
                   f"{args.gpus} GPU(s), {args.iterations} iteration(s)")
@@ -146,8 +168,13 @@ def main(argv: list[str] | None = None) -> int:
     else:  # critical-path
         report = critical_path(result.tracer.spans, iterations=args.iterations)
         print(critical_path_table(report, top=max(args.top, 20)))
+    if getattr(args, "sanitize", False):
+        print()
+        print(f"sanitizer: {len(findings)} race finding(s)")
+        for finding in findings:
+            print(f"  {finding.summary()}")
     _write_outputs(args, result, registry)
-    return 0
+    return 1 if findings else 0
 
 
 def _diff_command(args: argparse.Namespace) -> int:

@@ -67,6 +67,9 @@ class MultiGPUContext:
         self.faults = faults
         if faults is not None:
             faults.bind(self)
+        #: optional communication sanitizer recorder, installed via
+        #: ``repro.sanitize.attach_sanitizer`` (None = no recording)
+        self.sanitizer: Any = None
 
     @property
     def num_gpus(self) -> int:

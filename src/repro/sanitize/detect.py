@@ -1,0 +1,118 @@
+"""Offline race detection over recorded accesses.
+
+Two accesses race when they touch overlapping offsets of the same PE's
+copy of a symmetric allocation, at least one is a write, they come from
+different processes, and no chain of synchronization edges orders them
+(:func:`~repro.sanitize.hb.happens_before` on the recorded clock
+snapshots).
+
+Because the engine is single-threaded, the recorded sequence respects
+real execution order: for ``a`` recorded before ``b``, ``b`` cannot
+causally precede ``a``, so only the ``a -> b`` direction needs
+checking.  Findings are deduplicated by *site pair* (the instrumented
+source locations), keeping the earliest occurrence and a count — one
+missing signal produces one finding per conflicting site pair, not one
+per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sanitize.hb import happens_before
+from repro.sanitize.recorder import Access, Sanitizer
+
+__all__ = ["RaceFinding", "detect_races"]
+
+
+@dataclass
+class RaceFinding:
+    """One (deduplicated) happens-before violation."""
+
+    array: str
+    owner_pe: int
+    kind: str  # "read-write" | "write-read" | "write-write"
+    offsets: tuple[int, int]  # overlapping [lo, hi) on the owner's copy
+    first: Access
+    second: Access
+    count: int = 1
+
+    @property
+    def pes(self) -> tuple[int, ...]:
+        return tuple(sorted({self.first.by_pe, self.second.by_pe}))
+
+    @property
+    def dedup_key(self) -> tuple:
+        return (self.array, self.owner_pe, self.kind,
+                self.first.site, self.second.site,
+                self.first.by_pe, self.second.by_pe)
+
+    @property
+    def finding_id(self) -> str:
+        """Stable id used for reporting and suppression matching."""
+        return (f"race:{self.array}@pe{self.owner_pe}:"
+                f"{self.first.site}<->{self.second.site}")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "id": self.finding_id,
+            "array": self.array,
+            "owner_pe": self.owner_pe,
+            "kind": self.kind,
+            "offsets": list(self.offsets),
+            "pes": list(self.pes),
+            "count": self.count,
+            "first": self.first.describe(),
+            "second": self.second.describe(),
+        }
+
+    def summary(self) -> str:
+        a, b = self.first, self.second
+        return (f"{self.kind} race on {self.array}@pe{self.owner_pe}"
+                f"[{self.offsets[0]}:{self.offsets[1]}]: "
+                f"{a.kind} by pe{a.by_pe} ({a.site}"
+                f"{' ' + a.label if a.label else ''}, t={a.time_us:.3f}us) vs "
+                f"{b.kind} by pe{b.by_pe} ({b.site}"
+                f"{' ' + b.label if b.label else ''}, t={b.time_us:.3f}us), "
+                f"x{self.count}")
+
+
+def detect_races(sanitizer: Sanitizer) -> list[RaceFinding]:
+    """All happens-before violations among the recorded accesses,
+    deduplicated by site pair and ordered by first occurrence."""
+    groups: dict[tuple[str, int], list[Access]] = {}
+    for access in sanitizer.accesses:
+        groups.setdefault((access.array, access.owner_pe), []).append(access)
+
+    found: dict[tuple, RaceFinding] = {}
+    for (array, owner_pe), accesses in groups.items():
+        for j, b in enumerate(accesses):
+            for i in range(j):
+                a = accesses[i]
+                if a.kind == "read" and b.kind == "read":
+                    continue
+                if a.tid == b.tid:  # program order
+                    continue
+                lo = max(a.lo, b.lo)
+                hi = min(a.hi, b.hi)
+                if lo >= hi:  # disjoint offsets
+                    continue
+                if happens_before(a.tid, a.clock, b.clock):
+                    continue
+                finding = RaceFinding(
+                    array=array,
+                    owner_pe=owner_pe,
+                    kind=f"{a.kind}-{b.kind}",
+                    offsets=(lo, hi),
+                    first=a,
+                    second=b,
+                )
+                prior = found.get(finding.dedup_key)
+                if prior is None:
+                    found[finding.dedup_key] = finding
+                else:
+                    prior.count += 1
+    findings = sorted(found.values(),
+                      key=lambda f: (f.first.seq, f.second.seq))
+    return findings

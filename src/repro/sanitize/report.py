@@ -1,0 +1,45 @@
+"""Byte-stable JSON reports and suppression matching.
+
+Reports serialize with ``indent=2, sort_keys=True`` plus a trailing
+newline (the ``repro.faults`` report convention), so identical runs
+produce identical bytes — CI diffs them with ``cmp``.
+
+Suppressions are ``fnmatch`` patterns matched against a finding's
+stable id (``race:<array>@pe<N>:<site><-><site>`` for dynamic
+findings, ``<rule>:<location>`` for lint findings).  A suppressed
+finding still appears in the report, marked ``"suppressed": true``,
+but does not affect the exit status.
+"""
+
+from __future__ import annotations
+
+import json
+from fnmatch import fnmatch
+from typing import Any
+
+__all__ = ["apply_suppressions", "dumps_report", "render_findings"]
+
+
+def apply_suppressions(
+    described: list[dict[str, Any]], suppressions: list[str]
+) -> tuple[list[dict[str, Any]], int]:
+    """Mark suppressed findings; returns (described, n_active)."""
+    active = 0
+    for finding in described:
+        suppressed = any(fnmatch(finding["id"], pat) for pat in suppressions)
+        finding["suppressed"] = suppressed
+        if not suppressed:
+            active += 1
+    return described, active
+
+
+def dumps_report(report: dict[str, Any]) -> str:
+    """Deterministic serialization (same bytes on every rerun)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_findings(findings: list, *, prefix: str = "  ") -> str:
+    """Human-readable listing (objects must expose ``summary()``)."""
+    if not findings:
+        return f"{prefix}no findings"
+    return "\n".join(f"{prefix}{f.summary()}" for f in findings)

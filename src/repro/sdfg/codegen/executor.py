@@ -473,7 +473,8 @@ class SDFGExecutor:
         src_shape = self._shape_of(node.src.data, rs.bindings)
         dst_shape = self._shape_of(node.dst.data, rs.bindings)
         nbytes = node.src.volume(src_shape, rs.bindings) * 8
-        value = evaluate_expr(node.signal_value, rs.bindings)
+        signaled = node.flag_index is not None
+        value = evaluate_expr(node.signal_value, rs.bindings) if signaled else 0
         dst_sym = self._sym_arrays.get(node.dst.data) if self.with_data else None
         dst_index = node.dst.resolve(dst_shape, rs.bindings) if self.with_data else None
         if self.with_data:
@@ -483,12 +484,19 @@ class SDFGExecutor:
             values = 0.0
         # §5.3.2: generated code issues from a single thread by default
         if expansion.access is AccessKind.CONTIGUOUS:
-            put = nv.putmem_signal_nbi if node.nbi else nv.putmem_signal
-            yield from put(
-                dst_sym, dst_index, values, self._signals, node.flag_index,
-                value, dest_pe=peer, nbytes=nbytes, scope=self.comm_scope,
-                name=f"put:{node.src.data}",
-            )
+            if signaled:
+                put = nv.putmem_signal_nbi if node.nbi else nv.putmem_signal
+                yield from put(
+                    dst_sym, dst_index, values, self._signals, node.flag_index,
+                    value, dest_pe=peer, nbytes=nbytes, scope=self.comm_scope,
+                    name=f"put:{node.src.data}",
+                )
+            else:  # unsignaled put: data moves, nobody is notified
+                put = nv.putmem_nbi if node.nbi else nv.putmem
+                yield from put(
+                    dst_sym, dst_index, values, dest_pe=peer, nbytes=nbytes,
+                    scope=self.comm_scope, name=f"put:{node.src.data}",
+                )
         elif expansion.kind == "p_mapped":
             yield from nv.p_mapped(
                 dst_sym, dst_index,
@@ -497,20 +505,23 @@ class SDFGExecutor:
                 name=f"p_mapped:{node.src.data}",
             )
             yield from nv.quiet()
-            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+            if signaled:
+                yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
         elif expansion.access is AccessKind.STRIDED:
             yield from nv.iput(
                 dst_sym, dst_index, np.atleast_1d(values).ravel() if self.with_data else values,
                 dest_pe=peer, elements=max(1, nbytes // 8), name=f"iput:{node.src.data}",
             )
             yield from nv.quiet()
-            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+            if signaled:
+                yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
         else:  # scalar
             scalar = float(np.asarray(values).reshape(-1)[0]) if self.with_data else 0.0
             yield from nv.p(dst_sym, dst_index, scalar, dest_pe=peer,
                             name=f"p:{node.src.data}")
             yield from nv.quiet()
-            yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
+            if signaled:
+                yield from nv.signal_op(self._signals, node.flag_index, value, dest_pe=peer)
 
     def _run_signal_wait(self, node: SignalWait, rank: int, rs: _RankState, dev):
         assert self.nvshmem is not None and self._signals is not None

@@ -62,6 +62,13 @@ class PutmemSignal(LibraryNode):
     subset and updates signal word ``flag_index`` there to ``value``
     (delivered after the data).  ``nbi=False`` selects the blocking
     variant (ablation §5.3.2).
+
+    ``flag_index=None`` lowers to a bare (unsignaled) put: the data
+    moves, but nothing at the destination learns it arrived.  That is
+    legal IR — some producers genuinely have no consumer to notify —
+    but it is exactly the shape the communication lint
+    (:mod:`repro.sdfg.lint`) flags when the destination is read on the
+    next loop iteration.
     """
 
     library = "NVSHMEM"
@@ -73,7 +80,7 @@ class PutmemSignal(LibraryNode):
         self,
         dst: Memlet,
         src: Memlet,
-        flag_index: int,
+        flag_index: int | None,
         signal_value: Expr,
         pe: str | int,
         *,
@@ -97,23 +104,28 @@ class PutmemSignal(LibraryNode):
     def expand(self, sdfg: Any, bindings: dict[str, int]) -> NVSHMEMExpansion:
         shape = _concrete_shape(sdfg, self.src.data, bindings)
         kind = self.src.access_kind(shape, bindings)
+        signaled = self.flag_index is not None
+        tail = ("quiet", "signal_op") if signaled else ("quiet",)
         if self.implementation == "mapped" and kind is not AccessKind.SCALAR:
             # §5.3.2 Mapped specialization: per-element p across threads
-            return _counted(
-                NVSHMEMExpansion("p_mapped", ("p_mapped", "quiet", "signal_op"), kind)
-            )
+            return _counted(NVSHMEMExpansion("p_mapped", ("p_mapped", *tail), kind))
         if kind is AccessKind.CONTIGUOUS:
-            op = "putmem_signal_nbi" if self.nbi else "putmem_signal"
+            if signaled:
+                op = "putmem_signal_nbi" if self.nbi else "putmem_signal"
+            else:
+                op = "putmem_nbi" if self.nbi else "putmem"
             return _counted(NVSHMEMExpansion(op, (op,), kind))
         if kind is AccessKind.STRIDED:
-            return _counted(NVSHMEMExpansion("iput", ("iput", "quiet", "signal_op"), kind))
-        return _counted(NVSHMEMExpansion("p", ("p", "quiet", "signal_op"), kind))
+            return _counted(NVSHMEMExpansion("iput", ("iput", *tail), kind))
+        return _counted(NVSHMEMExpansion("p", ("p", *tail), kind))
 
     def __repr__(self) -> str:
-        return (
-            f"<PutmemSignal {self.src!r} -> pe:{self.pe} {self.dst!r} "
-            f"sig[{self.flag_index}]={expr_to_str(self.signal_value)}>"
+        sig = (
+            f"sig[{self.flag_index}]={expr_to_str(self.signal_value)}"
+            if self.flag_index is not None
+            else "unsignaled"
         )
+        return f"<PutmemSignal {self.src!r} -> pe:{self.pe} {self.dst!r} {sig}>"
 
 
 class SignalWait(LibraryNode):

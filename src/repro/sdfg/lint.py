@@ -1,0 +1,198 @@
+"""Static communication lint over SDFGs — the sanitizer's compile-time half.
+
+:func:`lint_communication` inspects the lowered NVSHMEM communication
+structure of an SDFG and reports protocol shapes that are legal IR but
+almost always synchronization bugs at runtime.  It complements the
+dynamic happens-before detector (:mod:`repro.sanitize`): the detector
+proves a *particular execution* raced, the lint flags programs whose
+*structure* cannot be ordered no matter how the execution goes.
+
+Four rules (one finding per offending node, deterministic order):
+
+``unsignaled-put-racy-read``
+    A :class:`PutmemSignal` with ``flag_index=None`` inside a time
+    loop whose destination array is read somewhere in the same loop
+    body.  Nothing tells the destination PE the data landed, so the
+    next iteration's read races the in-flight put.
+
+``unmatched-wait``
+    A :class:`SignalWait` whose flag index no put in the program
+    signals — the wait can never be satisfied (reported by
+    :func:`repro.sdfg.validation.validate` as a hard error; the lint
+    reports it as a finding so ``repro.sanitize lint`` can show all
+    problems at once instead of stopping at the first).
+
+``src-reuse-before-quiet``
+    A non-blocking put whose source array is overwritten by a later
+    state in the same loop body with no intervening synchronization
+    point (a blocking put or a ``SignalWait`` — the quiet/ordering
+    points this IR has).  The rewrite can overtake the in-flight read
+    of the source buffer.
+
+``mismatched-signal-pair``
+    A flag index whose produced signal-value expression differs from
+    the value expression some wait on that flag compares against —
+    the §4.1.1 iteration-semaphore protocol with the two legs counting
+    different things.
+
+Findings do not raise; callers decide (the CI gate fails on any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sdfg.graph import LoopRegion, Region, SDFG, State
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.symbols import expr_to_str
+
+__all__ = ["LintFinding", "lint_communication"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static finding: a rule violated at a location."""
+
+    rule: str      #: rule slug (see module docstring)
+    location: str  #: "state-name/subject" — where in the SDFG
+    message: str   #: human-readable explanation
+
+    @property
+    def finding_id(self) -> str:
+        """Stable id for suppressions: ``<rule>:<location>``."""
+        return f"{self.rule}:{self.location}"
+
+    def describe(self) -> dict:
+        return {
+            "id": self.finding_id,
+            "kind": "lint",
+            "rule": self.rule,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def summary(self) -> str:
+        return f"[{self.rule}] {self.location}: {self.message}"
+
+
+@dataclass(frozen=True)
+class _Site:
+    """A library node at its position in a loop body's state order."""
+
+    pos: int
+    state: State
+    node: PutmemSignal | SignalWait
+
+
+def _loop_sites(region: LoopRegion) -> tuple[list[_Site], list[State]]:
+    """Communication nodes and states of a loop body, in walk order
+    (nested loops contribute at their position in the parent)."""
+    states = list(region.walk_states())
+    sites = [
+        _Site(pos, state, node)
+        for pos, state in enumerate(states)
+        for node in state.library_nodes
+        if isinstance(node, (PutmemSignal, SignalWait))
+    ]
+    return sites, states
+
+
+def lint_communication(sdfg: SDFG) -> list[LintFinding]:
+    """Run all four rules; findings in deterministic walk order."""
+    findings: list[LintFinding] = []
+
+    produced: dict[int, list[PutmemSignal]] = {}
+    for state in sdfg.walk_states():
+        for node in state.library_nodes:
+            if isinstance(node, PutmemSignal) and node.flag_index is not None:
+                produced.setdefault(node.flag_index, []).append(node)
+
+    for region in sdfg.walk_regions():
+        if not isinstance(region, LoopRegion):
+            continue
+        sites, states = _loop_sites(region)
+        loop_reads = set().union(*(s.reads() for s in states)) if states else set()
+
+        for site in sites:
+            node = site.node
+            if not isinstance(node, PutmemSignal):
+                continue
+            # -- unsignaled-put-racy-read ---------------------------------
+            if node.flag_index is None and node.dst.data in loop_reads:
+                findings.append(LintFinding(
+                    "unsignaled-put-racy-read",
+                    f"{site.state.name}/{node.dst.data}",
+                    f"unsignaled put into {node.dst.data!r} (pe {node.pe}) "
+                    f"whose destination is read in the {region.var} loop "
+                    f"body; the next iteration's read races the in-flight "
+                    f"put — signal it and wait on the flag",
+                ))
+            # -- src-reuse-before-quiet -----------------------------------
+            if node.nbi:
+                finding = _check_src_reuse(region, site, sites, states)
+                if finding is not None:
+                    findings.append(finding)
+
+    # -- unmatched-wait / mismatched-signal-pair --------------------------
+    for state in sdfg.walk_states():
+        for node in state.library_nodes:
+            if not isinstance(node, SignalWait):
+                continue
+            puts = produced.get(node.flag_index)
+            if not puts:
+                findings.append(LintFinding(
+                    "unmatched-wait",
+                    f"{state.name}/flag{node.flag_index}",
+                    f"SignalWait on flag {node.flag_index} has no producer: "
+                    f"no PutmemSignal in the program signals that index; "
+                    f"the wait can never be satisfied",
+                ))
+                continue
+            want = expr_to_str(node.value)
+            got = sorted({expr_to_str(p.signal_value) for p in puts})
+            if want not in got:
+                findings.append(LintFinding(
+                    "mismatched-signal-pair",
+                    f"{state.name}/flag{node.flag_index}",
+                    f"SignalWait on flag {node.flag_index} compares against "
+                    f"{want!r} but its producer(s) signal "
+                    f"{', '.join(repr(g) for g in got)}; the two legs of the "
+                    f"semaphore protocol count different things",
+                ))
+    return findings
+
+
+def _check_src_reuse(
+    region: LoopRegion, put_site: _Site, sites: list[_Site], states: list[State]
+) -> LintFinding | None:
+    """Is ``put_site``'s source overwritten later in the loop body with
+    no synchronization point in between?
+
+    Synchronization points are blocking puts and ``SignalWait`` states
+    — after either, previously issued non-blocking transfers have been
+    ordered (the protocol's quiet/flag handshake).  A write *before*
+    the put is not a hazard: the put simply reads the updated buffer.
+    """
+    put = put_site.node
+    assert isinstance(put, PutmemSignal)
+    src = put.src.data
+    for pos in range(put_site.pos + 1, len(states)):
+        state = states[pos]
+        if src in state.writes():
+            sync_between = any(
+                put_site.pos < s.pos < pos
+                and (isinstance(s.node, SignalWait)
+                     or (isinstance(s.node, PutmemSignal) and not s.node.nbi))
+                for s in sites
+            )
+            if sync_between:
+                return None
+            return LintFinding(
+                "src-reuse-before-quiet",
+                f"{put_site.state.name}/{src}",
+                f"non-blocking put reads {src!r} but state {state.name} "
+                f"overwrites it later in the {region.var} loop body with no "
+                f"synchronization point in between; the rewrite can overtake "
+                f"the in-flight transfer",
+            )
+    return None

@@ -25,9 +25,36 @@ def validate(sdfg: SDFG) -> None:
     """Raise :class:`SDFGValidationError` on the first violation."""
     for state in sdfg.walk_states():
         _validate_state(sdfg, state)
+    _validate_signal_pairing(sdfg)
     for region in sdfg.walk_regions():
         if region.schedule is Schedule.GPU_PERSISTENT:
             _validate_persistent_region(sdfg, region)
+
+
+def _validate_signal_pairing(sdfg: SDFG) -> None:
+    """Every :class:`SignalWait` must have a producer: some
+    :class:`PutmemSignal` in the program that updates its flag index.
+
+    A wait whose flag nobody ever signals is the canonical generated-
+    code deadlock (the §4.1.1 semaphore protocol with one leg missing);
+    it is a structural property visible before any execution, so it is
+    rejected here rather than left for the watchdog to time out on.
+    """
+    produced = {
+        node.flag_index
+        for state in sdfg.walk_states()
+        for node in state.library_nodes
+        if isinstance(node, PutmemSignal) and node.flag_index is not None
+    }
+    for state in sdfg.walk_states():
+        for node in state.library_nodes:
+            if isinstance(node, SignalWait) and node.flag_index not in produced:
+                raise SDFGValidationError(
+                    f"state {state.name}: SignalWait on flag {node.flag_index} "
+                    f"has no producer — no PutmemSignal in the program updates "
+                    f"that flag index (produced: {sorted(produced) or 'none'}); "
+                    f"the wait can never be satisfied"
+                )
 
 
 def _validate_state(sdfg: SDFG, state: State) -> None:
@@ -45,13 +72,16 @@ def _validate_state(sdfg: SDFG, state: State) -> None:
             _validate_memlet(sdfg, state, edge.memlet)
     for node in state.library_nodes:
         if isinstance(node, PutmemSignal):
-            for memlet in (node.src, node.dst):
+            # dst first: a put *targeting* private storage is the worse
+            # bug (a one-sided write the owner cannot see coming), so
+            # name the side in the diagnostic.
+            for side, memlet in (("dst", node.dst), ("src", node.src)):
                 _validate_memlet(sdfg, state, memlet)
                 desc = sdfg.arrays[memlet.data]
                 if desc.storage is not Storage.SYMMETRIC:
                     raise SDFGValidationError(
-                        f"state {state.name}: NVSHMEM node accesses {memlet.data!r} "
-                        f"with storage {desc.storage.value}; run NVSHMEMArray first "
+                        f"state {state.name}: NVSHMEM put {side} {memlet.data!r} "
+                        f"has storage {desc.storage.value}; run NVSHMEMArray first "
                         f"(needs {Storage.SYMMETRIC.value})"
                     )
     # one tasklet per map scope in this restricted IR

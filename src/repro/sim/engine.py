@@ -45,6 +45,20 @@ Hang diagnosis: a :class:`Watchdog` attached via
 drained heap with watched waiters still blocked — into a
 :class:`WatchdogError` naming the stuck process, the signal it waits
 on, and any registered context (e.g. the last delivery attempt).
+
+Synchronization observation: an object installed as
+:attr:`Simulator.monitor` receives every synchronization edge the
+engine creates — process forks (``spawned``), flag mutations
+(``released``), waiter resumptions (``acquired``), and process
+completion/joins (``finished``/``joined``).  The happens-before race
+detector in :mod:`repro.sanitize` is built entirely on these five
+callbacks; every higher-level primitive in this codebase (NVSHMEM
+signals and pending counters, grid/host barriers, stream chaining,
+MPI requests, local spin flags) synchronizes through :class:`Flag`,
+so the hooks cover them all uniformly.  Two deliberate subtleties: a
+no-op ``Flag.set`` (same value) releases nothing, matching the
+engine's wakeup semantics, and a :data:`TIMEOUT` resume acquires
+nothing — a timed-out waiter observed no release.
 """
 
 from __future__ import annotations
@@ -257,26 +271,37 @@ class Flag:
 
         A no-op write (same value) skips the waiter scan: predicates
         depend only on the value, and a waiter whose predicate already
-        held would have resumed when it was enqueued.
+        held would have resumed when it was enqueued.  The attached
+        monitor (if any) sees no release either — a write nobody can
+        observe creates no synchronization edge.
         """
         if value == self._value:
             return
         self._value = value
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.released(self, self.sim.current)
         self._wake()
 
     def add(self, delta: int = 1) -> int:
         """Atomically add ``delta``; returns the new value."""
         self._value += delta
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.released(self, self.sim.current)
         self._wake()
         return self._value
 
     def _wake(self) -> None:
         if not self._waiters:
             return
+        monitor = self.sim.monitor
         still_blocked: list[tuple[Process, Callable[[Any], bool]]] = []
         resumed = 0
         for proc, predicate in self._waiters:
             if predicate(self._value):
+                if monitor is not None:
+                    monitor.acquired(proc, self)
                 self.sim._resume(proc, self._value)
                 resumed += 1
             else:
@@ -422,6 +447,13 @@ class Simulator:
         self._blocked = 0
         #: hang monitor installed via attach_watchdog (None = unmonitored)
         self.watchdog: Watchdog | None = None
+        #: the process whose generator is currently stepping (None when
+        #: the engine is between steps, e.g. in setup code before run())
+        self.current: Process | None = None
+        #: synchronization observer (e.g. the repro.sanitize HB monitor);
+        #: must expose spawned/released/acquired/finished/joined.  None
+        #: (the default) keeps every hook site on a single None-check.
+        self.monitor: Any | None = None
         # Observability counters — plain ints so the hot loop pays one
         # attribute increment, published into a MetricsRegistry by the
         # owning context after run().  Purely diagnostic: they never
@@ -443,6 +475,8 @@ class Simulator:
         proc = Process(self, gen, name, (frame.f_code.co_filename, frame.f_lineno))
         self._processes.append(proc)
         self.n_spawned += 1
+        if self.monitor is not None:
+            self.monitor.spawned(proc, self.current)
         self._push(self.now, proc, None)
         return proc
 
@@ -579,6 +613,7 @@ class Simulator:
         if not proc.alive:  # joined process already finished
             return
         self.n_events += 1
+        self.current = proc
         try:
             command = proc.gen.send(value)
         except StopIteration as stop:
@@ -615,6 +650,8 @@ class Simulator:
     def _wait_flag(self, proc: Process, command: WaitFlag) -> None:
         flag = command.flag
         if command.predicate(flag.value):
+            if self.monitor is not None:
+                self.monitor.acquired(proc, flag)
             self._push(self.now, proc, flag.value)
             return
         proc._waiting_on = f"Flag({flag.name}={flag.value})"
@@ -636,6 +673,8 @@ class Simulator:
         if not target.alive:
             if target.error is not None:
                 raise ProcessFailed(f"joined process {target.name} failed") from target.error
+            if self.monitor is not None:
+                self.monitor.joined(proc, target)
             self._push(self.now, proc, target.result)
         else:
             proc._waiting_on = f"join({target.name})"
@@ -648,6 +687,11 @@ class Simulator:
         proc.alive = False
         proc.result = result
         proc.error = error
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.finished(proc)
         for joiner in proc._joiners:
+            if monitor is not None:
+                monitor.joined(joiner, proc)
             self._resume(joiner, result)
         proc._joiners.clear()

@@ -302,6 +302,18 @@ class StencilVariant(abc.ABC):
             read = self.arrays[rank][self.read_parity(it)]
             write = self.arrays[rank][self.write_parity(it)]
             update_layers(read, write, lo, hi)
+            san = self.ctx.sanitizer
+            if san is not None and self.sym is not None:
+                # local rows map 1:1 onto symmetric-buffer rows (the
+                # views are leading-row slices of the padded buffers)
+                san.record_symmetric(
+                    self.sym[self.read_parity(it)], rank, slice(lo - 1, hi + 1),
+                    "read", site=f"{self.name}.{name}", by_pe=rank, label=f"it={it}",
+                )
+                san.record_symmetric(
+                    self.sym[self.write_parity(it)], rank, slice(lo, hi),
+                    "write", site=f"{self.name}.{name}", by_pe=rank, label=f"it={it}",
+                )
 
     def boundary_values(self, rank: int, it: int, side: str) -> np.ndarray | float:
         """Boundary layer of the write buffer (what gets sent), or a
@@ -309,7 +321,14 @@ class StencilVariant(abc.ABC):
         if not self.config.with_data:
             return 0.0
         assert self.arrays is not None
-        return self.arrays[rank][self.write_parity(it)][self.boundary_layer(rank, side)]
+        layer = self.boundary_layer(rank, side)
+        san = self.ctx.sanitizer
+        if san is not None and self.sym is not None:
+            san.record_symmetric(
+                self.sym[self.write_parity(it)], rank, layer,
+                "read", site=f"{self.name}.send_{side}", by_pe=rank, label=f"it={it}",
+            )
+        return self.arrays[rank][self.write_parity(it)][layer]
 
     # -- discrete-kernel grid sizing -----------------------------------------------
 

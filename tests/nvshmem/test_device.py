@@ -266,17 +266,85 @@ class TestWaitAndOrdering:
         rt.ctx.sim.spawn(pe0(), name="pe0")
         rt.ctx.run()
 
-    def test_fence_behaves_like_quiet(self, rt):
-        arr = rt.malloc("a", (64,), fill=0.0)
+    def test_fence_does_not_block(self, rt):
+        """fence is weaker than quiet: it returns immediately, before
+        in-flight deliveries land (the old model collapsed it to quiet)."""
+        arr = rt.malloc("a", (1 << 16,), fill=0.0)
+        observed = []
 
         def pe0():
             dev = rt.device(0)
-            yield from dev.putmem_nbi(arr, slice(None), np.ones(64), dest_pe=1)
+            yield from dev.putmem_nbi(arr, slice(None), np.ones(1 << 16), dest_pe=1)
             yield from dev.fence()
-            assert np.all(arr.local(1) == 1.0)
+            observed.append(bool(np.all(arr.local(1) == 1.0)))  # still in flight
+            yield from dev.quiet()
+            observed.append(bool(np.all(arr.local(1) == 1.0)))
 
         rt.ctx.sim.spawn(pe0(), name="pe0")
         rt.ctx.run()
+        assert observed == [False, True]
+
+    def test_fence_cheaper_than_quiet(self, rt):
+        def run(op_name):
+            local = NVSHMEMRuntime(MultiGPUContext(HGX_A100_8GPU.scaled_to(2)))
+            arr = local.malloc("a", (1 << 18,), fill=0.0)
+
+            def pe0():
+                dev = local.device(0)
+                yield from dev.putmem_nbi(arr, slice(None), np.ones(1 << 18), dest_pe=1)
+                fence_done = None
+                if op_name == "fence":
+                    yield from dev.fence()
+                else:
+                    yield from dev.quiet()
+                fence_done = local.ctx.sim.now
+                times[op_name] = fence_done
+
+            times = {}
+            local.ctx.sim.spawn(pe0(), name="pe0")
+            local.ctx.run()
+            return times[op_name]
+
+        assert run("fence") < run("quiet")
+
+    def test_fence_orders_same_route_deliveries(self, rt):
+        """A small post-fence put must not overtake a large pre-fence
+        one on the same route; without the fence it does."""
+        def last_writer(with_fence: bool) -> float:
+            local = NVSHMEMRuntime(MultiGPUContext(HGX_A100_8GPU.scaled_to(2)))
+            arr = local.malloc("a", (1 << 16,), fill=0.0)
+
+            def pe0():
+                dev = local.device(0)
+                # large put: long wire time
+                yield from dev.putmem_nbi(arr, slice(None),
+                                          np.full(1 << 16, 1.0), dest_pe=1)
+                if with_fence:
+                    yield from dev.fence()
+                # small overlapping put: would land first unordered
+                yield from dev.putmem_nbi(arr, slice(0, 8),
+                                          np.full(8, 2.0), dest_pe=1)
+                yield from dev.quiet()
+
+            local.ctx.sim.spawn(pe0(), name="pe0")
+            local.ctx.run()
+            return float(arr.local(1)[0])
+
+        # unordered: the large put lands last and overwrites the small one
+        assert last_writer(with_fence=False) == 1.0
+        # fenced: the small put applies after the large one completes
+        assert last_writer(with_fence=True) == 2.0
+
+    def test_fence_with_nothing_in_flight_is_free_of_ordering_state(self, rt):
+        def pe0():
+            dev = rt.device(0)
+            yield from dev.fence()
+
+        rt.ctx.sim.spawn(pe0(), name="pe0")
+        total = rt.ctx.run()
+        assert total == pytest.approx(rt.ctx.cost.nvshmem_fence_us)
+        assert rt._fence_bar == {}
+        assert rt._route_done_flag == {}
 
     def test_device_barrier_all(self, rt):
         times = []
@@ -303,3 +371,72 @@ class TestWaitAndOrdering:
         rt.ctx.sim.spawn(pe0(), name="pe0")
         rt.ctx.run()
         assert rt.ctx.tracer.total("comm") > 0.0
+
+
+class TestSignalAttribution:
+    def test_two_producer_wait_attributes_satisfying_delivery(self):
+        """Two producers land signals in the same timestep: the wait
+        must attribute its flow link to the delivery that drove the
+        word to the value it resumed with, not the last one to land
+        (the old ``last_signal_flow`` bookkeeping named the latter)."""
+        rt = NVSHMEMRuntime(
+            MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+        )
+        sig = rt.malloc_signals("f", 1)
+        resumed = []
+
+        def producer(value):
+            # two concurrent device processes of pe0 (think: two thread
+            # blocks), identical issue cost and link latency — their
+            # deliveries land in the same timestep, in spawn order
+            dev = rt.device(0)
+            yield from dev.signal_op(sig, 0, value, dest_pe=1, op=SignalOp.SET)
+
+        def waiter():
+            dev = rt.device(1)
+            value = yield from dev.signal_wait_until(sig, 0, WaitCond.GE, 1)
+            resumed.append(value)
+
+        rt.ctx.sim.spawn(waiter(), name="pe1")
+        rt.ctx.sim.spawn(producer(1), name="pe0.block0")
+        rt.ctx.sim.spawn(producer(2), name="pe0.block1")
+        rt.ctx.run()
+        # the word was driven 0 -> 1 -> 2 within one timestep; the wait
+        # was satisfied by the first update (though by the time the API
+        # returns, the word already reads 2) and must link to its flow
+        assert resumed == [2]
+        first_flow = rt.signal_flow_at(1, 0, 1)
+        later_flow = rt.signal_flow_at(1, 0, 2)
+        assert first_flow is not None and later_flow is not None
+        assert first_flow[0] != later_flow[0]
+        wait_spans = [s for s in rt.ctx.tracer.spans
+                      if s.name == "signal_wait_until"]
+        assert len(wait_spans) == 1
+        assert wait_spans[0].meta == {"flow_f": first_flow[0]}
+
+    def test_same_value_set_does_not_claim_attribution(self):
+        """A second delivery re-setting the word to the same value is a
+        no-op (wakes nobody) and must not steal the attribution."""
+        rt = NVSHMEMRuntime(
+            MultiGPUContext(HGX_A100_8GPU.scaled_to(2), tracer=Tracer())
+        )
+        sig = rt.malloc_signals("f", 1)
+        flows = {}
+
+        def producer(tag):
+            dev = rt.device(0)
+            flows[tag] = rt._flow_seq + 1  # flow id the op will draw
+            yield from dev.signal_op(sig, 0, 1, dest_pe=1, op=SignalOp.SET)
+
+        def first():
+            yield from producer("first")
+
+        def second():
+            yield from producer("second")
+
+        rt.ctx.sim.spawn(first(), name="pe0.block0")
+        rt.ctx.sim.spawn(second(), name="pe0.block1")
+        rt.ctx.run()
+        # the first delivery applied 0 -> 1; the second's same-value
+        # set changed nothing and kept no attribution record
+        assert rt.signal_flow_at(1, 0, 1)[0] == flows["first"]

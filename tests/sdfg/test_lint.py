@@ -1,0 +1,203 @@
+"""Static communication lint (repro.sdfg.lint)."""
+
+import pytest
+
+from repro.hw.memory import Storage
+from repro.sdfg import LoopRegion, Memlet, SDFG, State, Sym
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
+from repro.sdfg.lint import LintFinding, lint_communication
+from repro.sdfg.nodes import AccessNode, Tasklet
+from repro.sdfg.programs import (
+    CONJUGATES_1D,
+    CONJUGATES_2D,
+    baseline_pipeline,
+    build_jacobi_1d_sdfg,
+    build_jacobi_2d_sdfg,
+    build_jacobi_3d_sdfg,
+    cpufree_pipeline,
+)
+
+N = Sym("N")
+T = Sym("t")
+
+
+def loop_sdfg():
+    sdfg = SDFG("lint")
+    sdfg.add_array("A", (N,), storage=Storage.SYMMETRIC)
+    sdfg.add_array("B", (N,), storage=Storage.SYMMETRIC)
+    loop = LoopRegion("t", 0, 4)
+    sdfg.body.add(loop)
+    return sdfg, loop
+
+
+def put_state(name, src, dst, flag, *, nbi=True, value=T):
+    state = State(name)
+    state.add_node(PutmemSignal(
+        Memlet.from_slices(dst, 0), Memlet.from_slices(src, 1),
+        flag, value, "nw", nbi=nbi,
+    ))
+    return state
+
+
+def wait_state(name, flag, value=T):
+    state = State(name)
+    state.add_node(SignalWait(flag, value))
+    return state
+
+
+def compute_state(name, reads, writes):
+    """A state whose dataflow reads ``reads`` and writes ``writes``."""
+    state = State(name)
+    t = state.add_node(Tasklet(name, reads, [reads], writes))
+    r = state.add_node(AccessNode(reads))
+    w = state.add_node(AccessNode(writes))
+    state.add_edge(r, t, Memlet.from_slices(reads, 1))
+    state.add_edge(t, w, Memlet.from_slices(writes, 1))
+    return state
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- shipped pipelines are clean (the CI gate's contract) ------------------
+
+
+@pytest.mark.parametrize("build,conj", [
+    (build_jacobi_1d_sdfg, CONJUGATES_1D),
+    (build_jacobi_2d_sdfg, CONJUGATES_2D),
+    (build_jacobi_3d_sdfg, CONJUGATES_1D),
+])
+def test_shipped_pipelines_are_clean(build, conj):
+    assert lint_communication(baseline_pipeline(build())) == []
+    assert lint_communication(cpufree_pipeline(build(), conj)) == []
+
+
+# -- rule: unsignaled-put-racy-read ----------------------------------------
+
+
+def test_unsignaled_put_whose_dest_is_read_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", None))
+    loop.add(compute_state("comp", "B", "A"))
+    findings = lint_communication(sdfg)
+    assert "unsignaled-put-racy-read" in rules_of(findings)
+    f = next(f for f in findings if f.rule == "unsignaled-put-racy-read")
+    assert f.location == "send/B"
+    assert "races" in f.message
+
+
+def test_unsignaled_put_with_unread_dest_not_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", None))
+    loop.add(compute_state("comp", "A", "A"))  # B never read
+    assert "unsignaled-put-racy-read" not in rules_of(lint_communication(sdfg))
+
+
+def test_signaled_put_not_flagged_as_unsignaled():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(wait_state("recv", 0))
+    loop.add(compute_state("comp", "B", "A"))
+    assert "unsignaled-put-racy-read" not in rules_of(lint_communication(sdfg))
+
+
+# -- rule: unmatched-wait ---------------------------------------------------
+
+
+def test_wait_without_producer_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(wait_state("recv", 5))
+    findings = lint_communication(sdfg)
+    f = next(f for f in findings if f.rule == "unmatched-wait")
+    assert f.location == "recv/flag5"
+    assert "no producer" in f.message
+
+
+def test_unsignaled_put_is_not_a_producer():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", None))
+    loop.add(wait_state("recv", 0))
+    assert "unmatched-wait" in rules_of(lint_communication(sdfg))
+
+
+# -- rule: src-reuse-before-quiet ------------------------------------------
+
+
+def test_src_rewritten_without_sync_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(compute_state("comp", "B", "A"))  # overwrites src with no sync
+    loop.add(wait_state("recv", 0))
+    findings = lint_communication(sdfg)
+    f = next(f for f in findings if f.rule == "src-reuse-before-quiet")
+    assert f.location == "send/A"
+    assert "overtake" in f.message
+
+
+def test_src_rewritten_after_wait_not_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(wait_state("recv", 0))
+    loop.add(compute_state("comp", "B", "A"))
+    assert "src-reuse-before-quiet" not in rules_of(lint_communication(sdfg))
+
+
+def test_src_rewritten_after_blocking_put_not_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(put_state("send_blocking", "B", "B", 1, nbi=False))
+    loop.add(compute_state("comp", "B", "A"))
+    assert "src-reuse-before-quiet" not in rules_of(lint_communication(sdfg))
+
+
+def test_write_before_put_is_not_a_hazard():
+    sdfg, loop = loop_sdfg()
+    loop.add(compute_state("comp", "B", "A"))
+    loop.add(put_state("send", "A", "B", 0))
+    loop.add(wait_state("recv", 0))
+    assert "src-reuse-before-quiet" not in rules_of(lint_communication(sdfg))
+
+
+# -- rule: mismatched-signal-pair ------------------------------------------
+
+
+def test_mismatched_value_expressions_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0, value=T))
+    loop.add(wait_state("recv", 0, value=0))
+    findings = lint_communication(sdfg)
+    f = next(f for f in findings if f.rule == "mismatched-signal-pair")
+    assert f.location == "recv/flag0"
+    assert "'0'" in f.message and "'t'" in f.message
+
+
+def test_matching_value_expressions_not_flagged():
+    sdfg, loop = loop_sdfg()
+    loop.add(put_state("send", "A", "B", 0, value=T))
+    loop.add(wait_state("recv", 0, value=T))
+    assert rules_of(lint_communication(sdfg)) == []
+
+
+# -- finding plumbing -------------------------------------------------------
+
+
+def test_finding_id_and_describe_are_stable():
+    f = LintFinding("unmatched-wait", "recv/flag5", "msg")
+    assert f.finding_id == "unmatched-wait:recv/flag5"
+    d = f.describe()
+    assert d["id"] == "unmatched-wait:recv/flag5"
+    assert d["kind"] == "lint"
+    assert f.summary().startswith("[unmatched-wait] recv/flag5:")
+
+
+def test_findings_deterministic_across_runs():
+    def build():
+        sdfg, loop = loop_sdfg()
+        loop.add(put_state("send", "A", "B", None))
+        loop.add(compute_state("comp", "B", "A"))
+        loop.add(wait_state("recv", 9))
+        return [f.describe() for f in lint_communication(sdfg)]
+
+    assert build() == build()

@@ -13,7 +13,7 @@ from repro.sdfg import (
     Sym,
     validate,
 )
-from repro.sdfg.libnodes.nvshmem import PutmemSignal
+from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
 
 
@@ -83,6 +83,66 @@ def test_nvshmem_node_on_global_storage_rejected():
     ))
     with pytest.raises(SDFGValidationError, match="NVSHMEMArray"):
         validate(sdfg)
+
+
+def test_nvshmem_put_dst_on_global_storage_names_the_side():
+    sdfg = SDFG("v")
+    sdfg.add_array("A", (Sym("N"),), storage=Storage.GLOBAL)
+    state = State("s")
+    sdfg.body.add(state)
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        0, Sym("t"), "nw",
+    ))
+    with pytest.raises(SDFGValidationError, match="put dst 'A'"):
+        validate(sdfg)
+
+
+def _symmetric_sdfg():
+    sdfg = SDFG("v")
+    sdfg.add_array("A", (Sym("N"),), storage=Storage.SYMMETRIC)
+    state = State("s")
+    sdfg.body.add(state)
+    return sdfg, state
+
+
+def test_signal_wait_without_producer_rejected():
+    sdfg, state = _symmetric_sdfg()
+    state.add_node(SignalWait(3, Sym("t")))
+    with pytest.raises(SDFGValidationError, match="flag 3 has no producer"):
+        validate(sdfg)
+
+
+def test_signal_wait_with_producer_ok():
+    sdfg, state = _symmetric_sdfg()
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        3, Sym("t"), "nw",
+    ))
+    state.add_node(SignalWait(3, Sym("t")))
+    validate(sdfg)
+
+
+def test_unsignaled_put_does_not_satisfy_a_wait():
+    # flag_index=None is a bare data put; it signals nothing, so it
+    # cannot serve as the producer side of a wait
+    sdfg, state = _symmetric_sdfg()
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        None, Sym("t"), "nw",
+    ))
+    state.add_node(SignalWait(0, Sym("t")))
+    with pytest.raises(SDFGValidationError, match="no producer"):
+        validate(sdfg)
+
+
+def test_unsignaled_put_alone_is_valid():
+    sdfg, state = _symmetric_sdfg()
+    state.add_node(PutmemSignal(
+        Memlet.from_slices("A", 0), Memlet.from_slices("A", 1),
+        None, Sym("t"), "nw",
+    ))
+    validate(sdfg)
 
 
 def test_nvshmem_node_on_symmetric_storage_ok():

@@ -20,6 +20,7 @@ stdout only, never into ``--out``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from contextlib import nullcontext
@@ -33,7 +34,7 @@ from repro.bench.figures import (
 )
 from repro.bench.report import render_figure
 from repro.obs.metrics import MetricsRegistry, use_metrics
-from repro.perf import ResultCache, SweepRunner, use_runner
+from repro.perf import ResultCache, SweepManifest, SweepRunner, use_runner
 from repro.perf.cache import DEFAULT_CACHE_DIR
 
 
@@ -81,10 +82,29 @@ def main(argv: list[str] | None = None) -> int:
                         default=None, metavar="PATH",
                         help="cProfile the run and dump stats to PATH "
                              "(default: repro-bench.prof); forces --jobs 1")
+    parser.add_argument("--profile-out", type=str, default=None, metavar="PATH",
+                        help="write per-point cProfile stats (sorted by "
+                             "cumulative time) to PATH, one section per "
+                             "computed sweep point; forces --jobs 1")
+    parser.add_argument("--save-manifest", type=str, default=None, metavar="PATH",
+                        help="record every sweep point's cache key to PATH "
+                             "(a replay baseline for --changed-only); "
+                             "requires the cache")
+    parser.add_argument("--changed-only", type=str, default=None, metavar="PATH",
+                        help="compare each point's cache key against the "
+                             "manifest at PATH: unchanged points replay from "
+                             "the cache, only changed/new points recompute "
+                             "(a summary prints to stdout); requires the cache")
     parser.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
                         help="collect observability metrics across the run and "
                              "write the registry dump (JSON) to PATH; the dump "
                              "is byte-identical at any --jobs setting")
+    parser.add_argument("--fastpath", type=str, default="vector",
+                        choices=("vector", "scalar", "validate"),
+                        help="tasklet execution mode for SDFG figures "
+                             "(scalar/validate are bit-identical to vector "
+                             "but slower; each mode keys its own cache "
+                             "entries)")
     parser.add_argument("--fault-profile", type=str, default=None, metavar="NAME",
                         help="run every figure under this fault profile "
                              "(e.g. transient or transient@7); the profile is "
@@ -107,9 +127,21 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown figure id(s) {unknown}; choose from {sorted(FIGURES)}")
 
-    jobs = 1 if args.profile else args.jobs
+    jobs = 1 if (args.profile or args.profile_out) else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=jobs, cache=cache)
+    if cache is None and (args.save_manifest or args.changed_only):
+        parser.error("--save-manifest/--changed-only need the result cache; "
+                     "drop --no-cache")
+    manifest = SweepManifest() if args.save_manifest else None
+    baseline = None
+    if args.changed_only:
+        try:
+            baseline = SweepManifest.load(args.changed_only)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"--changed-only: {exc}")
+    profile_sink: list[tuple[str, str]] | None = [] if args.profile_out else None
+    runner = SweepRunner(jobs=jobs, cache=cache, manifest=manifest,
+                         baseline=baseline, profile_sink=profile_sink)
     profiler = None
     if args.profile:
         import cProfile
@@ -127,8 +159,10 @@ def main(argv: list[str] | None = None) -> int:
         if registry is not None:
             registry.gauge("bench.fault_profile", profile=args.fault_profile).set(1)
     from repro.faults.profiles import use_fault_profile
+    from repro.sdfg.codegen import use_fastpath_mode
 
-    with use_fault_profile(args.fault_profile), use_runner(runner), (
+    with use_fault_profile(args.fault_profile), use_fastpath_mode(args.fastpath), \
+            use_runner(runner), (
             use_metrics(registry) if registry is not None else nullcontext()):
         if profiler is not None:
             profiler.enable()
@@ -150,6 +184,19 @@ def main(argv: list[str] | None = None) -> int:
     if cache is not None:
         print(f"(sweep cache: {runner.hits} hit(s), {runner.misses} miss(es) "
               f"in {args.cache_dir})")
+    if baseline is not None:
+        print(f"(changed-only vs {args.changed_only}: {runner.replayed} "
+              f"replayed, {runner.changed} changed, {runner.added} new, "
+              f"{runner.stale} stale)")
+    if manifest is not None:
+        manifest.save(args.save_manifest)
+        print(f"({len(manifest)} point key(s) recorded to {args.save_manifest})")
+    if profile_sink is not None:
+        with open(args.profile_out, "w") as fh:
+            for identity, text in profile_sink:
+                fh.write(f"==== {identity}\n{text}\n")
+        print(f"(per-point profiles for {len(profile_sink)} computed point(s) "
+              f"written to {args.profile_out})")
     if profiler is not None:
         import pstats
 

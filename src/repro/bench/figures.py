@@ -21,11 +21,12 @@ in submission order, keeping figure tables byte-identical at any
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from repro.hw import HGX_A100_8GPU
 from repro.runtime import MultiGPUContext
-from repro.sdfg.codegen import SDFGExecutor
+from repro.sdfg.codegen import SDFGExecutor, active_fastpath_mode
 from repro.sdfg.distributed import GridDecomposition2D, SlabDecomposition1D
 from repro.sdfg.programs import (
     CONJUGATES_1D,
@@ -37,6 +38,7 @@ from repro.sdfg.programs import (
 )
 from repro.faults.profiles import active_fault_profile, get_injector
 from repro.perf import active_runner
+from repro.perf import warm
 from repro.sim import Tracer
 from repro.stencil import StencilConfig, run_variant
 
@@ -299,22 +301,38 @@ def fig62_3d(
 # ------------------------------ Figure 6.3 ---------------------------------------
 
 
-def _run_dace(build, pipeline_args, decomp_args, ranks: int,
-              fault_profile: str | None = None):
+def _pipelined_sdfg(build, kind, conjugates):
+    """Build + transform one DaCe program (the warm-start template)."""
     sdfg = build()
-    kind, conjugates = pipeline_args
     if kind == "baseline":
-        sdfg = baseline_pipeline(sdfg)
-    else:
-        sdfg = cpufree_pipeline(sdfg, conjugates)
+        return baseline_pipeline(sdfg)
+    return cpufree_pipeline(sdfg, conjugates)
+
+
+def _run_dace(build, pipeline_args, decomp_args, ranks: int,
+              fault_profile: str | None = None, fastpath: str = "vector"):
+    kind, conjugates = pipeline_args
+    # The transformed graph depends only on (program, pipeline), never
+    # on the GPU count or fault profile, so one worker process builds
+    # it once and every later point starts from a deep copy.  The copy
+    # matters for determinism: executor plan attachment (and its
+    # hit/miss metrics) must happen freshly per point, so runs are
+    # byte-identical whether the template was warm or cold.  Tasklet
+    # *compiles* still amortize through the content-keyed code cache
+    # in repro.sdfg.codegen.fastpath, which is metric-invisible.
+    sdfg = warm.warm(
+        ("dace-sdfg", build.__module__, build.__qualname__, kind),
+        lambda: _pipelined_sdfg(build, kind, conjugates),
+        copy=copy.deepcopy)
     ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(ranks), tracer=Tracer(),
                           faults=get_injector(fault_profile))
-    executor = SDFGExecutor(sdfg, ctx, with_data=False)
+    executor = SDFGExecutor(sdfg, ctx, with_data=False, fastpath=fastpath)
     return executor.run(decomp_args)
 
 
 def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int,
-                   fault_profile: str | None = None) -> Row:
+                   fault_profile: str | None = None,
+                   fastpath: str = "vector") -> Row:
     """Sweep worker: one (GPU count, pipeline) point of Fig 6.3a.
 
     Timing-only runs need just the per-rank scalar parameters, so the
@@ -322,7 +340,7 @@ def _dace_1d_point(gpus: int, kind: str, per_gpu_n: int, tsteps: int,
     """
     decomp = SlabDecomposition1D(per_gpu_n * gpus, gpus)
     report = _run_dace(build_jacobi_1d_sdfg, (kind, CONJUGATES_1D),
-                       decomp.rank_params(tsteps), gpus, fault_profile)
+                       decomp.rank_params(tsteps), gpus, fault_profile, fastpath)
     return Row(
         series=f"dace_{kind}", x=gpus,
         per_iteration_us=report.per_iteration_us,
@@ -337,7 +355,8 @@ def fig63a_dace_1d(
 ) -> FigureData:
     """Fig 6.3a: DaCe Jacobi 1D, discrete MPI baseline vs generated
     CPU-Free, weak scaling (constant elements per GPU)."""
-    tasks = [(gpus, kind, per_gpu_n, tsteps, active_fault_profile())
+    tasks = [(gpus, kind, per_gpu_n, tsteps, active_fault_profile(),
+              active_fastpath_mode())
              for gpus in gpu_counts for kind in ("baseline", "cpufree")]
     rows = active_runner().map(_dace_1d_point, tasks)
     fig = FigureData("6.3a", "DaCe Jacobi 1D: baseline vs CPU-Free", rows)
@@ -366,12 +385,13 @@ def _fig63b_domain(base_edge: int, gpus: int) -> tuple[int, int]:
 
 
 def _dace_2d_point(gpus: int, kind: str, base_edge: int, tsteps: int,
-                   fault_profile: str | None = None) -> Row:
+                   fault_profile: str | None = None,
+                   fastpath: str = "vector") -> Row:
     """Sweep worker: one (GPU count, pipeline) point of Fig 6.3b."""
     gy, gx = _fig63b_domain(base_edge, gpus)
     decomp = GridDecomposition2D(gy, gx, gpus)
     report = _run_dace(build_jacobi_2d_sdfg, (kind, CONJUGATES_2D),
-                       decomp.rank_params(tsteps), gpus, fault_profile)
+                       decomp.rank_params(tsteps), gpus, fault_profile, fastpath)
     return Row(
         series=f"dace_{kind}", x=gpus,
         per_iteration_us=report.per_iteration_us,
@@ -391,7 +411,8 @@ def fig63b_dace_2d(
     wide (py <= px), so P = 2 and 8 produce rectangular tiles with
     long strided columns — the baseline's unbalanced-partition bump.
     """
-    tasks = [(gpus, kind, base_edge, tsteps, active_fault_profile())
+    tasks = [(gpus, kind, base_edge, tsteps, active_fault_profile(),
+              active_fastpath_mode())
              for gpus in gpu_counts for kind in ("baseline", "cpufree")]
     rows = active_runner().map(_dace_2d_point, tasks)
     fig = FigureData("6.3b", "DaCe Jacobi 2D: baseline vs CPU-Free (strided halos)", rows)

@@ -46,7 +46,7 @@ class GridBarrier:
         n = self._arrivals.add(1)
         round_no = math.ceil(n / self.parties)
         target = round_no * self.parties
-        yield WaitFlag(self._arrivals, lambda v: v >= target)
+        yield WaitFlag(self._arrivals, ge=target)
         if self.cost_us + extra_us > 0:
             yield Delay(self.cost_us + extra_us)
         self.rounds_completed = max(self.rounds_completed, round_no)
@@ -78,4 +78,4 @@ class LocalSpinFlag:
         """Spin until the flag reaches at least ``value``."""
         if self.poll_us > 0:
             yield Delay(self.poll_us)
-        yield WaitFlag(self._flag, lambda v: v >= value)
+        yield WaitFlag(self._flag, ge=value)

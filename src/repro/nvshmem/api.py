@@ -13,7 +13,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.nvshmem.device import NVSHMEMDevice
+from repro.nvshmem.device import NVSHMEMDevice, SignalOp
 from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
 from repro.runtime.context import MultiGPUContext
 from repro.runtime.mpi import HostBarrier
@@ -77,6 +77,17 @@ class NVSHMEMRuntime:
         self._op_acc: dict = {}
         self._wait_acc: dict = {}
         self._wait_hist: dict = {}
+        # Coalesced delivery batches: open batch per (src, dst, arrival
+        # time).  Fault-free, unmonitored delivery legs enqueue here
+        # instead of spawning one generator each; a single callback
+        # event applies the whole batch at arrival (see
+        # ``_deliver_batch`` for the per-leg bookkeeping, which mirrors
+        # the generator path op for op).
+        self._batches: dict[tuple[int, int, float], list] = {}
+        #: coalescing statistics (engine-internal, not published —
+        #: published engine counters stay batching-invariant)
+        self.n_batches = 0
+        self.n_coalesced_legs = 0
         ctx.add_metric_flusher(self.flush_metrics)
 
     def flush_metrics(self) -> None:
@@ -116,6 +127,87 @@ class NVSHMEMRuntime:
         seq = self._chan_issue.get(key, 0) + 1
         self._chan_issue[key] = seq
         return seq, done
+
+    def enqueue_coalesced(
+        self,
+        src: int,
+        dst: int,
+        wire_us: float,
+        write: Any,
+        signal: tuple[Flag, int, "SignalOp"] | None,
+        name: str,
+        flow: int | None,
+        signal_index: int | None,
+    ) -> None:
+        """Append one delivery leg to the open ``(src, dst)`` batch
+        arriving at ``now + wire_us``, opening the batch (one engine
+        callback event) if none exists.
+
+        Only fault-free, monitor-free, sanitizer-free, fence-clear legs
+        may be enqueued — the caller (``NVSHMEMDevice._deliver_async``)
+        guarantees it.  Virtual accounting: the generator path costs
+        one spawned process, two generator steps, one ready-queue pop
+        (the spawn step) and one calendar pop (the post-Delay step) per
+        leg; those counters are charged here so published engine
+        metrics are identical whichever path ran.
+        """
+        sim = self.ctx.sim
+        arrival = sim.now + wire_us
+        key = (src, dst, arrival)
+        batch = self._batches.get(key)
+        leg = (write, signal, name, flow, signal_index, sim.now)
+        if batch is None:
+            self._batches[key] = [leg]
+            sim.call_at(arrival, lambda: self._deliver_batch(key))
+            self.n_batches += 1
+        else:
+            batch.append(leg)
+        self.n_coalesced_legs += 1
+        sim.n_spawned += 1
+        sim.n_events += 2
+        sim.n_ready_pops += 1
+        sim.n_heap_pops += 1
+
+    def _deliver_batch(self, key: tuple[int, int, float]) -> None:
+        """Apply every leg of a coalesced batch, in issue order.
+
+        Per leg, this replays the generator delivery path exactly:
+        write, signal apply (+ flow attribution on value change), route
+        completion, pending drain + counter sample, wire-lane trace
+        span.  Interleaved effects (e.g. a ``quiet`` waking between two
+        legs' pending decrements) are impossible only because all legs
+        share one timestamp and waiter wakeups are scheduled, not run
+        inline — the same holds for the generator path, whose legs step
+        back-to-back within the timestep.
+        """
+        src, dst, _ = key
+        batch = self._batches.pop(key)
+        ctx = self.ctx
+        sim = ctx.sim
+        pending = self._pending[src]
+        tracer = ctx.tracer
+        counter_name = f"nvshmem.pending.pe{src}"
+        lane = f"wire.pe{src}->pe{dst}"
+        now = sim.now
+        for write, signal, name, flow, signal_index, start in batch:
+            if write is not None:
+                write()
+            if signal is not None:
+                flag, value, op = signal
+                before = flag.value
+                if op is SignalOp.SET:
+                    flag.set(value)
+                else:
+                    flag.add(value)
+                if (flow is not None and signal_index is not None
+                        and flag.value != before):
+                    self._note_signal_flow(dst, signal_index, flag.value, flow, src)
+            self.route_complete(src, dst)
+            pending.add(-1)
+            if tracer is not None:
+                tracer.add_counter(counter_name, now, pending.value)
+                meta = {"flow_s": flow} if flow is not None else None
+                tracer.record(lane, name, "comm", start, now, meta)
 
     def _note_signal_flow(
         self, pe: int, index: int, value: int, flow_id: int, src_pe: int

@@ -30,6 +30,7 @@ on the table (§5.3.2).
 from __future__ import annotations
 
 import enum
+import operator
 from collections.abc import Generator
 from typing import TYPE_CHECKING, Any
 
@@ -64,14 +65,32 @@ class WaitCond(enum.Enum):
     LE = "le"
 
     def check(self, value: int, target: int) -> bool:
-        return {
-            WaitCond.EQ: value == target,
-            WaitCond.NE: value != target,
-            WaitCond.GT: value > target,
-            WaitCond.GE: value >= target,
-            WaitCond.LT: value < target,
-            WaitCond.LE: value <= target,
-        }[self]
+        return _WAIT_COND_OPS[self](value, target)
+
+
+_WAIT_COND_OPS = {
+    WaitCond.EQ: operator.eq,
+    WaitCond.NE: operator.ne,
+    WaitCond.GT: operator.gt,
+    WaitCond.GE: operator.ge,
+    WaitCond.LT: operator.lt,
+    WaitCond.LE: operator.le,
+}
+
+
+def _wait_command(flag: Flag, cond: WaitCond, target: int,
+                  timeout: float | None = None) -> WaitFlag:
+    """Build the cheapest WaitFlag for an NVSHMEM_CMP_* wait: GE/EQ map
+    to the flag's indexed conditions directly, GT on integer targets
+    rewrites to ``ge=target+1``, everything else scans a predicate."""
+    if cond is WaitCond.GE:
+        return WaitFlag(flag, timeout=timeout, ge=target)
+    if cond is WaitCond.EQ:
+        return WaitFlag(flag, timeout=timeout, eq=target)
+    if cond is WaitCond.GT and isinstance(target, int):
+        return WaitFlag(flag, timeout=timeout, ge=target + 1)
+    check = _WAIT_COND_OPS[cond]
+    return WaitFlag(flag, lambda v: check(v, target), timeout=timeout)
 
 
 class Scope(enum.Enum):
@@ -246,21 +265,40 @@ class NVSHMEMDevice:
         transports preserve point-to-point ordering through link-level
         retry.  Fault-free runs skip the machinery entirely — issue
         order and a constant wire time already imply arrival order.
+
+        Fault-free runs with no engine monitor and no sanitizer take a
+        *coalesced* fast path instead of spawning a generator: the leg
+        joins the open batch for ``(src, dst, arrival)`` and a single
+        callback event applies every leg at arrival, in issue order,
+        with identical per-leg bookkeeping (see
+        :meth:`NVSHMEMRuntime.enqueue_coalesced`).  Any condition that
+        could observe per-leg scheduling — fault plans, the sanitizer's
+        happens-before edges, an unsatisfied fence bar — falls back to
+        the generator path.
         """
+        ctx = self._ctx
         pending = self.runtime.pending(self.pe)
         pending.add(1)
         self._sample_pending()
-        sim = self._ctx.sim
+        sim = ctx.sim
         runtime = self.runtime
+        # fence ordering: remember the bar active at issue time (0 when
+        # the PE never fenced this route — the common, event-free case)
+        fence_bar = runtime.route_issue(self.pe, dest_pe)
+        if (self._faults is None and sim.monitor is None
+                and ctx.sanitizer is None and ctx.coalesce_comm
+                and (fence_bar == 0
+                     or runtime.route_done_count(self.pe, dest_pe) >= fence_bar)):
+            runtime.enqueue_coalesced(
+                self.pe, dest_pe, wire_us, write, signal, name, flow, signal_index
+            )
+            return
         faults = self._faults if allow_faults else None
         faulty = faults is not None and faults.delivery_faults_apply(self.pe, dest_pe)
         if self._faults is not None:
             seq, chan_done = self.runtime.channel_seq(self.pe, dest_pe)
         else:
             seq, chan_done = None, None
-        # fence ordering: remember the bar active at issue time (0 when
-        # the PE never fenced this route — the common, event-free case)
-        fence_bar = runtime.route_issue(self.pe, dest_pe)
 
         def delivery() -> Generator[Any, Any, None]:
             start = sim.now
@@ -302,14 +340,14 @@ class NVSHMEMDevice:
             if chan_done is not None:
                 # FIFO channel: hold effects until every earlier
                 # delivery on this (src, dst) pair has completed
-                yield WaitFlag(chan_done, lambda v, prev=seq - 1: v >= prev)
+                yield WaitFlag(chan_done, ge=seq - 1)
             if fence_bar and runtime.route_done_count(self.pe, dest_pe) < fence_bar:
                 # issued after a fence: hold effects until every
                 # pre-fence delivery on this route has completed (the
                 # bar is a pre-issue snapshot, so it is always < this
                 # delivery's own seq — no self-wait, no deadlock)
                 yield WaitFlag(runtime.route_done_flag(self.pe, dest_pe),
-                               lambda v, bar=fence_bar: v >= bar)
+                               ge=fence_bar)
             if not lost:
                 if write is not None:
                     write()
@@ -654,7 +692,7 @@ class NVSHMEMDevice:
         if timeout_us is None and faults is not None:
             timeout_us = faults.plan.wait_timeout_us
         if timeout_us is None:
-            result = yield WaitFlag(flag, lambda v: cond.check(v, target))
+            result = yield _wait_command(flag, cond, target)
         else:
             if retries is None:
                 retries = faults.plan.retry_limit if faults is not None else 0
@@ -662,8 +700,7 @@ class NVSHMEMDevice:
             budget = timeout_us
             attempt = 0
             while True:
-                result = yield WaitFlag(flag, lambda v: cond.check(v, target),
-                                        timeout=budget)
+                result = yield _wait_command(flag, cond, target, timeout=budget)
                 if result is not TIMEOUT:
                     break
                 attempt += 1
@@ -715,7 +752,7 @@ class NVSHMEMDevice:
         self._record_op("quiet", self.pe)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_quiet_us)
-        yield WaitFlag(pending, lambda v: v == 0)
+        yield WaitFlag(pending, eq=0)
         self._trace(name, "sync", start)
 
     def fence(self, *, name: str = "fence") -> Generator[Any, Any, None]:

@@ -7,7 +7,17 @@ processes and their results cached on disk keyed by a content hash of
 the configuration and the simulator sources.  See docs/performance.md.
 """
 
-from repro.perf.cache import ResultCache, source_digest
+from repro.perf.cache import ResultCache, point_identity, source_digest
+from repro.perf.manifest import ManifestDiff, SweepManifest
 from repro.perf.sweep import SweepRunner, active_runner, use_runner
 
-__all__ = ["ResultCache", "SweepRunner", "active_runner", "source_digest", "use_runner"]
+__all__ = [
+    "ManifestDiff",
+    "ResultCache",
+    "SweepManifest",
+    "SweepRunner",
+    "active_runner",
+    "point_identity",
+    "source_digest",
+    "use_runner",
+]

@@ -21,7 +21,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["ResultCache", "source_digest"]
+__all__ = ["ResultCache", "point_identity", "source_digest"]
 
 DEFAULT_CACHE_DIR = ".repro-perf-cache"
 
@@ -41,6 +41,18 @@ def source_digest() -> str:
     return digest.hexdigest()
 
 
+def point_identity(fn: Callable, args: tuple, variant: str = "") -> str:
+    """Source-independent identity of one sweep point.
+
+    This is the manifest's row key: it names *which* point a cache key
+    belongs to, and survives source edits (which change the key but
+    not the identity).  ``repr(args)`` must be a faithful value
+    rendering — sweep workers take primitives and frozen dataclasses,
+    which it is.
+    """
+    return f"{fn.__module__}.{fn.__qualname__}|{args!r}|{variant}"
+
+
 class ResultCache:
     """Pickle store under ``root``, one file per key."""
 
@@ -51,13 +63,11 @@ class ResultCache:
     def key(self, fn: Callable, args: tuple, variant: str = "") -> str:
         """Cache key for calling ``fn(*args)`` against current sources.
 
-        ``repr(args)`` must be a faithful value rendering — sweep
-        workers take primitives and frozen dataclasses, which it is.
         ``variant`` distinguishes entries whose stored *format* differs
         for the same call (e.g. metrics-collecting sweeps store
         ``(result, metrics)`` pairs instead of bare results).
         """
-        payload = f"{fn.__module__}.{fn.__qualname__}|{args!r}|{variant}|{source_digest()}"
+        payload = f"{point_identity(fn, args, variant)}|{source_digest()}"
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def get(self, key: str) -> tuple[bool, Any]:

@@ -1,0 +1,98 @@
+"""Sweep manifests: the per-point cache-key ledger behind ``--changed-only``.
+
+A manifest records, for every sweep point of a baseline run, the
+*identity* of the point (worker qualname + args + variant — stable
+across source edits) and the full *cache key* it resolved to (which
+folds in the source digest, so it flips whenever any simulator source
+changes).  A later run loaded with ``--changed-only`` compares each
+point's current key against the ledger:
+
+* key unchanged  -> the point is replayed from the result cache
+  (recomputed, and counted as *stale*, only if the entry was evicted);
+* key changed    -> the point re-runs;
+* identity absent -> the point is new and runs normally.
+
+The runner tallies these outcomes (``replayed`` / ``changed`` /
+``added`` / ``stale``) so the CLI can report exactly what a source or
+sweep-shape edit invalidated.  The report body itself stays
+byte-identical — the manifest only steers *where results come from*,
+never what they are.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ManifestDiff", "SweepManifest"]
+
+_FORMAT = "repro-sweep-manifest-v1"
+
+
+@dataclass
+class ManifestDiff:
+    """Identity-level comparison of two manifests."""
+
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    changed: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+
+class SweepManifest:
+    """Mapping of point identity -> cache key, serialized as JSON."""
+
+    def __init__(self, entries: dict[str, str] | None = None,
+                 path: str | Path | None = None) -> None:
+        self.entries: dict[str, str] = dict(entries or {})
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepManifest":
+        """Read a manifest written by :meth:`save`."""
+        path = Path(path)
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a sweep manifest "
+                             f"(expected format {_FORMAT!r})")
+        points = data.get("points")
+        if not isinstance(points, dict):
+            raise ValueError(f"{path}: malformed manifest (no points table)")
+        return cls(points, path=path)
+
+    def record(self, identity: str, key: str) -> None:
+        """Note that ``identity`` currently resolves to cache ``key``."""
+        self.entries[identity] = key
+
+    def key_for(self, identity: str) -> str | None:
+        """The recorded key for ``identity``, or ``None`` if unseen."""
+        return self.entries.get(identity)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the ledger (sorted, so reruns are byte-identical)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("SweepManifest.save: no path given or remembered")
+        payload = {"format": _FORMAT,
+                   "points": dict(sorted(self.entries.items()))}
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        self.path = target
+        return target
+
+    def diff(self, other: "SweepManifest") -> ManifestDiff:
+        """What changed going from ``other`` (older) to ``self``."""
+        out = ManifestDiff()
+        for identity, key in sorted(self.entries.items()):
+            old = other.entries.get(identity)
+            if old is None:
+                out.added.append(identity)
+            elif old != key:
+                out.changed.append(identity)
+        out.removed = sorted(set(other.entries) - set(self.entries))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -8,6 +8,14 @@ are always assembled in *submission order*, so the output is
 byte-identical no matter how many jobs ran or which points were cache
 hits (the determinism contract enforced by ``tests/perf``).
 
+Incremental replay rides on the same key machinery: a
+:class:`~repro.perf.manifest.SweepManifest` can record every point's
+cache key (``--save-manifest``) and a previously saved ledger can be
+supplied as a baseline (``--changed-only``), in which case the runner
+tallies which points were replayed unchanged, which re-ran because
+their key changed, and which are new — see :mod:`repro.perf.manifest`
+for the exact semantics.
+
 Figure code never receives a runner explicitly: it calls
 :func:`active_runner`, which defaults to a serial, cache-less runner
 (plain function calls — the behavior unit tests see).  The CLI
@@ -22,7 +30,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.obs.metrics import MetricsRegistry, active_metrics, use_metrics
-from repro.perf.cache import ResultCache
+from repro.perf.cache import ResultCache, point_identity
+from repro.perf.manifest import SweepManifest
 
 __all__ = ["SweepRunner", "active_runner", "use_runner"]
 
@@ -49,38 +58,107 @@ class SweepRunner:
         when ``jobs > 1``.
     ``cache``
         A :class:`ResultCache`, or ``None`` to recompute everything.
+    ``manifest``
+        A :class:`SweepManifest` the runner records every point's
+        (identity, key) into — save it afterwards to capture the run
+        as a replay baseline.  Requires ``cache``.
+    ``baseline``
+        A previously saved manifest to compare against (the
+        ``--changed-only`` mode).  Points whose key matches the
+        baseline replay from the cache and count as ``replayed``
+        (or ``stale`` if the cache entry was evicted and the point had
+        to recompute); mismatches count as ``changed``; identities the
+        baseline has never seen count as ``added``.  Requires
+        ``cache`` — the comparison steers where results come from, it
+        never changes what they are.
+    ``profile_sink``
+        When not ``None``, every *computed* point runs under its own
+        ``cProfile`` and ``(identity, stats text)`` — sorted by
+        cumulative time — is appended to this list.  Forces in-process
+        execution (profiles cannot cross a process pool).
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 manifest: SweepManifest | None = None,
+                 baseline: SweepManifest | None = None,
+                 profile_sink: list[tuple[str, str]] | None = None) -> None:
+        if cache is None and (manifest is not None or baseline is not None):
+            raise ValueError("sweep manifests require a ResultCache "
+                             "(keys are what they record)")
         self.jobs = max(1, jobs)
         self.cache = cache
+        self.manifest = manifest
+        self.baseline = baseline
+        self.profile_sink = profile_sink
         self.hits = 0
         self.misses = 0
+        #: --changed-only tallies (all zero when no baseline is set)
+        self.replayed = 0
+        self.changed = 0
+        self.added = 0
+        self.stale = 0
+
+    def _classify(self, previous: str | None, key: str, hit: bool) -> None:
+        """Fold one baseline comparison into the replay tallies."""
+        if previous is None:
+            self.added += 1
+        elif previous != key:
+            self.changed += 1
+        elif hit:
+            self.replayed += 1
+        else:
+            self.stale += 1
+
+    def _profiled(self, fn: Callable, args: tuple, identity: str,
+                  compute: Callable[[], Any]) -> Any:
+        """Run ``compute`` under cProfile; append stats to the sink."""
+        import cProfile
+        import io
+        import pstats
+
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            result = compute()
+        finally:
+            profile.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative")
+        stats.print_stats(25)
+        self.profile_sink.append((identity, buffer.getvalue()))
+        return result
 
     def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list[Any]:
         """``[fn(*args) for args in argtuples]``, accelerated."""
         argtuples = list(argtuples)
         ambient = active_metrics()
         with_metrics = ambient is not None
+        variant = "+metrics" if with_metrics else ""
         results: list[Any] = [None] * len(argtuples)
         keys: list[str | None] = [None] * len(argtuples)
         pending: list[int] = []
-        hits_now = misses_now = 0
         for i, args in enumerate(argtuples):
             if self.cache is not None:
-                keys[i] = self.cache.key(fn, args,
-                                         variant="+metrics" if with_metrics else "")
+                keys[i] = self.cache.key(fn, args, variant=variant)
+                previous = None
+                if self.manifest is not None or self.baseline is not None:
+                    identity = point_identity(fn, args, variant)
+                    if self.baseline is not None:
+                        previous = self.baseline.key_for(identity)
+                    if self.manifest is not None:
+                        self.manifest.record(identity, keys[i])
                 hit, value = self.cache.get(keys[i])
+                if self.baseline is not None:
+                    self._classify(previous, keys[i], hit)
                 if hit:
                     results[i] = value
                     self.hits += 1
-                    hits_now += 1
                     continue
                 self.misses += 1
-                misses_now += 1
             pending.append(i)
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
+            if self.jobs > 1 and len(pending) > 1 and self.profile_sink is None:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                     if with_metrics:
                         futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
@@ -94,11 +172,19 @@ class SweepRunner:
                     if with_metrics:
                         # in-process: keep the registry itself so the
                         # merge can skip the dump round-trip
-                        registry = MetricsRegistry()
-                        with use_metrics(registry):
-                            results[i] = (fn(*argtuples[i]), registry)
+                        def compute(args: tuple = argtuples[i]) -> Any:
+                            registry = MetricsRegistry()
+                            with use_metrics(registry):
+                                return fn(*args), registry
                     else:
-                        results[i] = fn(*argtuples[i])
+                        def compute(args: tuple = argtuples[i]) -> Any:
+                            return fn(*args)
+                    if self.profile_sink is not None:
+                        results[i] = self._profiled(
+                            fn, argtuples[i],
+                            point_identity(fn, argtuples[i], variant), compute)
+                    else:
+                        results[i] = compute()
             if self.cache is not None:
                 for i in pending:
                     value = results[i]

@@ -79,7 +79,7 @@ class HostBarrier:
         """Arrive and block until the current round completes."""
         n = self._arrivals.add(1)
         target = math.ceil(n / self.parties) * self.parties
-        yield WaitFlag(self._arrivals, lambda v: v >= target)
+        yield WaitFlag(self._arrivals, ge=target)
         if self.cost_us > 0:
             yield Delay(self.cost_us)
 
@@ -216,7 +216,7 @@ class Communicator:
         """Block the host until ``request`` completes."""
         self._check_rank(rank)
         start = self.ctx.sim.now
-        yield WaitFlag(request.flag, lambda v: v >= 1)
+        yield WaitFlag(request.flag, ge=1)
         if self.ctx.sim.now > start:
             self.ctx.trace(f"host{rank}", f"MPI_Wait:{request.kind}", "sync", start, self.ctx.sim.now)
 
@@ -259,7 +259,7 @@ class Communicator:
         slot[rank] = value
         self._allreduce_arrivals.add(1)
         target_total = (round_no + 1) * self.num_ranks
-        yield WaitFlag(self._allreduce_arrivals, lambda v: v >= target_total)
+        yield WaitFlag(self._allreduce_arrivals, ge=target_total)
         yield Delay(self.ctx.cost.mpi_allreduce_us(self.num_ranks))
         total = 0.0
         for r in sorted(slot):

@@ -37,7 +37,7 @@ class Event:
 
     def wait(self) -> Generator[Any, Any, None]:
         """Generator helper: suspend until the event completes."""
-        yield WaitFlag(self.flag, lambda v: v >= 1)
+        yield WaitFlag(self.flag, ge=1)
 
 
 class Stream:
@@ -71,7 +71,7 @@ class Stream:
         self._depth += 1
 
         def runner() -> Generator[Any, Any, None]:
-            yield WaitFlag(prev, lambda v: v >= 1)
+            yield WaitFlag(prev, ge=1)
             yield from work()
             done.set(1)
 
@@ -105,4 +105,4 @@ class Stream:
     def drained(self) -> Generator[Any, Any, None]:
         """Generator helper: suspend until the queue is fully drained."""
         tail = self._tail
-        yield WaitFlag(tail, lambda v: v >= 1)
+        yield WaitFlag(tail, ge=1)

@@ -11,6 +11,19 @@
 
 from repro.sdfg.codegen.cuda_text import generate_cuda
 from repro.sdfg.codegen.executor import ExecutionReport, SDFGExecutor
-from repro.sdfg.codegen.fastpath import MapMode, specialize_maps
+from repro.sdfg.codegen.fastpath import (
+    MapMode,
+    active_fastpath_mode,
+    specialize_maps,
+    use_fastpath_mode,
+)
 
-__all__ = ["ExecutionReport", "MapMode", "SDFGExecutor", "generate_cuda", "specialize_maps"]
+__all__ = [
+    "ExecutionReport",
+    "MapMode",
+    "SDFGExecutor",
+    "active_fastpath_mode",
+    "generate_cuda",
+    "specialize_maps",
+    "use_fastpath_mode",
+]

@@ -32,7 +32,7 @@ from repro.nvshmem import NVSHMEMRuntime, WaitCond
 from repro.nvshmem.device import Scope
 from repro.runtime import Communicator, MultiGPUContext, VectorType
 from repro.runtime.kernel import KernelSpec
-from repro.sdfg.codegen.fastpath import plan_state
+from repro.sdfg.codegen.fastpath import FASTPATH_MODES, plan_state
 from repro.sdfg.graph import LoopRegion, Region, SDFG, Schedule, State
 from repro.sdfg.libnodes.mpi import MPI_PROC_NULL, MPIBarrier, MPIIrecv, MPIIsend, MPIWaitall
 from repro.sdfg.libnodes.nvshmem import PutmemSignal, SignalWait
@@ -89,7 +89,7 @@ class SDFGExecutor:
         #: single NumPy slice expressions), ``"scalar"`` (codegen-faithful
         #: per-element loop), or ``"validate"`` (run both, assert
         #: bit-identical).  See :mod:`repro.sdfg.codegen.fastpath`.
-        if fastpath not in ("vector", "scalar", "validate"):
+        if fastpath not in FASTPATH_MODES:
             raise ValueError(f"unknown fastpath mode {fastpath!r}")
         self.fastpath = fastpath
         #: issuing-group scope for generated puts.  THREAD reproduces

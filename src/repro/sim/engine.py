@@ -8,13 +8,17 @@ command objects:
     Suspend for ``dt`` units of simulated time (microseconds by
     convention throughout this project).
 
-``WaitFlag(flag, predicate, timeout=None)``
-    Suspend until ``predicate(flag.value)`` is true.  The check happens
+``WaitFlag(flag, predicate, timeout=None, *, ge=None, eq=None)``
+    Suspend until the flag satisfies a condition.  The check happens
     immediately (zero-time resume if already satisfied) and again on
-    every mutation of the flag.  With a ``timeout`` (simulated time),
-    the process instead resumes with the :data:`TIMEOUT` sentinel if
-    the predicate still fails when the budget expires — the primitive
-    under retrying NVSHMEM waits.
+    every mutation of the flag.  The condition is either an arbitrary
+    ``predicate(value)`` or — preferred on hot paths — one of the
+    structured forms ``ge=t`` (wait for ``value >= t``) or ``eq=t``
+    (wait for ``value == t``), which the flag indexes so a mutation
+    wakes exactly the satisfied waiters without scanning.  With a
+    ``timeout`` (simulated time), the process instead resumes with the
+    :data:`TIMEOUT` sentinel if the condition still fails when the
+    budget expires — the primitive under retrying NVSHMEM waits.
 
 ``WaitProcess(process)``
     Suspend until another process terminates; resumes with its return
@@ -27,22 +31,44 @@ Determinism: events are ordered by ``(time, sequence)`` where the
 sequence number increases monotonically with scheduling order, so runs
 are fully reproducible.
 
-Fast paths: heap entries are plain ``(time, seq, proc, value)`` tuples
-(the unique ``seq`` guarantees comparisons never reach the process),
-and zero-delay resumes — the dominant event class in signaling-heavy
-protocols — go through a FIFO ready queue that bypasses the heap
-entirely.  Both preserve the ``(time, seq)`` ordering contract exactly:
-the main loop merges the ready queue and the heap by that key.
+Scheduling is a two-level calendar queue rather than one global heap:
+
+* a ``dict`` maps each distinct future timestamp to a FIFO *bucket*
+  (``deque``) of events — same-timestamp scheduling is O(1) because the
+  monotonic sequence number means plain ``append`` keeps every bucket
+  sorted by ``(time, seq)`` for free;
+* a small heap orders only the *distinct* timestamps, so advancing time
+  leaps directly to the next populated instant (idle-time leaping —
+  there is no tick-by-tick draining, and the heap shrinks from
+  one-entry-per-event to one-entry-per-timestamp);
+* a bucket and its timestamp are retired together when the bucket
+  drains, so the timestamp heap never holds dead entries;
+* zero-delay resumes — the dominant event class in signaling-heavy
+  protocols — bypass both levels through a FIFO ready queue holding
+  events at the current instant.
+
+The main loop merges the ready queue and the calendar by ``(time,
+seq)``.  Because events only enter the ready queue while ``sim.now``
+equals their timestamp, every event in the current instant's *bucket*
+predates (in seq order) every event in the ready queue, so the merge
+reduces to a single timestamp comparison.
+
+The calendar also carries *callback events* (:meth:`Simulator.call_at`):
+bare functions run at a timestamp with no generator, no Process object,
+and no per-event counter updates.  The NVSHMEM transport uses them to
+coalesce many same-route delivery legs into one scheduled event while
+charging the per-leg counters explicitly (virtual accounting), keeping
+published metrics byte-identical to the unbatched engine.
 
 ``WaitFlag`` predicates must be pure functions of the flag *value*:
-:meth:`Flag.set` skips the waiter scan when the stored value does not
+:meth:`Flag.set` skips waiter wakeup when the stored value does not
 change, so a predicate that consults ambient state (e.g. ``sim.now``)
 is not re-evaluated on no-op writes.
 
 Hang diagnosis: a :class:`Watchdog` attached via
 :meth:`Simulator.attach_watchdog` monitors waits on flags marked with a
 ``watch_budget_us`` and converts a wait that outlives its budget — or a
-drained heap with watched waiters still blocked — into a
+drained calendar with watched waiters still blocked — into a
 :class:`WatchdogError` naming the stuck process, the signal it waits
 on, and any registered context (e.g. the last delivery attempt).
 
@@ -63,11 +89,10 @@ nothing — a timed-out waiter observed no release.
 
 from __future__ import annotations
 
-import heapq
 import sys
 from collections import deque
 from collections.abc import Callable, Generator
-from dataclasses import dataclass
+from heapq import heappop, heappush
 from os.path import basename
 from typing import Any
 
@@ -104,7 +129,7 @@ class DeadlockError(SimulationError):
 
 class WatchdogError(DeadlockError):
     """Raised by a :class:`Watchdog`: a monitored wait exceeded its
-    simulated-time budget (or the event heap drained while watched
+    simulated-time budget (or the event calendar drained while watched
     waiters were still blocked).  Subclasses :class:`DeadlockError` so
     existing hang handling keeps working, but the message additionally
     names the stuck signal and the last delivery attempt reported by
@@ -133,52 +158,113 @@ class _TimeoutSentinel:
 TIMEOUT = _TimeoutSentinel()
 
 
-@dataclass(frozen=True)
 class Delay:
     """Command: suspend the yielding process for ``dt`` simulated time."""
 
-    dt: float
+    __slots__ = ("dt",)
 
-    def __post_init__(self) -> None:
+    def __init__(self, dt: float) -> None:
         # `not (dt >= 0)` also catches NaN, which would otherwise poison
-        # the (time, seq) heap ordering far from the offending yield.
-        if not (self.dt >= 0):
+        # the (time, seq) calendar ordering far from the offending yield.
+        if not (dt >= 0):
             raise ValueError(
-                f"Delay dt must be a non-negative number, got {self.dt!r} "
+                f"Delay dt must be a non-negative number, got {dt!r} "
                 f"(negative and NaN delays would corrupt event ordering)"
             )
+        self.dt = dt
+
+    def __repr__(self) -> str:
+        return f"Delay(dt={self.dt!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return other.__class__ is Delay and other.dt == self.dt
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.dt))
 
 
-@dataclass(frozen=True)
 class WaitFlag:
-    """Command: suspend until ``predicate(flag.value)`` holds.
+    """Command: suspend until the flag satisfies the wait condition.
+
+    Exactly one of ``predicate``, ``ge``, or ``eq`` names the
+    condition:
+
+    ``predicate``
+        Arbitrary callable on the flag value.  The flag re-evaluates it
+        on every (value-changing) mutation — a linear scan.
+
+    ``ge=t``
+        Wait for ``value >= t``.  Indexed: the flag keeps threshold
+        waiters in a heap and a mutation wakes exactly the satisfied
+        ones.  Use this for monotonic counters (signals, arrivals).
+
+    ``eq=t``
+        Wait for ``value == t``.  Indexed by target value.  Note the
+        wait only resumes if the flag *lands exactly* on ``t`` — a
+        mutation that jumps over ``t`` wakes nobody, matching the
+        equivalent predicate.
 
     ``timeout`` (simulated time, ``None`` = wait forever) bounds the
-    wait: if the predicate still fails after ``timeout``, the process
+    wait: if the condition still fails after ``timeout``, the process
     resumes with the :data:`TIMEOUT` sentinel instead of the flag
     value.  Callers must compare ``result is TIMEOUT``.
     """
 
-    flag: "Flag"
-    predicate: Callable[[Any], bool]
-    timeout: float | None = None
+    __slots__ = ("flag", "predicate", "timeout", "ge", "eq")
 
-    def __post_init__(self) -> None:
-        if self.timeout is not None and not (self.timeout > 0):
+    def __init__(
+        self,
+        flag: "Flag",
+        predicate: Callable[[Any], bool] | None = None,
+        timeout: float | None = None,
+        *,
+        ge: Any | None = None,
+        eq: Any | None = None,
+    ) -> None:
+        if predicate is not None:
+            if ge is not None or eq is not None:
+                raise ValueError(
+                    "WaitFlag takes either a predicate or a structured "
+                    "condition (ge=/eq=), not both"
+                )
+        elif (ge is None) == (eq is None):
             raise ValueError(
-                f"WaitFlag timeout must be a positive number, got {self.timeout!r}"
+                "WaitFlag needs exactly one condition: a predicate, ge=, or eq="
             )
+        if timeout is not None and not (timeout > 0):
+            raise ValueError(
+                f"WaitFlag timeout must be a positive number, got {timeout!r}"
+            )
+        self.flag = flag
+        self.predicate = predicate
+        self.timeout = timeout
+        self.ge = ge
+        self.eq = eq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.ge is not None:
+            cond = f"ge={self.ge!r}"
+        elif self.eq is not None:
+            cond = f"eq={self.eq!r}"
+        else:
+            cond = f"predicate={self.predicate!r}"
+        return f"WaitFlag({self.flag!r}, {cond}, timeout={self.timeout!r})"
 
 
-@dataclass(frozen=True)
 class WaitProcess:
     """Command: suspend until ``process`` finishes; resumes with its result."""
 
-    process: "Process"
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitProcess({self.process!r})"
 
 
 class _TimeoutEntry:
-    """Heap token arming a ``WaitFlag`` timeout.
+    """Calendar token arming a ``WaitFlag`` timeout.
 
     Cancellation is lazy: resuming the waiter flips ``cancelled`` and the
     main loop discards the token when it surfaces — crucially *before*
@@ -204,7 +290,7 @@ class Process:
     __slots__ = (
         "sim", "gen", "name", "alive", "result", "error", "_joiners",
         "_waiting_on", "_waiting_flag", "_waiting_join", "_blocked_since",
-        "_timeout", "_spawn_site",
+        "_timeout", "_spawn_site", "_wait_epoch",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str,
@@ -216,8 +302,10 @@ class Process:
         self.result: Any = None
         self.error: BaseException | None = None
         self._joiners: list[Process] = []
-        #: human-readable description of the blocking command (deadlock report)
-        self._waiting_on: str = "<not started>"
+        #: what the process is blocked on, stored cheaply (the command
+        #: object / a (flag, value) tuple / the join target) and only
+        #: formatted into text when a diagnostic report needs it
+        self._waiting_on: Any = "<not started>"
         #: the Flag / Process currently blocked on (None when runnable)
         self._waiting_flag: Flag | None = None
         self._waiting_join: Process | None = None
@@ -227,6 +315,9 @@ class Process:
         self._timeout: _TimeoutEntry | None = None
         #: (filename, lineno) of the spawn() call site
         self._spawn_site = site
+        #: bumped on every flag block; indexed waiter entries snapshot it
+        #: so entries from an earlier (timed-out) wait are dead on arrival
+        self._wait_epoch = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
@@ -235,6 +326,21 @@ class Process:
 
 def _format_site(site: tuple[str, int] | None) -> str:
     return f"{basename(site[0])}:{site[1]}" if site is not None else "?"
+
+
+def _describe_wait(waiting_on: Any) -> str:
+    """Format a lazily-stored wait description (deadlock reports only —
+    the hot path never builds these strings)."""
+    cls = waiting_on.__class__
+    if cls is str:
+        return waiting_on
+    if cls is tuple:  # (flag, value-at-block-time)
+        return f"Flag({waiting_on[0].name}={waiting_on[1]})"
+    if cls is Delay:
+        return f"Delay({waiting_on.dt})"
+    if cls is Process:
+        return f"join({waiting_on.name})"
+    return str(waiting_on)  # pragma: no cover - future command types
 
 
 class Flag:
@@ -246,6 +352,18 @@ class Flag:
     Mutations are instantaneous in simulated time; the *cost* of the
     signaling operation is charged separately by the caller.
 
+    Waiters are indexed by condition so a mutation wakes exactly the
+    satisfied ones: ``ge`` waits sit in a threshold heap, ``eq`` waits
+    in a dict keyed by target value, and only opaque ``predicate``
+    waits pay a linear re-evaluation scan.  Wakeup *order* is
+    registration order regardless of index (each wait gets a per-flag
+    registration number and satisfied waiters resume sorted by it),
+    preserving the exact semantics — and determinism — of the previous
+    single-list scan.  Index entries are invalidated lazily: a timed-out
+    or resumed waiter leaves its heap/dict entry behind, and the entry
+    is discarded when it surfaces (the waiter's ``_wait_epoch`` no
+    longer matches).
+
     ``watch_budget_us`` opts the flag into watchdog monitoring: every
     wait on a marked flag must resume within that many simulated
     microseconds or the attached :class:`Watchdog` raises.  Left
@@ -253,13 +371,21 @@ class Flag:
     whole-run waits (host joins, grid barriers) stay exempt.
     """
 
-    __slots__ = ("sim", "name", "_value", "_waiters", "watch_budget_us")
+    __slots__ = ("sim", "name", "_value", "_ge", "_eq", "_scan", "_wseq",
+                 "watch_budget_us")
 
     def __init__(self, sim: "Simulator", value: int = 0, name: str = "flag") -> None:
         self.sim = sim
         self.name = name
         self._value = value
-        self._waiters: list[tuple[Process, Callable[[Any], bool]]] = []
+        #: threshold waiters: heap of (threshold, wseq, proc, epoch)
+        self._ge: list[tuple[Any, int, Process, int]] = []
+        #: exact-value waiters: target value -> [(wseq, proc, epoch), ...]
+        self._eq: dict[Any, list[tuple[int, Process, int]]] = {}
+        #: opaque-predicate waiters: [(wseq, proc, predicate), ...]
+        self._scan: list[tuple[int, Process, Callable[[Any], bool]]] = []
+        #: per-flag registration counter — defines wakeup order
+        self._wseq = 0
         self.watch_budget_us: float | None = None
 
     @property
@@ -267,13 +393,13 @@ class Flag:
         return self._value
 
     def set(self, value: int) -> None:
-        """Store ``value`` and wake any waiter whose predicate now holds.
+        """Store ``value`` and wake any waiter whose condition now holds.
 
-        A no-op write (same value) skips the waiter scan: predicates
-        depend only on the value, and a waiter whose predicate already
-        held would have resumed when it was enqueued.  The attached
-        monitor (if any) sees no release either — a write nobody can
-        observe creates no synchronization edge.
+        A no-op write (same value) skips wakeup: wait conditions depend
+        only on the value, and a waiter whose condition already held
+        would have resumed when it was enqueued.  The attached monitor
+        (if any) sees no release either — a write nobody can observe
+        creates no synchronization edge.
         """
         if value == self._value:
             return
@@ -281,7 +407,8 @@ class Flag:
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.released(self, self.sim.current)
-        self._wake()
+        if self._ge or self._eq or self._scan:
+            self._wake()
 
     def add(self, delta: int = 1) -> int:
         """Atomically add ``delta``; returns the new value."""
@@ -289,37 +416,78 @@ class Flag:
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.released(self, self.sim.current)
-        self._wake()
+        if self._ge or self._eq or self._scan:
+            self._wake()
         return self._value
 
     def _wake(self) -> None:
-        if not self._waiters:
+        value = self._value
+        woken: list[tuple[int, Process]] | None = None
+        ge = self._ge
+        while ge and ge[0][0] <= value:
+            entry = heappop(ge)
+            proc = entry[2]
+            # Lazy invalidation: the entry is live only if the process
+            # is still blocked on *this* flag by the *same* wait.
+            if proc._waiting_flag is self and proc._wait_epoch == entry[3]:
+                if woken is None:
+                    woken = [(entry[1], proc)]
+                else:
+                    woken.append((entry[1], proc))
+        if self._eq:
+            entries = self._eq.pop(value, None)
+            if entries is not None:
+                for wseq, proc, epoch in entries:
+                    if proc._waiting_flag is self and proc._wait_epoch == epoch:
+                        if woken is None:
+                            woken = [(wseq, proc)]
+                        else:
+                            woken.append((wseq, proc))
+        if self._scan:
+            still: list[tuple[int, Process, Callable[[Any], bool]]] = []
+            for item in self._scan:
+                if item[2](value):
+                    if woken is None:
+                        woken = [(item[0], item[1])]
+                    else:
+                        woken.append((item[0], item[1]))
+                else:
+                    still.append(item)
+            self._scan = still
+        if woken is None:
             return
-        monitor = self.sim.monitor
-        still_blocked: list[tuple[Process, Callable[[Any], bool]]] = []
-        resumed = 0
-        for proc, predicate in self._waiters:
-            if predicate(self._value):
+        sim = self.sim
+        monitor = sim.monitor
+        if len(woken) == 1:
+            proc = woken[0][1]
+            if monitor is not None:
+                monitor.acquired(proc, self)
+            sim._resume(proc, value)
+        else:
+            # Registration order, exactly as the old single-list scan
+            # woke them (wseq is unique per flag, so the sort is total).
+            woken.sort()
+            for _, proc in woken:
                 if monitor is not None:
                     monitor.acquired(proc, self)
-                self.sim._resume(proc, self._value)
-                resumed += 1
-            else:
-                still_blocked.append((proc, predicate))
-        self._waiters = still_blocked
-        if resumed:
-            wakeups = self.sim.flag_wakeups
-            wakeups[self.name] = wakeups.get(self.name, 0) + resumed
+                sim._resume(proc, value)
+        wakeups = sim.flag_wakeups
+        wakeups[self.name] = wakeups.get(self.name, 0) + len(woken)
+
+    def _waiter_count(self) -> int:
+        """Number of (possibly stale) registered waiters — debug aid."""
+        return (len(self._ge) + len(self._scan)
+                + sum(len(v) for v in self._eq.values()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Flag {self.name}={self._value} waiters={len(self._waiters)}>"
+        return f"<Flag {self.name}={self._value} waiters={self._waiter_count()}>"
 
 
 class Watchdog:
     """Quiescence-without-progress detector for signal protocols.
 
     Unlike an OS watchdog this is *not* a spawned process (a periodic
-    poller would keep the event heap alive and stretch the measured
+    poller would keep the event calendar alive and stretch the measured
     timeline).  It hooks the simulator's time advance: whenever a wait
     starts on a flag marked via :meth:`watch` (or a flag whose
     ``watch_budget_us`` was set directly), a deadline is recorded, and
@@ -360,7 +528,7 @@ class Watchdog:
 
     def _arm(self, deadline: float, proc: Process, flag: Flag, since: float) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (deadline, self._seq, proc, flag, since))
+        heappush(self._heap, (deadline, self._seq, proc, flag, since))
         if deadline < self._next_deadline:
             self._next_deadline = deadline
 
@@ -370,7 +538,7 @@ class Watchdog:
         first, so a signal landing exactly at the deadline wins)."""
         heap = self._heap
         while heap and heap[0][0] < event_time:
-            deadline, _, proc, flag, since = heapq.heappop(heap)
+            deadline, _, proc, flag, since = heappop(heap)
             if proc.alive and proc._waiting_flag is flag and proc._blocked_since == since:
                 if deadline > sim.now:
                     sim.now = deadline
@@ -405,7 +573,7 @@ class Watchdog:
 
     def _drain_error(self, sim: "Simulator", blocked: list[Process],
                      report: str) -> WatchdogError:
-        """Rich diagnostic for a heap drain with watched waiters blocked."""
+        """Rich diagnostic for a calendar drain with watched waiters blocked."""
         self.fired = True
         lines = [
             f"watchdog[{self.name}]: simulation quiescent at t={sim.now:.3f}us "
@@ -438,10 +606,13 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        #: future events as ``(time, seq, proc, value)`` tuples
-        self._heap: list[tuple[float, int, Process, Any]] = []
-        #: events at the *current* time, FIFO by seq (heap bypass)
-        self._ready: deque[tuple[float, int, Process, Any]] = deque()
+        #: calendar: distinct future timestamps, heap-ordered
+        self._times: list[float] = []
+        #: calendar: timestamp -> FIFO bucket of (time, seq, proc, value)
+        #: events (seq-sorted for free — seq is assigned at push time)
+        self._buckets: dict[float, deque[tuple[float, int, Any, Any]]] = {}
+        #: events at the *current* time, FIFO by seq (calendar bypass)
+        self._ready: deque[tuple[float, int, Any, Any]] = deque()
         self._seq = 0
         self._processes: list[Process] = []
         self._blocked = 0
@@ -457,11 +628,17 @@ class Simulator:
         # Observability counters — plain ints so the hot loop pays one
         # attribute increment, published into a MetricsRegistry by the
         # owning context after run().  Purely diagnostic: they never
-        # influence scheduling or simulated time.
+        # influence scheduling or simulated time.  Callback events
+        # (call_at) deliberately skip them: batching callers charge the
+        # counters for the logical events a callback stands in for, so
+        # the published totals describe the *modeled* workload, not the
+        # engine's internal batching.
         self.n_events = 0
         self.n_heap_pops = 0
         self.n_ready_pops = 0
         self.n_spawned = 0
+        #: callback events executed (engine-internal, not published)
+        self.n_callbacks = 0
         #: waiter resumptions per flag name
         self.flag_wakeups: dict[str, int] = {}
 
@@ -491,15 +668,35 @@ class Simulator:
 
     # -- scheduling internals ------------------------------------------------
 
-    def _push(self, time: float, proc: Process, value: Any) -> None:
+    def _push(self, time: float, proc: Any, value: Any) -> None:
         self._seq += 1
         entry = (time, self._seq, proc, value)
         if time == self.now:
             # Zero-delay wakeup: seq is monotonic, so FIFO append keeps
             # the ready queue sorted by (time, seq) for free.
             self._ready.append(entry)
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = deque((entry,))
+            heappush(self._times, time)
         else:
-            heapq.heappush(self._heap, entry)
+            bucket.append(entry)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback to run at ``time``.
+
+        Callback events ride the calendar like process resumes but skip
+        the generator trampoline and the per-event counters — callers
+        that collapse many logical events into one callback (e.g.
+        coalesced NVSHMEM deliveries) account for those events
+        themselves.  Callbacks at the same timestamp run in scheduling
+        order relative to every other event, per the ``(time, seq)``
+        contract.
+        """
+        if time < self.now - 1e-12:
+            raise SimulationError("callback scheduled in the past")
+        self._push(time, None, fn)
 
     def _resume(self, proc: Process, value: Any) -> None:
         """Schedule ``proc`` to continue at the current time."""
@@ -522,39 +719,98 @@ class Simulator:
         if live processes remain blocked with no pending events, and
         re-raises the first exception of any failed process.
         """
-        heap, ready = self._heap, self._ready
-        while heap or ready:
-            # Merge the ready queue and the heap by (time, seq): ready
-            # entries sit at the current time, but the heap may still
-            # hold a same-time event with a smaller seq.
-            if ready and (not heap or (ready[0][0], ready[0][1]) <= (heap[0][0], heap[0][1])):
-                event = ready.popleft()
-                self.n_ready_pops += 1
-            else:
-                event = heapq.heappop(heap)
-                self.n_heap_pops += 1
-            time = event[0]
-            value = event[3]
-            is_timeout = value.__class__ is _TimeoutEntry
-            if is_timeout and value.cancelled:
-                # Lazily-cancelled timeout token: discard before the
-                # time advance so a resolved wait never inflates now.
-                continue
-            if until is not None and time > until:
-                heapq.heappush(heap, event)
-                self.now = until
-                return self.now
-            if time < self.now - 1e-12:
-                raise SimulationError("event scheduled in the past")
-            if time > self.now:
-                wd = self.watchdog
-                if wd is not None and wd._next_deadline < time:
-                    wd._check(self, time)
-                self.now = time
-            if is_timeout:
-                self._fire_timeout(event[2], value)
-            else:
-                self._step(event[2], value)
+        times, buckets, ready = self._times, self._buckets, self._ready
+        # Counters accumulate in locals (written back in the finally —
+        # also on the until/exception exits) so the loop pays no
+        # attribute stores for them.  The hot _step/_dispatch path is
+        # inlined below for the same reason: one event is one loop
+        # iteration, no trampoline calls.
+        n_heap = n_ready = n_call = n_events = 0
+        try:
+            while times or ready:
+                # Merge the ready queue and the calendar by (time, seq).
+                # Ready events sit exactly at self.now; a same-timestamp
+                # bucket only holds events pushed *before* now advanced
+                # here (later pushes at now go to the ready queue), so
+                # its seqs all precede the ready queue's and one
+                # timestamp comparison decides the merge.
+                if times and not (ready and times[0] > self.now):
+                    time = times[0]
+                    bucket = buckets[time]
+                    event = bucket.popleft()
+                    if not bucket:
+                        # Retire the bucket and its timestamp together:
+                        # the timestamp heap never holds dead entries.
+                        del buckets[time]
+                        heappop(times)
+                    from_calendar = True
+                else:
+                    event = ready.popleft()
+                    time = event[0]
+                    from_calendar = False
+                proc = event[2]
+                value = event[3]
+                if proc is not None:
+                    if from_calendar:
+                        n_heap += 1
+                    else:
+                        n_ready += 1
+                    if value.__class__ is _TimeoutEntry and value.cancelled:
+                        # Lazily-cancelled timeout token: discard before
+                        # the time advance so a resolved wait never
+                        # inflates now.
+                        continue
+                if until is not None and time > until:
+                    bucket = buckets.get(time)
+                    if bucket is None:
+                        buckets[time] = deque((event,))
+                        heappush(times, time)
+                    else:
+                        bucket.appendleft(event)
+                    self.now = until
+                    return self.now
+                if time > self.now:
+                    # Idle-time leap: jump straight to the next populated
+                    # instant (after letting the watchdog veto the jump).
+                    wd = self.watchdog
+                    if wd is not None and wd._next_deadline < time:
+                        wd._check(self, time)
+                    self.now = time
+                elif time < self.now - 1e-12:
+                    raise SimulationError("event scheduled in the past")
+                if proc is None:
+                    n_call += 1
+                    value()
+                    continue
+                if value.__class__ is _TimeoutEntry:
+                    self._fire_timeout(proc, value)
+                    continue
+                # -- inlined _step + _dispatch fast path ----------------
+                if not proc.alive:  # joined process already finished
+                    continue
+                n_events += 1
+                self.current = proc
+                try:
+                    command = proc.gen.send(value)
+                except StopIteration as stop:
+                    self._finish(proc, stop.value, None)
+                    continue
+                except Exception as exc:
+                    self._finish(proc, None, exc)
+                    raise
+                cls = command.__class__
+                if cls is Delay:
+                    proc._waiting_on = command
+                    self._push(self.now + command.dt, proc, None)
+                elif cls is WaitFlag:
+                    self._wait_flag(proc, command)
+                else:
+                    self._dispatch(proc, command)
+        finally:
+            self.n_heap_pops += n_heap
+            self.n_ready_pops += n_ready
+            self.n_callbacks += n_call
+            self.n_events += n_events
         alive_blocked = [p for p in self._processes if p.alive]
         if alive_blocked:
             report = self._wait_report(alive_blocked)
@@ -578,7 +834,7 @@ class Simulator:
 
         def describe(p: Process) -> str:
             since = "" if p._blocked_since is None else f" since t={p._blocked_since:.3f}us"
-            return (f"{p.name} waiting on {p._waiting_on}{since} "
+            return (f"{p.name} waiting on {_describe_wait(p._waiting_on)}{since} "
                     f"(spawned at {_format_site(p._spawn_site)})")
 
         roots = [p for p in blocked if p._waiting_join is None]
@@ -602,7 +858,12 @@ class Simulator:
         if proc._timeout is not entry:  # stale token for a resolved wait
             return
         flag = entry.flag
-        flag._waiters = [w for w in flag._waiters if w[0] is not proc]
+        # Opaque-predicate entries are removed eagerly (the list is
+        # always short); indexed ge/eq entries die lazily — the epoch
+        # bump below invalidates them wherever they sit.
+        if flag._scan:
+            flag._scan = [w for w in flag._scan if w[1] is not proc]
+        proc._wait_epoch += 1
         proc._timeout = None
         proc._waiting_flag = None
         proc._blocked_since = None
@@ -629,14 +890,14 @@ class Simulator:
         # command types take the isinstance fallback below.
         cls = command.__class__
         if cls is Delay:
-            proc._waiting_on = f"Delay({command.dt})"
+            proc._waiting_on = command
             self._push(self.now + command.dt, proc, None)
         elif cls is WaitFlag:
             self._wait_flag(proc, command)
         elif cls is WaitProcess or cls is Process:
             self._join(proc, command.process if cls is WaitProcess else command)
         elif isinstance(command, Delay):
-            proc._waiting_on = f"Delay({command.dt})"
+            proc._waiting_on = command
             self._push(self.now + command.dt, proc, None)
         elif isinstance(command, WaitFlag):
             self._wait_flag(proc, command)
@@ -649,16 +910,32 @@ class Simulator:
 
     def _wait_flag(self, proc: Process, command: WaitFlag) -> None:
         flag = command.flag
-        if command.predicate(flag.value):
+        value = flag._value
+        ge = command.ge
+        eq = command.eq
+        if ge is not None:
+            satisfied = value >= ge
+        elif eq is not None:
+            satisfied = value == eq
+        else:
+            satisfied = command.predicate(value)
+        if satisfied:
             if self.monitor is not None:
                 self.monitor.acquired(proc, flag)
-            self._push(self.now, proc, flag.value)
+            self._push(self.now, proc, value)
             return
-        proc._waiting_on = f"Flag({flag.name}={flag.value})"
+        proc._waiting_on = (flag, value)
         proc._waiting_flag = flag
         proc._blocked_since = self.now
+        proc._wait_epoch += 1
         self._blocked += 1
-        flag._waiters.append((proc, command.predicate))
+        flag._wseq += 1
+        if ge is not None:
+            heappush(flag._ge, (ge, flag._wseq, proc, proc._wait_epoch))
+        elif eq is not None:
+            flag._eq.setdefault(eq, []).append((flag._wseq, proc, proc._wait_epoch))
+        else:
+            flag._scan.append((flag._wseq, proc, command.predicate))
         if command.timeout is not None:
             token = _TimeoutEntry(flag)
             proc._timeout = token
@@ -677,7 +954,7 @@ class Simulator:
                 self.monitor.joined(proc, target)
             self._push(self.now, proc, target.result)
         else:
-            proc._waiting_on = f"join({target.name})"
+            proc._waiting_on = target
             proc._waiting_join = target
             proc._blocked_since = self.now
             self._blocked += 1

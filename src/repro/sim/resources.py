@@ -35,7 +35,7 @@ class Semaphore:
     def acquire(self) -> Generator[Any, Any, None]:
         """Wait until the count is positive, then decrement it."""
         while True:
-            yield WaitFlag(self._count, lambda v: v > 0)
+            yield WaitFlag(self._count, ge=1)
             # A competing process resumed at the same instant may have
             # taken the unit; re-check before claiming it.
             if self._count.value > 0:
@@ -74,7 +74,7 @@ class Channel:
     def get(self) -> Generator[Any, Any, Any]:
         """Block until an item is available and return it (FIFO order)."""
         while True:
-            yield WaitFlag(self._size, lambda v: v > 0)
+            yield WaitFlag(self._size, ge=1)
             if self._items:
                 self._size.add(-1)
                 return self._items.popleft()

@@ -11,7 +11,6 @@ overlapped with computation.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 from typing import Any
 
 __all__ = [
@@ -23,7 +22,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class Span:
     """A half-open interval ``[start, end)`` of activity on a lane.
 
@@ -31,18 +29,40 @@ class Span:
     layer — notably ``{"flow_s": id}`` on a span that produces a signal
     and ``{"flow_f": id}`` on the wait it satisfies (Chrome-trace flow
     events, critical-path dependencies).  It never affects timing.
+
+    A ``__slots__`` value class rather than a dataclass: traced runs
+    allocate one per simulated activity, putting construction on the
+    engine's hot path.
     """
 
-    lane: str
-    name: str
-    category: str
-    start: float
-    end: float
-    meta: Any = None
+    __slots__ = ("lane", "name", "category", "start", "end", "meta")
+
+    def __init__(self, lane: str, name: str, category: str,
+                 start: float, end: float, meta: Any = None) -> None:
+        self.lane = lane
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.meta = meta
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def _key(self) -> tuple:
+        return (self.lane, self.name, self.category, self.start, self.end,
+                self.meta)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:
+        return (f"Span(lane={self.lane!r}, name={self.name!r}, "
+                f"category={self.category!r}, start={self.start!r}, "
+                f"end={self.end!r}, meta={self.meta!r})")
 
 
 class Tracer:

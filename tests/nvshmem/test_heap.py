@@ -5,6 +5,7 @@ import pytest
 
 from repro.hw import HGX_A100_8GPU, Storage
 from repro.nvshmem import NVSHMEMRuntime
+from repro.nvshmem.heap import element_range
 from repro.runtime import MultiGPUContext
 
 
@@ -112,3 +113,47 @@ class TestRuntime:
         rt.ctx.run()
         assert len(set(times)) == 1
         assert times[0] >= 3.0 + rt.ctx.cost.nvshmem_host_barrier_us
+
+
+class TestElementRange:
+    """Edge cases of the flat covering-interval computation the
+    sanitizer uses to express heap accesses."""
+
+    def test_zero_length_slice_is_empty_interval(self):
+        assert element_range((8,), slice(3, 3)) == (0, 0)
+        assert element_range((8,), slice(5, 2)) == (0, 0)
+        assert element_range((4, 4), (slice(0, 0), slice(None))) == (0, 0)
+
+    def test_end_of_heap_slices(self):
+        assert element_range((8,), slice(6, None)) == (6, 8)
+        assert element_range((8,), slice(None)) == (0, 8)
+        assert element_range((8,), 7) == (7, 8)
+        assert element_range((2, 3), (1, 2)) == (5, 6)
+        assert element_range((4, 6), (slice(2, 4), slice(None))) == (12, 24)
+
+    def test_negative_index_resolves_to_heap_end(self):
+        assert element_range((8,), -1) == (7, 8)
+        assert element_range((8,), slice(-2, None)) == (6, 8)
+
+    def test_strided_selection_is_conservative_covering(self):
+        lo, hi = element_range((4, 6), (slice(None), 2))
+        assert (lo, hi) == (2, 21)  # covers skipped elements
+        assert hi - lo >= 4
+
+    def test_ranges_are_element_based_for_any_itemsize(self, rt):
+        """Offsets count elements, not bytes: the same index on arrays
+        of 4-, 8-, and 16-byte dtypes yields one identical interval,
+        and hi never exceeds the element count."""
+        import numpy as np
+
+        shape, index = (4, 6), (slice(1, 3), slice(None))
+        want = element_range(shape, index)
+        for dtype in (np.float32, np.float64, np.complex128):
+            arr = rt.malloc(f"er_{np.dtype(dtype).name}", shape, dtype=dtype)
+            assert element_range(arr.shape, index) == want
+            assert want[1] <= int(np.prod(arr.shape))
+
+    def test_cache_returns_consistent_results(self):
+        first = element_range((16,), slice(4, 9))
+        second = element_range((16,), slice(4, 9))
+        assert first == second == (4, 9)

@@ -1,0 +1,145 @@
+"""Sweep manifests and the --changed-only replay contract."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.perf import ResultCache, SweepManifest, SweepRunner, point_identity
+
+
+def _square(x):
+    return x * x
+
+
+def _cube(x):
+    return x * x * x
+
+
+class TestManifestIO:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = SweepManifest({"a|(1,)|": "k1", "b|(2,)|": "k2"})
+        path = manifest.save(tmp_path / "m.json")
+        loaded = SweepManifest.load(path)
+        assert loaded.entries == manifest.entries
+        assert loaded.key_for("a|(1,)|") == "k1"
+        assert loaded.key_for("missing") is None
+
+    def test_save_is_sorted_and_stable(self, tmp_path):
+        a = SweepManifest({"z": "1", "a": "2"})
+        b = SweepManifest({"a": "2", "z": "1"})
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        a.save(pa)
+        b.save(pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a manifest"}))
+        with pytest.raises(ValueError):
+            SweepManifest.load(path)
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            SweepManifest({"a": "k"}).save()
+
+    def test_diff(self):
+        old = SweepManifest({"a": "1", "b": "2", "c": "3"})
+        new = SweepManifest({"a": "1", "b": "9", "d": "4"})
+        diff = new.diff(old)
+        assert diff.added == ["d"]
+        assert diff.changed == ["b"]
+        assert diff.removed == ["c"]
+        assert bool(diff)
+        assert not new.diff(new)
+
+
+class TestRunnerManifest:
+    def test_manifest_requires_cache(self):
+        with pytest.raises(ValueError):
+            SweepRunner(manifest=SweepManifest())
+        with pytest.raises(ValueError):
+            SweepRunner(baseline=SweepManifest())
+
+    def test_map_records_every_point(self, tmp_path):
+        manifest = SweepManifest()
+        runner = SweepRunner(cache=ResultCache(tmp_path / "c"), manifest=manifest)
+        runner.map(_square, [(1,), (2,), (3,)])
+        assert len(manifest) == 3
+        assert manifest.key_for(point_identity(_square, (2,))) is not None
+
+    def test_changed_only_replays_unchanged_points(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        baseline = SweepManifest()
+        first = SweepRunner(cache=cache, manifest=baseline)
+        first.map(_square, [(1,), (2,)])
+
+        second = SweepRunner(cache=cache, baseline=baseline)
+        assert second.map(_square, [(1,), (2,)]) == [1, 4]
+        assert (second.replayed, second.changed, second.added, second.stale) \
+            == (2, 0, 0, 0)
+
+    def test_changed_only_counts_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        baseline = SweepManifest()
+        SweepRunner(cache=cache, manifest=baseline).map(_square, [(1,)])
+
+        runner = SweepRunner(cache=cache, baseline=baseline)
+        runner.map(_square, [(1,), (5,)])
+        assert (runner.replayed, runner.added) == (1, 1)
+
+    def test_changed_only_counts_changed_keys(self, tmp_path):
+        """A key mismatch (here: a different worker under the same
+        recorded identity) must re-run, not replay."""
+        cache = ResultCache(tmp_path / "c")
+        baseline = SweepManifest(
+            {point_identity(_cube, (3,)): "stale-key-from-older-sources"})
+        runner = SweepRunner(cache=cache, baseline=baseline)
+        assert runner.map(_cube, [(3,)]) == [27]
+        assert (runner.replayed, runner.changed, runner.added) == (0, 1, 0)
+
+    def test_changed_only_evicted_entry_counts_stale_and_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        baseline = SweepManifest()
+        SweepRunner(cache=cache, manifest=baseline).map(_square, [(4,)])
+        for entry in (tmp_path / "c").glob("*.pkl"):
+            entry.unlink()
+
+        runner = SweepRunner(cache=cache, baseline=baseline)
+        assert runner.map(_square, [(4,)]) == [16]
+        assert (runner.replayed, runner.stale) == (0, 1)
+
+    def test_metrics_variant_keys_manifest_rows(self, tmp_path):
+        """Metrics-collecting sweeps store a different cached format, so
+        their manifest rows must be distinct identities too."""
+        cache = ResultCache(tmp_path / "c")
+        bare, metered = SweepManifest(), SweepManifest()
+        SweepRunner(cache=cache, manifest=bare).map(_square, [(2,)])
+        with use_metrics(MetricsRegistry()):
+            SweepRunner(cache=cache, manifest=metered).map(_square, [(2,)])
+        assert set(bare.entries) != set(metered.entries)
+
+
+class TestProfileSink:
+    def test_computed_points_are_profiled(self, tmp_path):
+        sink = []
+        runner = SweepRunner(profile_sink=sink)
+        assert runner.map(_square, [(2,), (3,)]) == [4, 9]
+        assert [identity for identity, _ in sink] == \
+            [point_identity(_square, (2,)), point_identity(_square, (3,))]
+        assert "cumulative" in sink[0][1]
+
+    def test_cache_hits_are_not_profiled(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        SweepRunner(cache=cache).map(_square, [(2,)])
+        sink = []
+        SweepRunner(cache=cache, profile_sink=sink).map(_square, [(2,), (3,)])
+        assert [identity for identity, _ in sink] == [point_identity(_square, (3,))]
+
+    def test_profiling_forces_in_process_execution(self):
+        """jobs > 1 with a sink must still profile (profiles cannot
+        cross a process pool), so execution stays in-process."""
+        sink = []
+        runner = SweepRunner(jobs=4, profile_sink=sink)
+        assert runner.map(_square, [(1,), (2,), (3,)]) == [1, 4, 9]
+        assert len(sink) == 3

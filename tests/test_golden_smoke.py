@@ -1,0 +1,26 @@
+"""Perf-smoke goldens: a canonical observed run must reproduce the
+committed metrics dump and Chrome trace byte for byte.
+
+This is the local half of the CI ``perf-smoke`` job: every engine or
+transport optimization claims to be invisible to published output, and
+this test pins that claim to artifacts in git rather than to a
+same-process A/B comparison.  If a change legitimately alters the
+dumps, regenerate per tests/golden/README.md and review the diff.
+"""
+
+import pathlib
+
+from repro.obs.__main__ import main
+
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden"
+CANONICAL = ["summary", "--shape", "66x130", "--gpus", "2", "--iterations", "4"]
+
+
+def test_metrics_and_trace_match_committed_golden(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.json"
+    rc = main([*CANONICAL, "--metrics-out", str(metrics),
+               "--trace-out", str(trace)])
+    assert rc == 0
+    assert metrics.read_bytes() == (GOLDEN / "perf_smoke_metrics.json").read_bytes()
+    assert trace.read_bytes() == (GOLDEN / "perf_smoke_trace.json").read_bytes()

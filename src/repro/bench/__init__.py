@@ -12,6 +12,7 @@ from repro.bench.figures import (
     Row,
     fig22_motivation,
     fig61_weak_2d,
+    fig61_weak_2d_all,
     fig62_3d,
     fig63a_dace_1d,
     fig63b_dace_2d,
@@ -25,6 +26,7 @@ __all__ = [
     "Row",
     "fig22_motivation",
     "fig61_weak_2d",
+    "fig61_weak_2d_all",
     "fig62_3d",
     "fig63a_dace_1d",
     "fig63b_dace_2d",

@@ -27,7 +27,7 @@ from contextlib import nullcontext
 
 from repro.bench.figures import (
     fig22_motivation,
-    fig61_weak_2d,
+    fig61_weak_2d_all,
     fig62_3d,
     fig63a_dace_1d,
     fig63b_dace_2d,
@@ -44,7 +44,7 @@ def _run_22():
 
 
 def _run_61():
-    return [fig61_weak_2d(size) for size in ("small", "medium", "large")]
+    return fig61_weak_2d_all(("small", "medium", "large"))
 
 
 def _run_62():
@@ -95,6 +95,18 @@ def main(argv: list[str] | None = None) -> int:
                              "manifest at PATH: unchanged points replay from "
                              "the cache, only changed/new points recompute "
                              "(a summary prints to stdout); requires the cache")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="fuse compatible cache-miss sweep points into one "
+                             "vector-clock simulation (default on; --no-batch "
+                             "forces the per-point path — output and cache "
+                             "entries are byte-identical either way)")
+    parser.add_argument("--prune-stale", type=str, default=None, metavar="PATH",
+                        help="after the run, diff the recorded point keys "
+                             "against the manifest at PATH and evict cache "
+                             "entries whose key changed or whose point "
+                             "disappeared (a summary prints to stdout); "
+                             "requires the cache")
     parser.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
                         help="collect observability metrics across the run and "
                              "write the registry dump (JSON) to PATH; the dump "
@@ -129,19 +141,28 @@ def main(argv: list[str] | None = None) -> int:
 
     jobs = 1 if (args.profile or args.profile_out) else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if cache is None and (args.save_manifest or args.changed_only):
-        parser.error("--save-manifest/--changed-only need the result cache; "
-                     "drop --no-cache")
-    manifest = SweepManifest() if args.save_manifest else None
+    if cache is None and (args.save_manifest or args.changed_only
+                          or args.prune_stale):
+        parser.error("--save-manifest/--changed-only/--prune-stale need the "
+                     "result cache; drop --no-cache")
+    manifest = (SweepManifest()
+                if args.save_manifest or args.prune_stale else None)
     baseline = None
     if args.changed_only:
         try:
             baseline = SweepManifest.load(args.changed_only)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             parser.error(f"--changed-only: {exc}")
+    prune_baseline = None
+    if args.prune_stale:
+        try:
+            prune_baseline = SweepManifest.load(args.prune_stale)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"--prune-stale: {exc}")
     profile_sink: list[tuple[str, str]] | None = [] if args.profile_out else None
     runner = SweepRunner(jobs=jobs, cache=cache, manifest=manifest,
-                         baseline=baseline, profile_sink=profile_sink)
+                         baseline=baseline, profile_sink=profile_sink,
+                         batch=args.batch)
     profiler = None
     if args.profile:
         import cProfile
@@ -184,11 +205,25 @@ def main(argv: list[str] | None = None) -> int:
     if cache is not None:
         print(f"(sweep cache: {runner.hits} hit(s), {runner.misses} miss(es) "
               f"in {args.cache_dir})")
+    if args.batch:
+        print(f"(batched execution: {runner.batch_points} point(s) fused into "
+              f"{runner.batch_groups} run(s), {runner.batch_fallbacks} "
+              f"fallback(s))")
     if baseline is not None:
         print(f"(changed-only vs {args.changed_only}: {runner.replayed} "
               f"replayed, {runner.changed} changed, {runner.added} new, "
               f"{runner.stale} stale)")
-    if manifest is not None:
+    if prune_baseline is not None:
+        diff = manifest.diff(prune_baseline)
+        live = set(manifest.entries.values())
+        stale_keys = sorted(
+            {prune_baseline.entries[i] for i in diff.changed + diff.removed}
+            - live)
+        evicted = sum(cache.evict(k) for k in stale_keys)
+        print(f"(prune-stale vs {args.prune_stale}: {evicted} dead cache "
+              f"entr{'y' if evicted == 1 else 'ies'} evicted — "
+              f"{len(diff.changed)} changed, {len(diff.removed)} removed)")
+    if args.save_manifest:
         manifest.save(args.save_manifest)
         print(f"({len(manifest)} point key(s) recorded to {args.save_manifest})")
     if profile_sink is not None:

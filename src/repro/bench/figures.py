@@ -22,6 +22,7 @@ in submission order, keeping figure tables byte-identical at any
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.hw import HGX_A100_8GPU
@@ -39,8 +40,10 @@ from repro.sdfg.programs import (
 from repro.faults.profiles import active_fault_profile, get_injector
 from repro.perf import active_runner
 from repro.perf import warm
+from repro.perf.batch import register_batchable
 from repro.sim import Tracer
 from repro.stencil import StencilConfig, run_variant
+from repro.stencil.batch import run_batched_stencil
 
 __all__ = [
     "DEFAULT_GPU_COUNTS",
@@ -49,6 +52,7 @@ __all__ = [
     "STENCIL_VARIANTS",
     "fig22_motivation",
     "fig61_weak_2d",
+    "fig61_weak_2d_all",
     "fig62_3d",
     "fig63a_dace_1d",
     "fig63b_dace_2d",
@@ -139,6 +143,47 @@ def _stencil_point(variant: str, config: StencilConfig) -> Row:
     )
 
 
+def _stencil_group_key(args: tuple):
+    """Batch-group key for :func:`_stencil_point`: everything except
+    ``global_shape`` — points in one group run fused as a stack of
+    domain sizes.  Faulted and data-carrying points never batch."""
+    variant, config = args
+    if config.with_data or config.fault_profile is not None:
+        return None
+    rest = tuple(
+        (f.name, getattr(config, f.name))
+        for f in dataclasses.fields(config)
+        if f.name != "global_shape"
+    )
+    return (variant, len(config.global_shape), rest)
+
+
+def _run_stencil_group(argtuples, with_metrics: bool) -> list:
+    """Fused group runner: one vector-clock simulation for the whole
+    stack, demuxed into the exact per-point ``Row`` (+ dump) values."""
+    variant = argtuples[0][0]
+    configs = [config for _, config in argtuples]
+    results, dumps = run_batched_stencil(variant, configs,
+                                         with_metrics=with_metrics)
+    rows = [
+        Row(
+            series=variant,
+            x=config.num_gpus,
+            per_iteration_us=res.per_iteration_us,
+            comm_us_per_iter=res.comm_time_us / config.iterations,
+            overlap_ratio=res.overlap_ratio,
+        )
+        for (_, config), res in zip(argtuples, results)
+    ]
+    if with_metrics:
+        return list(zip(rows, dumps))
+    return rows
+
+
+register_batchable(_stencil_point, group_key=_stencil_group_key,
+                   run=_run_stencil_group)
+
+
 def _stencil_rows(
     shapes: dict[int, tuple[int, ...]],
     variants: tuple[str, ...],
@@ -146,15 +191,37 @@ def _stencil_rows(
     *,
     no_compute: bool = False,
 ) -> list[Row]:
-    tasks = [
-        (variant, StencilConfig(
-            global_shape=shape, num_gpus=gpus, iterations=iterations,
-            with_data=False, no_compute=no_compute,
-        ))
-        for gpus, shape in shapes.items()
-        for variant in variants
-    ]
-    return active_runner().map(_stencil_point, tasks)
+    return _stencil_row_sets([(shapes, variants, iterations, no_compute)])[0]
+
+
+def _stencil_row_sets(
+    specs: list[tuple[dict[int, tuple[int, ...]], tuple[str, ...], int, bool]],
+) -> list[list[Row]]:
+    """Run several row sets through ONE runner map call.
+
+    Each spec is ``(shapes, variants, iterations, no_compute)``; the
+    concatenated task list is mapped once and sliced back per spec.
+    One map call means the batch scheduler sees every point of every
+    set at once — points that differ only in ``global_shape`` (the same
+    variant at several domain sizes) group into one fused simulation.
+    Row values and merged metrics are unchanged: map preserves
+    submission order, so the slices equal per-spec map calls.
+    """
+    tasks: list[tuple[str, StencilConfig]] = []
+    bounds: list[tuple[int, int]] = []
+    for shapes, variants, iterations, no_compute in specs:
+        start = len(tasks)
+        tasks.extend(
+            (variant, StencilConfig(
+                global_shape=shape, num_gpus=gpus, iterations=iterations,
+                with_data=False, no_compute=no_compute,
+            ))
+            for gpus, shape in shapes.items()
+            for variant in variants
+        )
+        bounds.append((start, len(tasks)))
+    rows = active_runner().map(_stencil_point, tasks)
+    return [rows[a:b] for a, b in bounds]
 
 
 # ------------------------------ Figure 2.2 ---------------------------------------
@@ -220,19 +287,39 @@ def fig61_weak_2d(
     variants: tuple[str, ...] = STENCIL_VARIANTS,
 ) -> FigureData:
     """Fig 6.1: 2D Jacobi weak scaling for one size class."""
-    label_edge = SIZE_CLASSES_2D[size]
-    shapes = {g: weak_shape_2d(label_edge, g) for g in gpu_counts}
-    rows = _stencil_rows(shapes, variants, iterations)
-    fig = FigureData("6.1", f"2D Jacobi weak scaling ({size}: {label_edge}^2 at 8 GPUs)", rows)
-    top = max(gpu_counts)
-    fig.headlines = {
-        "speedup_vs_nvshmem_%": fig.speedup("cpufree", "baseline_nvshmem", top),
-        "speedup_vs_copy_%": fig.speedup("cpufree", "baseline_copy", top),
-        "speedup_vs_overlap_%": fig.speedup("cpufree", "baseline_overlap", top),
-        "perks_vs_best_baseline_%": _perks_vs_best(fig, variants, top),
-        "perks_weak_scaling_dropoff_%": _weak_dropoff(fig, "cpufree_perks", gpu_counts),
-    }
-    return fig
+    return fig61_weak_2d_all((size,), gpu_counts, iterations, variants)[0]
+
+
+def fig61_weak_2d_all(
+    sizes: tuple[str, ...] = ("small", "medium", "large"),
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    iterations: int = 40,
+    variants: tuple[str, ...] = STENCIL_VARIANTS,
+) -> list[FigureData]:
+    """Fig 6.1 across size classes, swept in one runner map so each
+    (variant, GPU count) runs its sizes as one fused batch."""
+    specs = [
+        ({g: weak_shape_2d(SIZE_CLASSES_2D[s], g) for g in gpu_counts},
+         variants, iterations, False)
+        for s in sizes
+    ]
+    row_sets = _stencil_row_sets(specs)
+    figs = []
+    for size, rows in zip(sizes, row_sets):
+        label_edge = SIZE_CLASSES_2D[size]
+        fig = FigureData(
+            "6.1", f"2D Jacobi weak scaling ({size}: {label_edge}^2 at 8 GPUs)",
+            rows)
+        top = max(gpu_counts)
+        fig.headlines = {
+            "speedup_vs_nvshmem_%": fig.speedup("cpufree", "baseline_nvshmem", top),
+            "speedup_vs_copy_%": fig.speedup("cpufree", "baseline_copy", top),
+            "speedup_vs_overlap_%": fig.speedup("cpufree", "baseline_overlap", top),
+            "perks_vs_best_baseline_%": _perks_vs_best(fig, variants, top),
+            "perks_weak_scaling_dropoff_%": _weak_dropoff(fig, "cpufree_perks", gpu_counts),
+        }
+        figs.append(fig)
+    return figs
 
 
 def _perks_vs_best(fig: FigureData, variants: tuple[str, ...], x: int) -> float:
@@ -263,19 +350,23 @@ def fig62_3d(
     strong_shape = weak_shape_3d(SIZE_3D, 8)
     strong_shapes = {g: strong_shape for g in gpu_counts}
 
+    # one map call for all four row sets: each (variant, gpus,
+    # no_compute) runs its weak and strong shapes as one fused batch
+    weak, weak_nc, strong, strong_nc = _stencil_row_sets([
+        (weak_shapes, variants, iterations, False),
+        (weak_shapes, variants, iterations, True),
+        (strong_shapes, variants, iterations, False),
+        (strong_shapes, variants, iterations, True),
+    ])
     out: dict[str, FigureData] = {}
-    out["weak"] = FigureData(
-        "6.2-weak", "3D Jacobi weak scaling",
-        _stencil_rows(weak_shapes, variants, iterations))
+    out["weak"] = FigureData("6.2-weak", "3D Jacobi weak scaling", weak)
     out["weak_nocompute"] = FigureData(
         "6.2-weak-nc", "3D Jacobi weak scaling, no compute (comm latency)",
-        _stencil_rows(weak_shapes, variants, iterations, no_compute=True))
+        weak_nc)
     out["strong"] = FigureData(
-        "6.2-strong", "3D Jacobi strong scaling (fixed 512^3 domain)",
-        _stencil_rows(strong_shapes, variants, iterations))
+        "6.2-strong", "3D Jacobi strong scaling (fixed 512^3 domain)", strong)
     out["strong_nocompute"] = FigureData(
-        "6.2-strong-nc", "3D Jacobi strong scaling, no compute",
-        _stencil_rows(strong_shapes, variants, iterations, no_compute=True))
+        "6.2-strong-nc", "3D Jacobi strong scaling, no compute", strong_nc)
 
     top = max(gpu_counts)
     nc = out["weak_nocompute"]

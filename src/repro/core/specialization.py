@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.sim.stacked import Stacked, members, stacked_val
+
 __all__ = ["SpecializationPlan", "plan_blocks"]
 
 
@@ -80,6 +82,22 @@ def plan_blocks(
         raise ValueError("tb_total must be positive")
     if inner_size < 0 or boundary_size < 0:
         raise ValueError("sizes must be non-negative")
+    if isinstance(inner_size, Stacked) or isinstance(boundary_size, Stacked):
+        # Batched sweep: the round/clamp chain below branches per member
+        # (small domains hit min_boundary_tb, large ones the ceil), so
+        # compute the exact scalar plan per member and stack the fields.
+        B = len((inner_size if isinstance(inner_size, Stacked) else boundary_size).v)
+        plans = [
+            plan_blocks(tb_total, inn, bnd, sides=sides,
+                        min_boundary_tb=min_boundary_tb)
+            for inn, bnd in zip(members(inner_size, B), members(boundary_size, B))
+        ]
+        per_side = [p.boundary_tb_per_side for p in plans]
+        if all(b == per_side[0] for b in per_side[1:]):
+            return plans[0]
+        return SpecializationPlan(
+            tb_total=tb_total, boundary_tb_per_side=stacked_val(per_side),
+            sides=sides)
     if sides == 0 or boundary_size == 0:
         return SpecializationPlan(tb_total=tb_total, boundary_tb_per_side=0, sides=0)
     total_work = inner_size + sides * boundary_size

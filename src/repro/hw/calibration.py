@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.sim.stacked import Stacked
+
 __all__ = ["CostModel", "DEFAULT_COST_MODEL"]
 
 
@@ -137,6 +139,17 @@ class CostModel:
             raise ValueError("resident_threads must be positive")
         if elements < 0:
             raise ValueError("negative element count")
+        if isinstance(elements, Stacked) or isinstance(resident_threads, Stacked):
+            # Batched sweep: members may sit on different sides of the
+            # ramp, so evaluate the exact scalar expression per member.
+            B = len((elements if isinstance(elements, Stacked)
+                     else resident_threads).v)
+            from repro.sim.stacked import members, stacked_val
+
+            return stacked_val([
+                self.tiling_factor(e, r)
+                for e, r in zip(members(elements, B), members(resident_threads, B))
+            ])
         ratio = elements / resident_threads
         if ratio <= self.tiling_free_ratio:
             return 1.0

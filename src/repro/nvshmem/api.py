@@ -18,6 +18,7 @@ from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
 from repro.runtime.context import MultiGPUContext
 from repro.runtime.mpi import HostBarrier
 from repro.sim import Flag
+from repro.sim.stacked import Stacked
 
 __all__ = ["NVSHMEMRuntime"]
 
@@ -76,6 +77,9 @@ class NVSHMEMRuntime:
         # are too slow for the per-op path.
         self._op_acc: dict = {}
         self._wait_acc: dict = {}
+        #: memo for NVSHMEMDevice._wire_time — pure per (src, dest,
+        #: nbytes, scope) on the happy path; unused under a fault plan
+        self._wire_memo: dict = {}
         self._wait_hist: dict = {}
         # Coalesced delivery batches: open batch per (src, dst, arrival
         # time).  Fault-free, unmonitored delivery legs enqueue here
@@ -153,7 +157,14 @@ class NVSHMEMRuntime:
         """
         sim = self.ctx.sim
         arrival = sim.now + wire_us
-        key = (src, dst, arrival)
+        # Batched runs: arrival is a vector clock whose hash and
+        # equality follow the pilot member only — key by the full
+        # member tuple so legs merge only when EVERY member arrives
+        # at the same instant (a conservative subset of the scalar
+        # path's per-member merges; coalescing granularity never
+        # changes results, so the demuxed output is unaffected).
+        key = (src, dst,
+               arrival.v if isinstance(arrival, Stacked) else arrival)
         batch = self._batches.get(key)
         leg = (write, signal, name, flow, signal_index, sim.now)
         if batch is None:

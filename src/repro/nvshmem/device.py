@@ -39,6 +39,7 @@ import numpy as np
 from repro.faults.inject import DeliveryError, SignalWaitTimeout
 from repro.hw.interconnect import HOST
 from repro.sim import TIMEOUT, Delay, Flag, WaitFlag
+from repro.sim.stacked import Stacked, as_size
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nvshmem.api import NVSHMEMRuntime
@@ -119,6 +120,10 @@ class NVSHMEMDevice:
         self._wait_hist = runtime._wait_hist
         #: fault injector (None = happy path, zero overhead)
         self._faults = runtime.ctx.faults
+        #: wire-time memo, shared runtime-wide; disabled (None) under a
+        #: fault plan, where the effective link varies over time
+        self._wire_memo = (runtime._wire_memo
+                           if runtime.ctx.topology.faults is None else None)
 
     # -- internals -------------------------------------------------------------
 
@@ -138,8 +143,19 @@ class NVSHMEMDevice:
         }[scope]
 
     def _wire_time(self, dest_pe: int, nbytes: int, scope: Scope) -> float:
-        link = self._ctx.topology.link(self.pe, dest_pe)
-        return link.latency_us + nbytes / (link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
+        memo = self._wire_memo
+        if memo is None:  # fault plan active: the link may degrade over time
+            link = self._ctx.topology.link(self.pe, dest_pe)
+            return link.latency_us + nbytes / (
+                link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
+        key = (self.pe, dest_pe,
+               nbytes.v if isinstance(nbytes, Stacked) else nbytes, scope)
+        t = memo.get(key)
+        if t is None:
+            link = self._ctx.topology.link(self.pe, dest_pe)
+            t = memo[key] = link.latency_us + nbytes / (
+                link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
+        return t
 
     def _staged_wire(self, dest_pe: int, nbytes: float) -> float | None:
         """Host-staged wire time when the direct link is marked down by
@@ -417,7 +433,7 @@ class NVSHMEMDevice:
         used by no-compute experiments.
         """
         values = np.asarray(values)
-        size = int(nbytes) if nbytes is not None else values.nbytes
+        size = as_size(nbytes) if nbytes is not None else values.nbytes
         self._record_op("putmem", dest_pe, size)
         start = self._ctx.sim.now
         if self._faults is None:
@@ -443,7 +459,7 @@ class NVSHMEMDevice:
     ) -> Generator[Any, Any, None]:
         """Non-blocking put: returns after initiation; complete at ``quiet``."""
         values = np.array(values, copy=True)  # snapshot source at issue
-        size = int(nbytes) if nbytes is not None else values.nbytes
+        size = as_size(nbytes) if nbytes is not None else values.nbytes
         self._record_op("putmem_nbi", dest_pe, size)
         start = self._ctx.sim.now
         yield Delay(self._cost.nvshmem_put_latency_us)
@@ -470,7 +486,7 @@ class NVSHMEMDevice:
     ) -> Generator[Any, Any, None]:
         """Blocking put + signal: data lands, then the signal updates."""
         values = np.asarray(values)
-        size = int(nbytes) if nbytes is not None else values.nbytes
+        size = as_size(nbytes) if nbytes is not None else values.nbytes
         self._record_op("putmem_signal", dest_pe, size)
         flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now
@@ -514,7 +530,7 @@ class NVSHMEMDevice:
         the destination signal word is updated (§4.1.1 semaphore flow).
         """
         values = np.array(values, copy=True)
-        size = int(nbytes) if nbytes is not None else values.nbytes
+        size = as_size(nbytes) if nbytes is not None else values.nbytes
         self._record_op("putmem_signal_nbi", dest_pe, size)
         flow = self.runtime.next_flow_id()
         start = self._ctx.sim.now

@@ -1,0 +1,101 @@
+"""Per-member metrics recording for batched sweep execution.
+
+A batched run executes B structurally identical sweep points inside one
+simulation (see :mod:`repro.perf.batch`); its amounts may be
+:class:`~repro.sim.stacked.Stacked` vectors.  :class:`BatchMetrics`
+mirrors the :class:`~repro.obs.metrics.MetricsRegistry` recording API
+but fans every operation out to B child registries: scalar amounts are
+broadcast (the quantity was identical in every per-point run), stacked
+amounts are demultiplexed element-wise.  After the run each child's
+``to_dict()`` is byte-identical to the dump the per-point path would
+have produced for that member.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import DEFAULT_US_EDGES, MetricsRegistry
+from repro.sim.stacked import Stacked
+
+__all__ = ["BatchMetrics"]
+
+
+class _FanCounter:
+    __slots__ = ("_children",)
+
+    def __init__(self, children: list) -> None:
+        self._children = children
+
+    def inc(self, amount: Any = 1) -> None:
+        if isinstance(amount, Stacked):
+            for child, value in zip(self._children, amount.v):
+                child.inc(value)
+        else:
+            for child in self._children:
+                child.inc(amount)
+
+
+class _FanGauge:
+    __slots__ = ("_children",)
+
+    def __init__(self, children: list) -> None:
+        self._children = children
+
+    def set(self, value: Any) -> None:
+        if isinstance(value, Stacked):
+            for child, v in zip(self._children, value.v):
+                child.set(v)
+        else:
+            for child in self._children:
+                child.set(value)
+
+
+class _FanHistogram:
+    __slots__ = ("_children",)
+
+    def __init__(self, children: list) -> None:
+        self._children = children
+
+    def observe(self, value: Any) -> None:
+        if isinstance(value, Stacked):
+            for child, v in zip(self._children, value.v):
+                child.observe(v)
+        else:
+            for child in self._children:
+                child.observe(value)
+
+
+class BatchMetrics:
+    """Registry facade demultiplexing one batched run into B dumps.
+
+    Only the *recording* surface is mirrored (``counter`` / ``gauge`` /
+    ``histogram``); queries go to the per-member children directly.
+    Metric creation is fanned to every child unconditionally — callers
+    create metrics structurally (the same calls happen in every member's
+    per-point run), only the recorded amounts differ.  The one caller
+    that must create a metric in *some* members only (per-member flag
+    wakeups) writes to :attr:`children` itself.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("batch size must be positive")
+        self.size = size
+        self.children = [MetricsRegistry() for _ in range(size)]
+
+    def counter(self, name: str, **labels: Any) -> _FanCounter:
+        return _FanCounter([c.counter(name, **labels) for c in self.children])
+
+    def gauge(self, name: str, **labels: Any) -> _FanGauge:
+        return _FanGauge([c.gauge(name, **labels) for c in self.children])
+
+    def histogram(self, name: str, edges: tuple = DEFAULT_US_EDGES,
+                  **labels: Any) -> _FanHistogram:
+        return _FanHistogram(
+            [c.histogram(name, edges=edges, **labels) for c in self.children]
+        )
+
+    def dumps(self) -> list[dict]:
+        """Per-member ``to_dict()`` dumps, member order."""
+        return [c.to_dict() for c in self.children]

@@ -79,6 +79,14 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError):
             return False, None
 
+    def evict(self, key: str) -> bool:
+        """Delete the entry for ``key``; ``True`` if a file was removed."""
+        try:
+            os.remove(self.root / f"{key}.pkl")
+            return True
+        except OSError:
+            return False
+
     def put(self, key: str, value: Any) -> None:
         """Atomic write (tmp file + rename) so concurrent sweeps never
         observe a torn entry."""

@@ -25,11 +25,14 @@ installs a configured runner around a whole figure run with
 
 from __future__ import annotations
 
+import copy
+import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.obs.metrics import MetricsRegistry, active_metrics, use_metrics
+from repro.perf.batch import BatchAdapter, adapter_for
 from repro.perf.cache import ResultCache, point_identity
 from repro.perf.manifest import SweepManifest
 
@@ -76,12 +79,21 @@ class SweepRunner:
         ``cProfile`` and ``(identity, stats text)`` — sorted by
         cumulative time — is appended to this list.  Forces in-process
         execution (profiles cannot cross a process pool).
+    ``batch``
+        Consult the worker's registered :class:`~repro.perf.batch.
+        BatchAdapter` and run compatible cache-miss points fused in one
+        simulation (default).  Results, metrics dumps, and cache
+        entries are byte-identical either way — cache keys are shared
+        between the two paths — so the switch is purely a performance
+        A/B lever.  Profiled runs never batch (per-point profiles are
+        the product).
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  manifest: SweepManifest | None = None,
                  baseline: SweepManifest | None = None,
-                 profile_sink: list[tuple[str, str]] | None = None) -> None:
+                 profile_sink: list[tuple[str, str]] | None = None,
+                 batch: bool = True) -> None:
         if cache is None and (manifest is not None or baseline is not None):
             raise ValueError("sweep manifests require a ResultCache "
                              "(keys are what they record)")
@@ -90,8 +102,13 @@ class SweepRunner:
         self.manifest = manifest
         self.baseline = baseline
         self.profile_sink = profile_sink
+        self.batch = batch
         self.hits = 0
         self.misses = 0
+        #: batched-execution tallies (stdout diagnostics, never metrics)
+        self.batch_groups = 0
+        self.batch_points = 0
+        self.batch_fallbacks = 0
         #: --changed-only tallies (all zero when no baseline is set)
         self.replayed = 0
         self.changed = 0
@@ -129,6 +146,42 @@ class SweepRunner:
         self.profile_sink.append((identity, buffer.getvalue()))
         return result
 
+    def _run_batch_groups(self, adapter: BatchAdapter, argtuples: Sequence[tuple],
+                          pending: list[int], with_metrics: bool,
+                          results: list[Any]) -> list[int]:
+        """Run groupable cache-miss points fused; returns the indices
+        that still need per-point execution (ungroupable points,
+        singleton groups, and groups whose fused run diverged)."""
+        groups: dict[Any, list[int]] = {}
+        rest: list[int] = []
+        for i in pending:
+            try:
+                key = adapter.group_key(argtuples[i])
+            except Exception:
+                key = None
+            if key is None:
+                rest.append(i)
+            else:
+                groups.setdefault(key, []).append(i)
+        for idxs in groups.values():
+            if len(idxs) < 2:
+                rest.extend(idxs)
+                continue
+            try:
+                values = adapter.run([argtuples[i] for i in idxs], with_metrics)
+            except Exception:
+                # batching is strictly an optimization: divergence (or
+                # any adapter failure) reverts the group to per-point
+                self.batch_fallbacks += 1
+                rest.extend(idxs)
+                continue
+            for i, value in zip(idxs, values):
+                results[i] = value
+            self.batch_groups += 1
+            self.batch_points += len(idxs)
+        rest.sort()
+        return rest
+
     def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list[Any]:
         """``[fn(*args) for args in argtuples]``, accelerated."""
         argtuples = list(argtuples)
@@ -157,8 +210,21 @@ class SweepRunner:
                     continue
                 self.misses += 1
             pending.append(i)
+        computed = list(pending)
+        dup_of: dict[int, int] = {}
         if pending:
-            if self.jobs > 1 and len(pending) > 1 and self.profile_sink is None:
+            adapter = (adapter_for(fn)
+                       if self.batch and self.profile_sink is None else None)
+            if adapter is not None:
+                pending, dup_of = _dedupe_pending(argtuples, pending)
+                pending = self._run_batch_groups(
+                    adapter, argtuples, pending, with_metrics, results)
+        if pending:
+            # a single-core host gains nothing from a process pool and
+            # pays its spawn + pickle overhead; run the points inline
+            if (self.jobs > 1 and len(pending) > 1
+                    and self.profile_sink is None
+                    and (os.cpu_count() or 1) > 1):
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                     if with_metrics:
                         futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
@@ -185,8 +251,13 @@ class SweepRunner:
                             point_identity(fn, argtuples[i], variant), compute)
                     else:
                         results[i] = compute()
+        if computed:
+            # duplicate argtuples computed once (deterministic workers
+            # produce identical values); copy into the remaining slots
+            for i, j in dup_of.items():
+                results[i] = copy.deepcopy(results[j])
             if self.cache is not None:
-                for i in pending:
+                for i in computed:
                     value = results[i]
                     if with_metrics and isinstance(value[1], MetricsRegistry):
                         # normalize to the picklable cached form
@@ -209,6 +280,29 @@ class SweepRunner:
             # self.misses to stdout instead)
             ambient.counter("perf.sweep.points").inc(len(argtuples))
         return results
+
+
+def _dedupe_pending(
+    argtuples: Sequence[tuple], pending: list[int]
+) -> tuple[list[int], dict[int, int]]:
+    """Collapse pending points with identical argtuples onto the first
+    occurrence; returns ``(kept, dup_of)`` where ``dup_of`` maps each
+    dropped index to the index whose result it copies.  Unhashable
+    argtuples stay unique (no equality scan on the hot path)."""
+    seen: dict[Any, int] = {}
+    dup_of: dict[int, int] = {}
+    kept: list[int] = []
+    for i in pending:
+        try:
+            first = seen.setdefault(argtuples[i], i)
+        except TypeError:
+            kept.append(i)
+            continue
+        if first == i:
+            kept.append(i)
+        else:
+            dup_of[i] = first
+    return kept, dup_of
 
 
 #: module-level runner consulted by figure sweeps

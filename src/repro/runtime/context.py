@@ -35,6 +35,7 @@ from repro.runtime.kernel import (
 )
 from repro.runtime.stream import Event, Stream
 from repro.sim import Delay, Simulator, Tracer
+from repro.sim.stacked import WAIT_SPAN, any_member_gt
 
 __all__ = ["HostThread", "MultiGPUContext"]
 
@@ -61,7 +62,12 @@ class MultiGPUContext:
         #: installed via ``repro.obs.use_metrics`` (None = disabled)
         self.metrics = metrics if metrics is not None else active_metrics()
         self.topology.metrics = self.metrics
-        self._published_engine: dict[str, float] = {}
+        self._published_engine: dict[str, Any] = {}
+        #: memo for :meth:`DeviceKernelContext.compute` cost lookups —
+        #: kernels recharge the same pure (elements, split) cost every
+        #: iteration, which is cheap with floats but dominates batched
+        #: runs where each recomputation is stacked arithmetic
+        self._compute_memo: dict[Any, Any] = {}
         self._metric_flushers: list[Callable[[], None]] = []
         self._streams: dict[tuple[int, str], Stream] = {}
         #: optional FaultInjector (None = fault plane fully inert)
@@ -126,6 +132,21 @@ class MultiGPUContext:
         if self.tracer is not None:
             self.tracer.record(lane, name, category, start, end, meta)
 
+    def trace_wait(self, lane: str, name: str, start: float, end: float) -> None:
+        """Record a sync span only if the caller actually waited.
+
+        Scalar runs: a plain ``end > start`` guard.  Batched runs: the
+        span is recorded whenever *any* member waited and tagged with
+        the :data:`~repro.sim.stacked.WAIT_SPAN` sentinel; the
+        demultiplexer drops the zero-duration members, reproducing the
+        per-point guard member-by-member.
+        """
+        if end.__class__ is float and start.__class__ is float:
+            if end > start:
+                self.trace(lane, name, "sync", start, end)
+        elif any_member_gt(end, start):
+            self.trace(lane, name, "sync", start, end, meta=WAIT_SPAN)
+
     # -- orchestration ------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
@@ -158,12 +179,29 @@ class MultiGPUContext:
             if delta:
                 m.counter(name).inc(delta)
                 self._published_engine[name] = value
-        for flag, count in sorted(sim.flag_wakeups.items()):
-            key = f"flag:{flag}"
-            delta = count - self._published_engine.get(key, 0)
-            if delta:
-                m.counter("sim.flag.wakeups", flag=flag).inc(delta)
-                self._published_engine[key] = count
+        if sim.batch_members is None:
+            for flag, count in sorted(sim.flag_wakeups.items()):
+                key = f"flag:{flag}"
+                delta = count - self._published_engine.get(key, 0)
+                if delta:
+                    m.counter("sim.flag.wakeups", flag=flag).inc(delta)
+                    self._published_engine[key] = count
+        else:
+            # Batched run: per-member wakeup tallies replace the joint
+            # counts (whether a waiter blocks depends on per-member
+            # timing).  A member that never blocked on a flag has no
+            # counter entry at all in the per-point dump, so zero
+            # members must not even create one — write each member's
+            # registry directly instead of fanning out.
+            children = m.children
+            for flag, counts in sorted(sim.flag_wakeups_m.items()):
+                key = f"flag:{flag}"
+                prev = self._published_engine.get(key)
+                for i, child in enumerate(children):
+                    delta = counts[i] - (prev[i] if prev is not None else 0)
+                    if delta:
+                        child.counter("sim.flag.wakeups", flag=flag).inc(delta)
+                self._published_engine[key] = tuple(counts)
 
 
 class HostThread:
@@ -263,8 +301,7 @@ class HostThread:
         yield from self._api(self.ctx.cost.stream_sync_us, f"streamSync:{stream.name}")
         start = self.ctx.sim.now
         yield from stream.drained()
-        if self.ctx.sim.now > start:
-            self.ctx.trace(self.lane, f"wait:{stream.name}", "sync", start, self.ctx.sim.now)
+        self.ctx.trace_wait(self.lane, f"wait:{stream.name}", start, self.ctx.sim.now)
 
     def device_sync(self, device: int) -> Generator[Any, Any, None]:
         """``cudaDeviceSynchronize``: drain every stream of ``device``."""
@@ -283,8 +320,7 @@ class HostThread:
         yield from self._api(self.ctx.cost.event_sync_us, f"eventSync:{event.name}")
         start = self.ctx.sim.now
         yield from event.wait()
-        if self.ctx.sim.now > start:
-            self.ctx.trace(self.lane, f"wait:{event.name}", "sync", start, self.ctx.sim.now)
+        self.ctx.trace_wait(self.lane, f"wait:{event.name}", start, self.ctx.sim.now)
 
     def stream_wait_event(self, stream: Stream, event: Event) -> Generator[Any, Any, None]:
         """``cudaStreamWaitEvent``: device-side dependency, cheap for host."""

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.sim import Delay
+from repro.sim.stacked import Stacked
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.memory import DeviceBuffer
@@ -92,13 +93,27 @@ class DeviceKernelContext:
         category: str = "compute",
     ) -> Generator[Any, Any, None]:
         """Charge stencil-compute time for ``elements`` grid points."""
-        cost = self.ctx.cost.compute_time_us(
-            elements,
-            self.ctx.node.gpu.hbm_bandwidth_gbps,
-            fraction_of_device=fraction_of_device,
-            tiling_factor=tiling_factor,
-            perks_residency=perks_residency,
-        )
+        # compute_time_us is pure in its arguments and the (per-context)
+        # cost model, and persistent kernels recharge identical costs
+        # every iteration — memoize on the context.  Stacked quantities
+        # key by their member tuple (their own hash is divergence-guarded).
+        key = (elements.v if isinstance(elements, Stacked) else elements,
+               fraction_of_device.v if isinstance(fraction_of_device, Stacked)
+               else fraction_of_device,
+               tiling_factor.v if isinstance(tiling_factor, Stacked)
+               else tiling_factor,
+               perks_residency.v if isinstance(perks_residency, Stacked)
+               else perks_residency)
+        memo = self.ctx._compute_memo
+        cost = memo.get(key)
+        if cost is None:
+            cost = memo[key] = self.ctx.cost.compute_time_us(
+                elements,
+                self.ctx.node.gpu.hbm_bandwidth_gbps,
+                fraction_of_device=fraction_of_device,
+                tiling_factor=tiling_factor,
+                perks_residency=perks_residency,
+            )
         faults = self.ctx.faults
         if faults is not None:
             cost *= faults.compute_scale(self.device)

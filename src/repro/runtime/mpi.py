@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.runtime.context import MultiGPUContext
 from repro.sim import Delay, Flag, Simulator, WaitFlag
+from repro.sim.stacked import as_size
 
 __all__ = ["Communicator", "HostBarrier", "Request", "VectorType"]
 
@@ -205,7 +206,7 @@ class Communicator:
         self._check_rank(rank)
         self._check_rank(source)
         yield from self._charge(rank, self.ctx.cost.api_enqueue_us, "MPI_Irecv")
-        size = out.nbytes if out is not None else int(nbytes or 0)
+        size = out.nbytes if out is not None else as_size(nbytes or 0)
         request = Request(Flag(self.ctx.sim, 0, "irecv"), "recv")
         key = (source, rank, tag)
         self._recvs.setdefault(key, deque()).append(_PendingRecv(out, size, datatype, request))
@@ -217,8 +218,7 @@ class Communicator:
         self._check_rank(rank)
         start = self.ctx.sim.now
         yield WaitFlag(request.flag, ge=1)
-        if self.ctx.sim.now > start:
-            self.ctx.trace(f"host{rank}", f"MPI_Wait:{request.kind}", "sync", start, self.ctx.sim.now)
+        self.ctx.trace_wait(f"host{rank}", f"MPI_Wait:{request.kind}", start, self.ctx.sim.now)
 
     def waitall(self, rank: int, requests: list[Request]) -> Generator[Any, Any, None]:
         """``MPI_Waitall`` over ``requests``."""

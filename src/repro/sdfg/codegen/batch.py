@@ -1,0 +1,209 @@
+"""Leading-batch-axis lowering of compiled tasklet plans.
+
+The data-plane analogue of the vector-clock simulation in
+:mod:`repro.stencil.batch`: run one compute state for ``B`` independent
+argument sets as ONE fused NumPy kernel per map.  Per-member array sets
+that agree on shapes and dtypes stack into a single array per name with
+a leading batch axis (:func:`stack_arrays`); each ``VECTORIZED``
+:class:`~repro.sdfg.codegen.fastpath.TaskletPlan` lowers to a variant
+of its whole-map slice expression in which every array subscript is
+prefixed with a full slice over that axis, so ``A[1:-1] * 0.5`` becomes
+``A[:, 1:-1] * 0.5`` and evaluates for the whole stack at once.
+
+Member rows of the batched result are byte-identical to per-point
+execution: NumPy applies the same IEEE operation dag, elementwise, to
+every row, and the lowering changes only *which* rows one call covers,
+never the per-element expression.  ``GENERIC`` plans (calls, fancy
+indexing — anything the affine analysis could not prove) refuse to
+lower (:class:`BatchLoweringError`); callers fall back to per-point
+execution, mirroring the
+:class:`~repro.sim.stacked.BatchDivergence` contract of the simulation
+plane.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.sdfg.codegen.fastpath import (
+    MapMode,
+    TaskletPlan,
+    _compiled,
+    _EVAL_GLOBALS,
+    plan_state,
+)
+
+__all__ = [
+    "BatchLoweringError",
+    "BatchedStatePlan",
+    "BatchedTaskletPlan",
+    "batch_state_plan",
+    "batch_tasklet_plan",
+    "execute_batched",
+    "stack_arrays",
+    "uniform_bindings",
+    "unstack_arrays",
+]
+
+
+class BatchLoweringError(Exception):
+    """The state cannot execute as one batched NumPy kernel.
+
+    Raised when a tasklet is ``GENERIC`` (unproven subscript structure
+    — a leading batch axis could silently change its meaning) or when
+    the member argument sets disagree on shape, dtype, or symbol
+    bindings.  Callers fall back to per-point execution; batching is an
+    optimization, never a semantic change.
+    """
+
+
+class _LeadingAxis(ast.NodeTransformer):
+    """Prefix every array subscript with a full slice over the batch axis.
+
+    Only applied to ``VECTORIZED`` expressions, whose affine analysis
+    already proved that every ``Subscript`` is a full-rank index of an
+    array (bound expressions contain names and integers only), so the
+    rewrite touches exactly the array reads and nothing else.
+    """
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.Subscript:
+        parts = (list(node.slice.elts) if isinstance(node.slice, ast.Tuple)
+                 else [node.slice])
+        batched = ast.Tuple(
+            elts=[ast.Slice(lower=None, upper=None, step=None), *parts],
+            ctx=ast.Load(),
+        )
+        return ast.Subscript(value=node.value, slice=batched, ctx=ast.Load())
+
+
+class BatchedTaskletPlan:
+    """One tasklet lowered to execute over a leading batch axis."""
+
+    __slots__ = ("base", "batch_code", "batch_source")
+
+    def __init__(self, base: TaskletPlan, batch_code: Any, batch_source: str) -> None:
+        self.base = base
+        self.batch_code = batch_code
+        self.batch_source = batch_source
+
+    def run(self, arrays: dict[str, np.ndarray], bindings: dict[str, int]) -> None:
+        """Execute the map for every member of the stack at once.
+
+        ``arrays`` maps each name to its stacked ``(B, *shape)`` array;
+        the output memlet resolves against the *member* shape and the
+        batch axis rides in front.
+        """
+        out = arrays[self.base.out_memlet.data]
+        index = self.base.out_memlet.resolve(out.shape[1:], bindings)
+        namespace = {**arrays, **bindings}
+        value = eval(self.batch_code, _EVAL_GLOBALS, namespace)  # noqa: S307
+        out[(slice(None), *index)] = value
+
+
+class BatchedStatePlan:
+    """Batched plans for every tasklet of one compute state."""
+
+    __slots__ = ("plans",)
+
+    def __init__(self, plans: tuple[BatchedTaskletPlan, ...]) -> None:
+        self.plans = plans
+
+    def execute(self, arrays: dict[str, np.ndarray], bindings: dict[str, int]) -> None:
+        for plan in self.plans:
+            plan.run(arrays, bindings)
+
+
+def batch_tasklet_plan(plan: TaskletPlan) -> BatchedTaskletPlan:
+    """Lower one compiled plan; ``VECTORIZED`` maps only."""
+    if plan.mode is not MapMode.VECTORIZED:
+        raise BatchLoweringError(
+            f"tasklet {plan.tasklet.label!r} is {plan.mode.value}: only "
+            f"affine (vectorized) maps take a leading batch axis"
+        )
+    tree = ast.parse(plan.tasklet.expr_source, mode="eval")
+    batched = ast.fix_missing_locations(_LeadingAxis().visit(tree))
+    source = ast.unparse(batched)
+    return BatchedTaskletPlan(plan, _compiled(source), source)
+
+
+def batch_state_plan(state, sdfg) -> BatchedStatePlan:
+    """Get-or-build the batched plan for ``state`` (cached on the state,
+    like the scalar/vector plan it extends)."""
+    plan = getattr(state, "_batch_fastpath_plan", None)
+    if plan is None:
+        base = plan_state(state, sdfg)
+        plan = BatchedStatePlan(tuple(batch_tasklet_plan(p) for p in base.plans))
+        state._batch_fastpath_plan = plan
+    return plan
+
+
+# ---------------------------- stack / demux -----------------------------------
+
+
+def stack_arrays(array_sets: Sequence[Mapping[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Stack per-member array dicts into ``(B, *shape)`` arrays.
+
+    Every member must supply the same names with matching shapes and
+    dtypes — the structural-compatibility precondition of a batch.
+    """
+    if not array_sets:
+        raise BatchLoweringError("empty batch")
+    names = set(array_sets[0])
+    for m, arrays in enumerate(array_sets[1:], start=1):
+        if set(arrays) != names:
+            raise BatchLoweringError(
+                f"member {m} array names {sorted(arrays)} != member 0 "
+                f"{sorted(names)}"
+            )
+    stacked: dict[str, np.ndarray] = {}
+    for name in sorted(names):
+        first = np.asarray(array_sets[0][name])
+        for m, arrays in enumerate(array_sets[1:], start=1):
+            a = np.asarray(arrays[name])
+            if a.shape != first.shape or a.dtype != first.dtype:
+                raise BatchLoweringError(
+                    f"array {name!r}: member {m} is {a.dtype}{a.shape}, "
+                    f"member 0 is {first.dtype}{first.shape}"
+                )
+        stacked[name] = np.stack([np.asarray(a[name]) for a in array_sets])
+    return stacked
+
+
+def unstack_arrays(stacked: Mapping[str, np.ndarray], B: int) -> list[dict[str, np.ndarray]]:
+    """Per-member array dicts (copies) from a stacked set."""
+    return [{name: np.array(arr[m]) for name, arr in stacked.items()}
+            for m in range(B)]
+
+
+def uniform_bindings(bindings_seq: Sequence[Mapping[str, int]]) -> dict[str, int]:
+    """The common symbol bindings of a batch; raise on any disagreement."""
+    base = dict(bindings_seq[0])
+    for m, other in enumerate(bindings_seq[1:], start=1):
+        if dict(other) != base:
+            raise BatchLoweringError(
+                f"member {m} bindings {dict(other)} != member 0 {base}"
+            )
+    return base
+
+
+def execute_batched(
+    state,
+    sdfg,
+    array_sets: Sequence[Mapping[str, np.ndarray]],
+    bindings: Mapping[str, int] | Sequence[Mapping[str, int]],
+) -> list[dict[str, np.ndarray]]:
+    """Run ``state`` once for a whole stack of argument sets.
+
+    ``bindings`` is one mapping shared by every member, or a per-member
+    sequence (which must be uniform).  Returns per-member result
+    arrays, byte-identical to running the state per point.
+    """
+    if not isinstance(bindings, Mapping):
+        bindings = uniform_bindings(bindings)
+    B = len(array_sets)
+    stacked = stack_arrays(array_sets)
+    batch_state_plan(state, sdfg).execute(stacked, dict(bindings))
+    return unstack_arrays(stacked, B)

@@ -9,10 +9,18 @@ computer-algebra system.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Union
 
-__all__ = ["Expr", "Sym", "evaluate_expr", "expr_to_str"]
+__all__ = [
+    "Expr",
+    "Sym",
+    "code_cache_stats",
+    "evaluate_expr",
+    "expr_to_str",
+    "publish_code_cache_stats",
+]
 
 
 class _ExprOps:
@@ -72,9 +80,22 @@ def _wrap(value) -> Expr:  # type: ignore[no-untyped-def]
 #: globals for memoized BinOp evaluation — no builtins reachable
 _EVAL_GLOBALS: dict[str, object] = {"__builtins__": {}}
 
+#: bounded shared compile cache, keyed by rendered source.  Nodes keep
+#: a direct reference to their code object (the per-evaluation fast
+#: path), but the *index* is LRU-bounded: autotuner-style sweeps that
+#: build fresh expression trees per point reuse structurally equal
+#: entries instead of compiling per instance, and a sweep over
+#: unboundedly many distinct shapes cannot grow the index without
+#: limit.
+CODE_CACHE_CAPACITY = 512
+_CODE_LRU: "OrderedDict[str, object]" = OrderedDict()
+_code_cache_hits = 0
+_code_cache_misses = 0
+_code_cache_evictions = 0
+
 
 def _compile_binop(expr: "BinOp"):
-    """Compile a BinOp tree to a Python code object, once per instance.
+    """Code object for a BinOp tree, via the bounded shared cache.
 
     Expressions are built once (shapes, memlets, loop bounds) but
     evaluated inside per-iteration loops, so the parse/lowering cost is
@@ -82,9 +103,47 @@ def _compile_binop(expr: "BinOp"):
     ``__dict__``.  Python's own integer arithmetic matches the
     recursive evaluator exactly, ``//`` included.
     """
-    code = compile(expr_to_str(expr), "<sym>", "eval")
+    global _code_cache_hits, _code_cache_misses, _code_cache_evictions
+    src = expr_to_str(expr)
+    code = _CODE_LRU.get(src)
+    if code is not None:
+        _code_cache_hits += 1
+        _CODE_LRU.move_to_end(src)
+    else:
+        _code_cache_misses += 1
+        _validate_ops(expr)
+        code = compile(src, "<sym>", "eval")
+        _CODE_LRU[src] = code
+        if len(_CODE_LRU) > CODE_CACHE_CAPACITY:
+            _CODE_LRU.popitem(last=False)
+            _code_cache_evictions += 1
     object.__setattr__(expr, "_eval_code", code)
     return code
+
+
+def code_cache_stats() -> dict[str, float]:
+    """Size, capacity, and hit/miss/eviction counts of the bounded
+    expression-compile cache (process-lifetime totals)."""
+    total = _code_cache_hits + _code_cache_misses
+    return {
+        "size": len(_CODE_LRU),
+        "capacity": CODE_CACHE_CAPACITY,
+        "hits": _code_cache_hits,
+        "misses": _code_cache_misses,
+        "evictions": _code_cache_evictions,
+        "hit_rate": _code_cache_hits / total if total else 0.0,
+    }
+
+
+def publish_code_cache_stats(registry) -> None:
+    """Set ``sdfg.symbols.code_cache.*`` gauges on ``registry``.
+
+    Called on demand (never from the sweep path itself): the stats are
+    process-lifetime, so folding them into per-run registries would
+    break the byte-identical metrics-dump contract.
+    """
+    for key, value in code_cache_stats().items():
+        registry.gauge(f"sdfg.symbols.code_cache.{key}").set(value)
 
 
 def evaluate_expr(expr: Expr, bindings: dict[str, int]) -> int:
@@ -100,7 +159,6 @@ def evaluate_expr(expr: Expr, bindings: dict[str, int]) -> int:
     if t is BinOp:
         code = expr.__dict__.get("_eval_code")
         if code is None:
-            _validate_ops(expr)
             code = _compile_binop(expr)
         try:
             return int(eval(code, _EVAL_GLOBALS, bindings))  # noqa: S307

@@ -96,6 +96,12 @@ from heapq import heappop, heappush
 from os.path import basename
 from typing import Any
 
+from repro.sim.stacked import (
+    Stacked,
+    emax as _emax,
+    members as _members,
+)
+
 __all__ = [
     "DeadlockError",
     "Delay",
@@ -290,7 +296,8 @@ class Process:
     __slots__ = (
         "sim", "gen", "name", "alive", "result", "error", "_joiners",
         "_waiting_on", "_waiting_flag", "_waiting_join", "_blocked_since",
-        "_timeout", "_spawn_site", "_wait_epoch",
+        "_timeout", "_spawn_site", "_wait_epoch", "_finish_time",
+        "_blocked_seq",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str,
@@ -311,6 +318,8 @@ class Process:
         self._waiting_join: Process | None = None
         #: sim.now when the current blocking wait began (None when runnable)
         self._blocked_since: float | None = None
+        #: batched runs: joint dispatch seq of the current flag block
+        self._blocked_seq = 0
         #: pending WaitFlag timeout token, if any
         self._timeout: _TimeoutEntry | None = None
         #: (filename, lineno) of the spawn() call site
@@ -318,6 +327,8 @@ class Process:
         #: bumped on every flag block; indexed waiter entries snapshot it
         #: so entries from an earlier (timed-out) wait are dead on arrival
         self._wait_epoch = 0
+        #: sim.now at termination (batched runs join it into late joins)
+        self._finish_time: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "done"
@@ -372,12 +383,26 @@ class Flag:
     """
 
     __slots__ = ("sim", "name", "_value", "_ge", "_eq", "_scan", "_wseq",
-                 "watch_budget_us")
+                 "watch_budget_us", "_last_change", "_lcm_t", "_lcm_s")
 
     def __init__(self, sim: "Simulator", value: int = 0, name: str = "flag") -> None:
         self.sim = sim
         self.name = name
         self._value = value
+        #: sim.now of the last effective mutation (None = initial value,
+        #: which carries no time dependence).  Batched runs join this
+        #: into the wake time of an already-satisfied wait: the waiter
+        #: member that arrived before its release member waited there.
+        self._last_change: Any = None
+        #: batched runs only: per-member time and joint seq of the
+        #: mutation that achieved the member's accumulated release time
+        #: (lexicographic max over the mutation history, kept as two
+        #: parallel lists to stay allocation-free on the hot path).  The
+        #: seq breaks member-time ties by joint dispatch order, which
+        #: the member's own per-point run reproduces for equal-time
+        #: events.
+        self._lcm_t: list[Any] | None = None
+        self._lcm_s: list[int] | None = None
         #: threshold waiters: heap of (threshold, wseq, proc, epoch)
         self._ge: list[tuple[Any, int, Process, int]] = []
         #: exact-value waiters: target value -> [(wseq, proc, epoch), ...]
@@ -404,6 +429,7 @@ class Flag:
         if value == self._value:
             return
         self._value = value
+        self._stamp_change()
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.released(self, self.sim.current)
@@ -413,12 +439,47 @@ class Flag:
     def add(self, delta: int = 1) -> int:
         """Atomically add ``delta``; returns the new value."""
         self._value += delta
+        self._stamp_change()
         monitor = self.sim.monitor
         if monitor is not None:
             monitor.released(self, self.sim.current)
         if self._ge or self._eq or self._scan:
             self._wake()
         return self._value
+
+    def _stamp_change(self) -> None:
+        """Record the release time of this mutation.
+
+        Scalar runs: plainly ``sim.now`` (time is globally monotone, so
+        the last mutation is also the latest).  Batched runs: the
+        element-wise max over the mutation history — for a threshold
+        crossed by the current mutation count (signals, barriers), each
+        member's crossing is the max of *its* mutation times, which need
+        not belong to the pilot's latest mutation.
+        """
+        sim = self.sim
+        now = sim.now
+        last = self._last_change
+        if last is None or (now.__class__ is float and last.__class__ is float):
+            self._last_change = now
+        else:
+            self._last_change = _emax(now, last)
+        B = sim.batch_members
+        if B is not None:
+            seq = sim._order_seq = sim._order_seq + 1
+            nows = _members(now, B)
+            ts = self._lcm_t
+            if ts is None:
+                self._lcm_t = list(nows)
+                self._lcm_s = [seq] * B
+            else:
+                ss = self._lcm_s
+                for m in range(B):
+                    # seq is strictly increasing across mutations, so a
+                    # tie on time is always won by the current mutation.
+                    if nows[m] >= ts[m]:
+                        ts[m] = nows[m]
+                        ss[m] = seq
 
     def _wake(self) -> None:
         value = self._value
@@ -458,11 +519,33 @@ class Flag:
             return
         sim = self.sim
         monitor = sim.monitor
+        B = sim.batch_members
+        if B is not None:
+            # Per-member wakeup bookkeeping: a member whose arrival came
+            # after its release was satisfied at arrival in the
+            # equivalent per-point run and never counted a wakeup there.
+            vec = sim.flag_wakeups_m.get(self.name)
+            if vec is None:
+                vec = sim.flag_wakeups_m[self.name] = [0] * B
+            rel_t = self._lcm_t
+            rel_s = self._lcm_s
+            for _, proc in woken:
+                arr = _members(proc._blocked_since, B)
+                aseq = proc._blocked_seq
+                for m in range(B):
+                    # Lexicographic on (member time, joint seq): at a
+                    # member-time tie the per-point run dispatches the
+                    # equal-time events in joint order, so the seq says
+                    # whether that run saw the wait or the release first.
+                    am = arr[m]
+                    tm = rel_t[m]
+                    if am < tm or (am == tm and aseq < rel_s[m]):
+                        vec[m] += 1
         if len(woken) == 1:
             proc = woken[0][1]
             if monitor is not None:
                 monitor.acquired(proc, self)
-            sim._resume(proc, value)
+            sim._resume(proc, value, self._last_change)
         else:
             # Registration order, exactly as the old single-list scan
             # woke them (wseq is unique per flag, so the sort is total).
@@ -470,7 +553,7 @@ class Flag:
             for _, proc in woken:
                 if monitor is not None:
                     monitor.acquired(proc, self)
-                sim._resume(proc, value)
+                sim._resume(proc, value, self._last_change)
         wakeups = sim.flag_wakeups
         wakeups[self.name] = wakeups.get(self.name, 0) + len(woken)
 
@@ -641,6 +724,14 @@ class Simulator:
         self.n_callbacks = 0
         #: waiter resumptions per flag name
         self.flag_wakeups: dict[str, int] = {}
+        #: batched runs: member count of the config stack (None = scalar
+        #: run) and the per-member wakeup tallies that replace
+        #: ``flag_wakeups`` when metrics are demultiplexed
+        self.batch_members: int | None = None
+        self.flag_wakeups_m: dict[str, list[int]] = {}
+        #: joint program-order counter shared by flag mutations and
+        #: blocking waits — breaks member-time ties in wakeup accounting
+        self._order_seq = 0
 
     # -- process management -------------------------------------------------
 
@@ -671,15 +762,24 @@ class Simulator:
     def _push(self, time: float, proc: Any, value: Any) -> None:
         self._seq += 1
         entry = (time, self._seq, proc, value)
-        if time == self.now:
+        # Calendar keys are the *pilot* timestamp — a plain float even
+        # in batched runs, so heap pushes/pops and bucket lookups
+        # compare in C instead of through BatchTime dunders.  Pilot
+        # order is every member's order (repro.sim.stacked), and the
+        # dispatch loop re-reads each entry's exact time vector.
+        t = (time if time.__class__ is float
+             else time.v[0] if isinstance(time, Stacked) else time)
+        now = self.now
+        if t == (now if now.__class__ is float
+                 else now.v[0] if isinstance(now, Stacked) else now):
             # Zero-delay wakeup: seq is monotonic, so FIFO append keeps
             # the ready queue sorted by (time, seq) for free.
             self._ready.append(entry)
             return
-        bucket = self._buckets.get(time)
+        bucket = self._buckets.get(t)
         if bucket is None:
-            self._buckets[time] = deque((entry,))
-            heappush(self._times, time)
+            self._buckets[t] = deque((entry,))
+            heappush(self._times, t)
         else:
             bucket.append(entry)
 
@@ -698,9 +798,19 @@ class Simulator:
             raise SimulationError("callback scheduled in the past")
         self._push(time, None, fn)
 
-    def _resume(self, proc: Process, value: Any) -> None:
-        """Schedule ``proc`` to continue at the current time."""
+    def _resume(self, proc: Process, value: Any, release: Any = None) -> None:
+        """Schedule ``proc`` to continue at the current time.
+
+        Batched runs: the waiter's wake time is the element-wise max of
+        the releaser's (vector) clock and the waiter's block time — a
+        member that blocked later than the releaser's member resumed
+        there, not at the releaser's earlier instant.  Flag wakeups pass
+        the flag's accumulated ``release`` time, which per member may
+        exceed the waking mutation's own clock (e.g. a barrier whose
+        slowest arriver differs between members).
+        """
         self._blocked -= 1
+        since = proc._blocked_since
         proc._waiting_flag = None
         proc._waiting_join = None
         proc._blocked_since = None
@@ -708,7 +818,11 @@ class Simulator:
         if token is not None:
             token.cancelled = True
             proc._timeout = None
-        self._push(self.now, proc, value)
+        now = self.now if release is None else release
+        if now.__class__ is float and since.__class__ is float:
+            self._push(now, proc, value)
+        else:
+            self._push(_emax(now, since), proc, value)
 
     # -- main loop -----------------------------------------------------------
 
@@ -726,6 +840,11 @@ class Simulator:
         # inlined below for the same reason: one event is one loop
         # iteration, no trampoline calls.
         n_heap = n_ready = n_call = n_events = 0
+        # Pilot mirror of self.now: all loop-internal time comparisons
+        # run on plain floats even when the clock is a BatchTime vector.
+        now_p = self.now
+        if now_p.__class__ is not float and isinstance(now_p, Stacked):
+            now_p = now_p.v[0]
         try:
             while times or ready:
                 # Merge the ready queue and the calendar by (time, seq).
@@ -734,7 +853,7 @@ class Simulator:
                 # here (later pushes at now go to the ready queue), so
                 # its seqs all precede the ready queue's and one
                 # timestamp comparison decides the merge.
-                if times and not (ready and times[0] > self.now):
+                if times and not (ready and times[0] > now_p):
                     time = times[0]
                     bucket = buckets[time]
                     event = bucket.popleft()
@@ -743,6 +862,10 @@ class Simulator:
                         # the timestamp heap never holds dead entries.
                         del buckets[time]
                         heappop(times)
+                    # The entry's own timestamp, not the bucket key:
+                    # batched runs bucket pilot-equal time *vectors*
+                    # together, and each entry carries its exact vector.
+                    time = event[0]
                     from_calendar = True
                 else:
                     event = ready.popleft()
@@ -750,6 +873,8 @@ class Simulator:
                     from_calendar = False
                 proc = event[2]
                 value = event[3]
+                t_p = (time if time.__class__ is float
+                       else time.v[0] if isinstance(time, Stacked) else time)
                 if proc is not None:
                     if from_calendar:
                         n_heap += 1
@@ -760,24 +885,32 @@ class Simulator:
                         # the time advance so a resolved wait never
                         # inflates now.
                         continue
-                if until is not None and time > until:
-                    bucket = buckets.get(time)
+                if until is not None and t_p > until:
+                    bucket = buckets.get(t_p)
                     if bucket is None:
-                        buckets[time] = deque((event,))
-                        heappush(times, time)
+                        buckets[t_p] = deque((event,))
+                        heappush(times, t_p)
                     else:
                         bucket.appendleft(event)
                     self.now = until
                     return self.now
-                if time > self.now:
+                if t_p > now_p:
                     # Idle-time leap: jump straight to the next populated
                     # instant (after letting the watchdog veto the jump).
                     wd = self.watchdog
-                    if wd is not None and wd._next_deadline < time:
+                    if wd is not None and wd._next_deadline < t_p:
                         wd._check(self, time)
                     self.now = time
-                elif time < self.now - 1e-12:
+                    now_p = t_p
+                elif t_p < now_p - 1e-12:
                     raise SimulationError("event scheduled in the past")
+                else:
+                    # Pilot-equal, not necessarily identical: during a
+                    # batched step `now` must be the dispatched event's
+                    # exact time vector.  Scalar runs re-store an equal
+                    # float — a no-op in value.
+                    self.now = time
+                    now_p = t_p
                 if proc is None:
                     n_call += 1
                     value()
@@ -801,7 +934,13 @@ class Simulator:
                 cls = command.__class__
                 if cls is Delay:
                     proc._waiting_on = command
-                    self._push(self.now + command.dt, proc, None)
+                    dt = command.dt
+                    if dt.__class__ is float:
+                        self._push(self.now + dt, proc, None)
+                    elif isinstance(dt, Stacked):  # stacked duration -> time vector
+                        self._push(dt.add_to_time(self.now), proc, None)
+                    else:  # plain int duration
+                        self._push(self.now + dt, proc, None)
                 elif cls is WaitFlag:
                     self._wait_flag(proc, command)
                 else:
@@ -891,14 +1030,26 @@ class Simulator:
         cls = command.__class__
         if cls is Delay:
             proc._waiting_on = command
-            self._push(self.now + command.dt, proc, None)
+            dt = command.dt
+            if dt.__class__ is float:
+                self._push(self.now + dt, proc, None)
+            elif isinstance(dt, Stacked):  # stacked duration -> time vector
+                self._push(dt.add_to_time(self.now), proc, None)
+            else:  # plain int duration
+                self._push(self.now + dt, proc, None)
         elif cls is WaitFlag:
             self._wait_flag(proc, command)
         elif cls is WaitProcess or cls is Process:
             self._join(proc, command.process if cls is WaitProcess else command)
         elif isinstance(command, Delay):
             proc._waiting_on = command
-            self._push(self.now + command.dt, proc, None)
+            dt = command.dt
+            if dt.__class__ is float:
+                self._push(self.now + dt, proc, None)
+            elif isinstance(dt, Stacked):  # stacked duration -> time vector
+                self._push(dt.add_to_time(self.now), proc, None)
+            else:  # plain int duration
+                self._push(self.now + dt, proc, None)
         elif isinstance(command, WaitFlag):
             self._wait_flag(proc, command)
         elif isinstance(command, (WaitProcess, Process)):
@@ -922,11 +1073,32 @@ class Simulator:
         if satisfied:
             if self.monitor is not None:
                 self.monitor.acquired(proc, flag)
-            self._push(self.now, proc, value)
+            now = self.now
+            last = flag._last_change
+            if now.__class__ is float and (last is None or last.__class__ is float):
+                self._push(now, proc, value)
+            else:
+                # Already-satisfied wait in a batched run: a member whose
+                # release came after its arrival resumed at the release —
+                # and counted a flag wakeup in the per-point run.
+                B = self.batch_members
+                if B is not None:
+                    nows = _members(now, B)
+                    lasts = _members(last, B)
+                    blocked = [m for m in range(B) if lasts[m] > nows[m]]
+                    if blocked:
+                        vec = self.flag_wakeups_m.get(flag.name)
+                        if vec is None:
+                            vec = self.flag_wakeups_m[flag.name] = [0] * B
+                        for m in blocked:
+                            vec[m] += 1
+                self._push(_emax(now, last), proc, value)
             return
         proc._waiting_on = (flag, value)
         proc._waiting_flag = flag
         proc._blocked_since = self.now
+        if self.batch_members is not None:
+            proc._blocked_seq = self._order_seq = self._order_seq + 1
         proc._wait_epoch += 1
         self._blocked += 1
         flag._wseq += 1
@@ -952,7 +1124,14 @@ class Simulator:
                 raise ProcessFailed(f"joined process {target.name} failed") from target.error
             if self.monitor is not None:
                 self.monitor.joined(proc, target)
-            self._push(self.now, proc, target.result)
+            now = self.now
+            ft = target._finish_time
+            if now.__class__ is float and (ft is None or ft.__class__ is float):
+                self._push(now, proc, target.result)
+            else:
+                # Late join in a batched run: a member that arrived
+                # before its target member finished waited for it.
+                self._push(_emax(now, ft), proc, target.result)
         else:
             proc._waiting_on = target
             proc._waiting_join = target
@@ -964,6 +1143,7 @@ class Simulator:
         proc.alive = False
         proc.result = result
         proc.error = error
+        proc._finish_time = self.now
         monitor = self.monitor
         if monitor is not None:
             monitor.finished(proc)

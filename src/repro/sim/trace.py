@@ -186,6 +186,12 @@ class Tracer:
         flow_starts: list[dict] = []
         flow_finishes: list[dict] = []
         seen_flow_ids: set = set()
+        # Flow ids are renumbered by first appearance in the sorted span
+        # order below: the raw ids are allocated at op *issue* time,
+        # whose order at equal timestamps is an engine dispatch detail —
+        # canonical ids make the exported trace a pure function of the
+        # spans themselves.
+        canon_flow: dict = {}
         for span in sorted(self.spans, key=lambda s: (s.start, s.end, s.lane, s.name)):
             events.append({
                 "name": span.name,
@@ -198,9 +204,13 @@ class Tracer:
             })
             meta = span.meta if isinstance(span.meta, dict) else {}
             if "flow_s" in meta:
-                seen_flow_ids.add(meta["flow_s"])
+                raw = meta["flow_s"]
+                seen_flow_ids.add(raw)
+                if raw not in canon_flow:
+                    canon_flow[raw] = len(canon_flow) + 1
                 flow_starts.append({
-                    "name": "signal", "cat": "flow", "ph": "s", "id": meta["flow_s"],
+                    "name": "signal", "cat": "flow", "ph": "s",
+                    "id": canon_flow[raw],
                     "pid": 0, "tid": lane_ids[span.lane], "ts": span.end,
                 })
             if "flow_f" in meta:
@@ -211,7 +221,10 @@ class Tracer:
                 })
         events.extend(flow_starts)
         # only emit finishes whose start half exists (spec requires pairing)
-        events.extend(e for e in flow_finishes if e["id"] in seen_flow_ids)
+        for e in flow_finishes:
+            if e["id"] in seen_flow_ids:
+                e["id"] = canon_flow[e["id"]]
+                events.append(e)
         for name, ts, value in sorted(self.counter_samples):
             events.append({
                 "name": name, "cat": "counter", "ph": "C", "pid": 0,

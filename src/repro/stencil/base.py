@@ -32,6 +32,7 @@ from repro.runtime import MultiGPUContext
 from repro.runtime.kernel import DeviceKernelContext
 from repro.runtime.mpi import HostBarrier
 from repro.sim import Tracer
+from repro.sim.stacked import Stacked, stacked_val
 from repro.stencil.grid import SlabDecomposition, gather_slabs, scatter_slabs
 from repro.stencil.reference import update_layers
 
@@ -341,6 +342,12 @@ class StencilVariant(abc.ABC):
 
     def discrete_blocks(self, elements: int) -> int:
         """Grid size of a discrete (non-cooperative) kernel."""
+        if isinstance(elements, Stacked):
+            # Batched sweep: the max(1, ...) clamp branches per member.
+            per = [self.discrete_blocks(e) for e in elements.v]
+            if all(b == per[0] for b in per[1:]):
+                return per[0]
+            return stacked_val(per)
         return max(1, math.ceil(elements / self.config.threads_per_block))
 
     def specialization(self, rank: int) -> SpecializationPlan:

@@ -11,6 +11,7 @@ to the inner domain (the boundary layers are immutable halos to it).
 
 from __future__ import annotations
 
+from repro.sim.stacked import Stacked, stacked_val
 from repro.stencil.base import StencilConfig, register_variant
 from repro.stencil.variants.cpufree import CPUFree
 
@@ -28,6 +29,14 @@ def perks_residency(config: StencilConfig, interior_elements: int) -> float:
     The function still degrades gracefully for hypothetical GPUs whose
     cache cannot hold even one wave.
     """
+    if isinstance(interior_elements, Stacked):
+        # Batched sweep: `min(wave, interior)` branches per member
+        # (small domains are wave-bound, large ones interior-bound), so
+        # evaluate the exact scalar expression member-wise.
+        per = [perks_residency(config, e) for e in interior_elements.v]
+        if all(r == per[0] for r in per[1:]):
+            return per[0]
+        return stacked_val(per)
     if interior_elements <= 0:
         return 0.0
     gpu = config.node.gpu

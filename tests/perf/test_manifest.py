@@ -143,3 +143,39 @@ class TestProfileSink:
         runner = SweepRunner(jobs=4, profile_sink=sink)
         assert runner.map(_square, [(1,), (2,), (3,)]) == [1, 4, 9]
         assert len(sink) == 3
+
+
+class TestEvictAndPruneStale:
+    def test_evict_removes_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.map(_square, [(3,)])
+        key = cache.key(_square, (3,))
+        assert cache.get(key)[0] is True
+        assert cache.evict(key) is True
+        assert cache.get(key)[0] is False
+        # evicting a missing key is a no-op, not an error
+        assert cache.evict(key) is False
+
+    def test_prune_stale_flow(self, tmp_path):
+        """The CLI's --prune-stale logic: entries whose identity changed
+        key (or left the sweep) are evicted; live entries survive."""
+        cache = ResultCache(tmp_path / "cache")
+        old = SweepManifest()
+        runner = SweepRunner(jobs=1, cache=cache, manifest=old)
+        runner.map(_square, [(3,), (4,)])
+        runner.map(_cube, [(5,)])
+
+        # new sweep: drop _cube(5), keep _square(3)/(4)
+        new = SweepManifest()
+        runner2 = SweepRunner(jobs=1, cache=cache, manifest=new)
+        runner2.map(_square, [(3,), (4,)])
+
+        diff = new.diff(old)
+        live = set(new.entries.values())
+        stale = sorted({old.entries[i] for i in diff.changed + diff.removed}
+                       - live)
+        evicted = sum(cache.evict(k) for k in stale)
+        assert evicted == 1  # the _cube entry
+        assert cache.get(cache.key(_cube, (5,)))[0] is False
+        assert cache.get(cache.key(_square, (3,)))[0] is True

@@ -58,3 +58,45 @@ class TestRendering:
         expr = Sym("N") * 2 + 1
         assert isinstance(expr, BinOp)
         assert evaluate_expr(expr, {"N": 3}) == 7
+
+
+class TestCodeCacheLRU:
+    def test_structurally_equal_exprs_share_code(self):
+        from repro.sdfg import symbols
+
+        a = Sym("N") * 2 + 1
+        b = Sym("N") * 2 + 1
+        before = symbols.code_cache_stats()
+        assert evaluate_expr(a, {"N": 3}) == 7
+        assert evaluate_expr(b, {"N": 4}) == 9
+        after = symbols.code_cache_stats()
+        # second tree hit the shared store instead of recompiling
+        assert after["hits"] >= before["hits"] + 1
+        assert a.__dict__["_eval_code"] is b.__dict__["_eval_code"]
+
+    def test_cache_is_bounded(self):
+        from repro.sdfg import symbols
+
+        for i in range(symbols.CODE_CACHE_CAPACITY + 50):
+            evaluate_expr(Sym("N") + i, {"N": 1})
+        assert symbols.code_cache_stats()["size"] <= symbols.CODE_CACHE_CAPACITY
+
+    def test_eviction_does_not_break_evaluation(self):
+        from repro.sdfg import symbols
+
+        expr = Sym("M") * 7
+        assert evaluate_expr(expr, {"M": 2}) == 14
+        for i in range(symbols.CODE_CACHE_CAPACITY + 10):
+            evaluate_expr(Sym("N") - i, {"N": 0})
+        # the node keeps its code reference even after index eviction
+        assert evaluate_expr(expr, {"M": 3}) == 21
+
+    def test_publish_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sdfg.symbols import publish_code_cache_stats
+
+        registry = MetricsRegistry()
+        publish_code_cache_stats(registry)
+        names = {g["name"] for g in registry.to_dict()["gauges"]}
+        assert "sdfg.symbols.code_cache.size" in names
+        assert "sdfg.symbols.code_cache.hit_rate" in names

@@ -69,7 +69,9 @@ class TestFlowEvents:
         events = tracer.to_chrome_trace()
         (start,) = [e for e in events if e["ph"] == "s"]
         (finish,) = [e for e in events if e["ph"] == "f"]
-        assert start["id"] == finish["id"] == 11
+        # ids are canonicalized by first appearance in span order,
+        # so the raw allocation id (11) does not leak into the export
+        assert start["id"] == finish["id"] == 1
         assert start["ts"] == 2.0  # arrow leaves when the producer ends
         assert finish["ts"] == 3.0
         assert finish["bp"] == "e"

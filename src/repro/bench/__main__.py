@@ -32,7 +32,8 @@ from repro.bench.figures import (
     fig63a_dace_1d,
     fig63b_dace_2d,
 )
-from repro.bench.report import render_figure
+from repro.bench.report import history_fields, render_figure
+from repro.cliutil import cli_entry
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.perf import ResultCache, SweepManifest, SweepRunner, use_runner
 from repro.perf.cache import DEFAULT_CACHE_DIR
@@ -122,6 +123,21 @@ def main(argv: list[str] | None = None) -> int:
                              "(e.g. transient or transient@7); the profile is "
                              "recorded in the metrics dump and in the report "
                              "header")
+    parser.add_argument("--history", type=str, default=None, metavar="PATH",
+                        help="append one perf-history record per sweep point "
+                             "to this JSONL file (read back by "
+                             "`python -m repro.obs regress`); needs "
+                             "--run-label")
+    parser.add_argument("--run-label", type=str, default=None, metavar="NAME",
+                        help="history run label for this invocation (e.g. a "
+                             "git SHA, or base/check in CI)")
+    parser.add_argument("--progress", action="store_true",
+                        help="narrate sweep progress on stderr with a running "
+                             "counter and, when --history has prior runs, an "
+                             "ETA from per-point median wall times")
+    parser.add_argument("--progress-out", type=str, default=None, metavar="PATH",
+                        help="stream machine-readable progress events (one "
+                             "JSON object per line) to PATH")
     args = parser.parse_args(argv)
 
     if args.paper:
@@ -159,10 +175,40 @@ def main(argv: list[str] | None = None) -> int:
             prune_baseline = SweepManifest.load(args.prune_stale)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             parser.error(f"--prune-stale: {exc}")
+    if args.history and not args.run_label:
+        parser.error("--history needs --run-label to name this run's records")
+    sinks = []
+    progress_fh = None
+    history_sink = None
+    if args.progress_out:
+        from repro.obs.progress import JsonlProgress
+
+        progress_fh = open(args.progress_out, "w")
+        sinks.append(JsonlProgress(progress_fh))
+    if args.progress:
+        from repro.obs.history import HistoryStore
+        from repro.obs.progress import TtyProgress
+
+        medians = (HistoryStore(args.history).wall_medians()
+                   if args.history else None)
+        sinks.append(TtyProgress(eta_medians=medians))
+    if args.history:
+        from repro.obs.history import HistoryStore
+        from repro.obs.progress import HistorySink
+
+        history_sink = HistorySink(HistoryStore(args.history), args.run_label,
+                                   profile=args.fault_profile,
+                                   extract=history_fields)
+        sinks.append(history_sink)
+    progress = None
+    if sinks:
+        from repro.obs.progress import MultiSink
+
+        progress = MultiSink(*sinks)
     profile_sink: list[tuple[str, str]] | None = [] if args.profile_out else None
     runner = SweepRunner(jobs=jobs, cache=cache, manifest=manifest,
                          baseline=baseline, profile_sink=profile_sink,
-                         batch=args.batch)
+                         batch=args.batch, progress=progress)
     profiler = None
     if args.profile:
         import cProfile
@@ -240,6 +286,12 @@ def main(argv: list[str] | None = None) -> int:
         stats.sort_stats("cumulative")
         print(f"(profile written to {args.profile}; top functions:)")
         stats.print_stats(10)
+    if progress_fh is not None:
+        progress_fh.close()
+        print(f"(progress events streamed to {args.progress_out})")
+    if history_sink is not None:
+        print(f"({history_sink.recorded} history record(s) appended to "
+              f"{args.history} as run {args.run_label!r})")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)
@@ -252,4 +304,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli_entry(main))

@@ -1,0 +1,54 @@
+"""Shared conventions for the ``python -m repro.*`` command-line tools.
+
+All four CLIs (:mod:`repro.obs`, :mod:`repro.bench`, :mod:`repro.faults`,
+:mod:`repro.sanitize`) report user-facing invocation failures the same
+way argparse does: one ``error: <message>`` line on stderr and exit
+status 2.  Code under a CLI's ``main`` raises :class:`CliError`; the
+module entry point wraps ``main`` in :func:`cli_entry`, which renders
+the error.  Exit status 1 stays reserved for "the tool ran and the
+verdict is bad" (regressions, races, violated expectations), so scripts
+can distinguish a bad verdict from a bad invocation.
+
+:func:`parse_shape` is the shared ``argparse`` type for ``WxH[xD]``
+domain shapes, previously copy-pasted into three CLIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+__all__ = ["CliError", "cli_entry", "parse_shape"]
+
+
+class CliError(Exception):
+    """A user-facing invocation failure (unknown name, unreadable file).
+
+    The message is shown as ``error: <message>``; it should name the bad
+    input and, where possible, the valid choices.
+    """
+
+
+def cli_entry(main: Callable[[list[str] | None], int],
+              argv: list[str] | None = None) -> int:
+    """Run a CLI ``main``, rendering :class:`CliError` per convention."""
+    try:
+        return main(argv)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def parse_shape(text: str) -> tuple[int, ...]:
+    """``argparse`` type for global domain shapes like ``66x130``."""
+    try:
+        shape = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad shape {text!r}: expected e.g. 66x130 or 34x34x34"
+        ) from None
+    if not shape or any(dim <= 0 for dim in shape):
+        raise argparse.ArgumentTypeError(
+            f"bad shape {text!r}: dims must be positive")
+    return shape

@@ -23,22 +23,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cliutil import CliError, cli_entry, parse_shape
 from repro.faults.harness import DEFAULT_MATRIX_PROFILES, render_report, run_matrix
 from repro.obs.metrics import MetricsRegistry, use_metrics
 
 _STATUS_MARK = {"converged": "ok", "diagnostic": "diag", "diverged": "DIVERGED", "failed": "FAILED"}
-
-
-def _parse_shape(text: str) -> tuple[int, ...]:
-    try:
-        shape = tuple(int(part) for part in text.lower().split("x"))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"bad shape {text!r}: expected e.g. 34x66 or 18x18x18"
-        ) from None
-    if not shape or any(dim <= 0 for dim in shape):
-        raise argparse.ArgumentTypeError(f"bad shape {text!r}: dims must be positive")
-    return shape
 
 
 def _csv(text: str) -> list[str]:
@@ -59,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
                              + ",".join(DEFAULT_MATRIX_PROFILES) + ")")
     parser.add_argument("--gpus", type=int, default=2,
                         help="number of GPUs/PEs (default: 2)")
-    parser.add_argument("--shape", type=_parse_shape, default=(34, 66),
+    parser.add_argument("--shape", type=parse_shape, default=(34, 66),
                         help="global domain shape (default: 34x66)")
     parser.add_argument("--iterations", type=int, default=6,
                         help="stencil iterations per cell (default: 6)")
@@ -77,7 +66,7 @@ def main(argv: list[str] | None = None) -> int:
     variants = args.variants if args.variants is not None else variant_names()
     unknown = sorted(set(variants) - set(variant_names()))
     if unknown:
-        raise SystemExit(f"unknown variant(s) {unknown}; choose from {variant_names()}")
+        raise CliError(f"unknown variant(s) {unknown}; choose from {variant_names()}")
 
     registry = MetricsRegistry()
     with use_metrics(registry):
@@ -118,4 +107,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli_entry(main))

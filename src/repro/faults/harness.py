@@ -24,12 +24,12 @@ contract for the merged metrics registry).
 
 from __future__ import annotations
 
-import json
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.faults.profiles import get_plan, parse_profile
+from repro.obs.stablejson import dumps_stable
 from repro.perf.sweep import SweepRunner
 
 __all__ = ["DEFAULT_MATRIX_PROFILES", "render_report", "run_cell", "run_matrix"]
@@ -145,4 +145,4 @@ def run_matrix(
 
 def render_report(report: dict[str, Any]) -> str:
     """Canonical byte-stable JSON text of a matrix report."""
-    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+    return dumps_stable(report)

@@ -24,7 +24,6 @@ MultiGPUContext`) pick it up at construction time.
 
 from __future__ import annotations
 
-import json
 from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Any, Iterator
@@ -209,7 +208,9 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         """Byte-stable JSON rendering (the on-disk dump format)."""
-        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        from repro.obs.stablejson import dumps_stable
+
+        return dumps_stable(self.to_dict())
 
     def merge_registry(self, other: "MetricsRegistry") -> None:
         """Fold another registry in directly — equivalent to

@@ -1,0 +1,297 @@
+"""Live sweep progress streaming (the sweep-service groundwork).
+
+:class:`~repro.perf.sweep.SweepRunner` accepts a ``progress`` sink and
+narrates each map call through it: every point is announced as queued,
+then resolved as cached / batched / computed, with wall timing where it
+exists.  Sinks are *observers* — they never influence results, cache
+keys, or scheduling, so a sweep with a sink attached is byte-identical
+to one without (enforced by ``tests/perf/test_progress.py``).
+
+Three renderers ship:
+
+:class:`JsonlProgress`
+    One JSON object per event — the machine-readable stream a future
+    sweep service would tail.
+:class:`TtyProgress`
+    Human one-liners with a running ``[done/total]`` counter and an ETA
+    computed from per-point median wall seconds out of the perf
+    history (:meth:`~repro.obs.history.HistoryStore.wall_medians`).
+:class:`HistorySink`
+    Appends one :mod:`~repro.obs.history` record per finished point —
+    this is how ``repro.bench --history`` populates the store.
+
+Wall clocks are injectable (``clock=``) so tests run against a fake.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+from repro.obs.history import HistoryStore, normalized_identity
+from repro.obs.stablejson import digest_stable
+
+__all__ = [
+    "HistorySink",
+    "JsonlProgress",
+    "MultiSink",
+    "ProgressSink",
+    "TtyProgress",
+    "default_fields",
+]
+
+
+class ProgressSink:
+    """No-op base class; override the events you care about.
+
+    Event order per map call: one :meth:`sweep_begin`; then per point
+    exactly one of :meth:`point_cached` / :meth:`point_batched` /
+    (:meth:`point_started` + :meth:`point_finished`), except duplicate
+    argtuples which resolve as :meth:`point_cached` with
+    ``duplicate_of`` set; finally one :meth:`sweep_end`.
+    """
+
+    def sweep_begin(self, fn_name: str, identities: list[str]) -> None:
+        pass
+
+    def point_cached(self, index: int, identity: str,
+                     duplicate_of: int | None = None) -> None:
+        pass
+
+    def point_batched(self, index: int, identity: str, group_size: int,
+                      result: Any = None) -> None:
+        pass
+
+    def point_started(self, index: int, identity: str) -> None:
+        pass
+
+    def point_finished(self, index: int, identity: str, wall_s: float,
+                       result: Any = None) -> None:
+        pass
+
+    def sweep_end(self, fn_name: str, n_points: int) -> None:
+        pass
+
+
+class MultiSink(ProgressSink):
+    """Fan every event out to several sinks in order."""
+
+    def __init__(self, *sinks: ProgressSink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def sweep_begin(self, fn_name, identities):
+        for s in self.sinks:
+            s.sweep_begin(fn_name, identities)
+
+    def point_cached(self, index, identity, duplicate_of=None):
+        for s in self.sinks:
+            s.point_cached(index, identity, duplicate_of)
+
+    def point_batched(self, index, identity, group_size, result=None):
+        for s in self.sinks:
+            s.point_batched(index, identity, group_size, result)
+
+    def point_started(self, index, identity):
+        for s in self.sinks:
+            s.point_started(index, identity)
+
+    def point_finished(self, index, identity, wall_s, result=None):
+        for s in self.sinks:
+            s.point_finished(index, identity, wall_s, result)
+
+    def sweep_end(self, fn_name, n_points):
+        for s in self.sinks:
+            s.sweep_end(fn_name, n_points)
+
+
+class JsonlProgress(ProgressSink):
+    """One JSON line per event, flushed immediately (tail-able)."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        record = {"event": event, **fields}
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.stream.flush()
+
+    def sweep_begin(self, fn_name, identities):
+        self._emit("sweep_begin", fn=fn_name, points=len(identities))
+
+    def point_cached(self, index, identity, duplicate_of=None):
+        self._emit("point_cached", i=index, id=identity,
+                   **({"duplicate_of": duplicate_of}
+                      if duplicate_of is not None else {}))
+
+    def point_batched(self, index, identity, group_size, result=None):
+        self._emit("point_batched", i=index, id=identity, group=group_size)
+
+    def point_started(self, index, identity):
+        self._emit("point_started", i=index, id=identity)
+
+    def point_finished(self, index, identity, wall_s, result=None):
+        self._emit("point_finished", i=index, id=identity,
+                   wall_s=round(wall_s, 6))
+
+    def sweep_end(self, fn_name, n_points):
+        self._emit("sweep_end", fn=fn_name, points=n_points)
+
+
+class TtyProgress(ProgressSink):
+    """Human-readable one-liners with a running counter and ETA.
+
+    ``eta_medians`` maps point identities to median wall seconds
+    (usually :meth:`HistoryStore.wall_medians`); unknown identities
+    fall back to the running mean of finished points this sweep.
+    """
+
+    def __init__(self, stream: TextIO | None = None,
+                 eta_medians: dict[str, float] | None = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.eta_medians = eta_medians or {}
+        self.clock = clock
+        self._total = 0
+        self._done = 0
+        self._open: dict[int, str] = {}
+        self._spent = 0.0
+        self._computed = 0
+
+    def _remaining_estimate(self) -> float | None:
+        if not self._open:
+            return 0.0
+        known = [self.eta_medians[i] for i in self._open.values()
+                 if i in self.eta_medians]
+        if len(known) < len(self._open):
+            if not self._computed:
+                return None  # no basis for a guess yet
+            mean = self._spent / self._computed
+            known.extend([mean] * (len(self._open) - len(known)))
+        return sum(known)
+
+    def _line(self, text: str) -> None:
+        eta = self._remaining_estimate()
+        suffix = "" if eta is None else f"  eta {eta:.1f}s"
+        self.stream.write(f"[{self._done}/{self._total}] {text}{suffix}\n")
+        self.stream.flush()
+
+    @staticmethod
+    def _short(identity: str) -> str:
+        return identity if len(identity) <= 96 else identity[:93] + "..."
+
+    def sweep_begin(self, fn_name, identities):
+        self._total = len(identities)
+        self._done = 0
+        self._open = dict(enumerate(identities))
+        self.stream.write(f"sweep {fn_name}: {self._total} point(s)\n")
+        self.stream.flush()
+
+    def point_cached(self, index, identity, duplicate_of=None):
+        self._done += 1
+        self._open.pop(index, None)
+        kind = "dup" if duplicate_of is not None else "cached"
+        self._line(f"{kind} {self._short(identity)}")
+
+    def point_batched(self, index, identity, group_size, result=None):
+        self._done += 1
+        self._open.pop(index, None)
+        self._line(f"batched(x{group_size}) {self._short(identity)}")
+
+    def point_finished(self, index, identity, wall_s, result=None):
+        self._done += 1
+        self._open.pop(index, None)
+        self._spent += wall_s
+        self._computed += 1
+        self._line(f"done ({wall_s:.2f}s) {self._short(identity)}")
+
+    def sweep_end(self, fn_name, n_points):
+        self.stream.write(f"sweep {fn_name}: complete\n")
+        self.stream.flush()
+
+
+def _events_from_dump(dump: dict[str, Any]) -> float | None:
+    for entry in dump.get("counters", []):
+        if entry.get("name") == "sim.events_dispatched" and not entry.get("labels"):
+            return float(entry["value"])
+    return None
+
+
+def default_fields(result: Any) -> dict[str, Any]:
+    """Duck-typed numeric extraction from a sweep point's value.
+
+    Handles bare figure ``Row``-likes and the ``(result, metrics
+    dump)`` pairs a metrics-collecting sweep produces.
+    """
+    fields: dict[str, Any] = {}
+    dump = None
+    if isinstance(result, tuple) and len(result) == 2:
+        if isinstance(result[1], dict):
+            result, dump = result
+        elif hasattr(result[1], "to_dict"):
+            # the in-process sweep path hands back the live registry
+            result, dump = result[0], result[1].to_dict()
+    for attr, key in (("per_iteration_us", "per_iter_us"),
+                      ("comm_us_per_iter", "comm_us_per_iter"),
+                      ("overlap_ratio", "overlap")):
+        value = getattr(result, attr, None)
+        if isinstance(value, (int, float)):
+            fields[key] = float(value)
+    if dump is not None:
+        fields["digest"] = digest_stable(dump)
+        events = _events_from_dump(dump)
+        if events is not None:
+            fields["events"] = events
+    return fields
+
+
+class HistorySink(ProgressSink):
+    """Append a history record per resolved point.
+
+    Batched points record their deterministic fields without wall time;
+    computed points add ``wall_s`` and events/s; cache hits record
+    nothing (a replayed result is not a new observation — run with a
+    fresh cache dir or ``--no-cache`` when populating history).  The
+    ambient fault ``profile`` is stripped from the identity
+    (:func:`normalized_identity`) and recorded as its own field.
+    """
+
+    def __init__(self, store: HistoryStore, run_label: str,
+                 profile: str | None = None,
+                 extract: Callable[[Any], dict[str, Any]] | None = None) -> None:
+        self.store = store
+        self.run_label = run_label
+        self.profile = profile
+        self.extract = extract or default_fields
+        self.recorded = 0
+
+    def _record(self, identity: str, result: Any,
+                wall_s: float | None) -> None:
+        if result is None:
+            return
+        fields = self.extract(result)
+        if not fields:
+            return
+        record: dict[str, Any] = {
+            "run": self.run_label,
+            "id": normalized_identity(identity, self.profile),
+            "profile": self.profile,
+            **fields,
+        }
+        if wall_s is not None:
+            record["wall_s"] = round(wall_s, 6)
+            events = fields.get("events")
+            if events and wall_s > 0:
+                record["events_per_s"] = round(events / wall_s, 3)
+        self.store.append(record)
+        self.recorded += 1
+
+    def point_cached(self, index, identity, duplicate_of=None):
+        pass  # a replayed point is not a new observation
+
+    def point_batched(self, index, identity, group_size, result=None):
+        self._record(identity, result, None)
+
+    def point_finished(self, index, identity, wall_s, result=None):
+        self._record(identity, result, wall_s)

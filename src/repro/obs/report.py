@@ -99,8 +99,19 @@ def links_table(metrics: MetricsRegistry) -> str:
     return _table(["src", "dst", "bytes", "transfers", "mean sharers"], rows)
 
 
-def ops_table(metrics: MetricsRegistry) -> str:
-    """NVSHMEM op counts/bytes and signal-wait time per PE pair."""
+def _cap(rows: list[list[str]], top: int | None) -> tuple[list[list[str]], int]:
+    """Keep the first ``top`` rows; return (kept, elided count)."""
+    if top is None or len(rows) <= top:
+        return rows, 0
+    return rows[:top], len(rows) - top
+
+
+def ops_table(metrics: MetricsRegistry, *, top: int | None = None) -> str:
+    """NVSHMEM op counts/bytes and signal-wait time per PE pair.
+
+    ``top`` caps each section at its heaviest rows (by count, ties by
+    label order); ``None`` shows everything.
+    """
     nbytes = {tuple(sorted(labels.items())): metric.value
               for labels, metric in metrics.find("nvshmem.bytes", "counter")}
     rows = []
@@ -112,8 +123,11 @@ def ops_table(metrics: MetricsRegistry) -> str:
         ])
     sections = []
     if rows:
-        rows.sort()
+        rows.sort(key=lambda r: (-float(r[3]), r))
+        rows, elided = _cap(rows, top)
         sections.append(_table(["op", "src", "dst", "count", "bytes"], rows))
+        if elided:
+            sections.append(f"(+{elided} more op row(s); raise --top to see them)")
     else:
         sections.append("(no NVSHMEM ops recorded)")
     wait_us = {tuple(sorted(labels.items())): metric.value
@@ -128,11 +142,16 @@ def ops_table(metrics: MetricsRegistry) -> str:
             f"{metric.value:.0f}", _us(total), _us(mean),
         ])
     if wait_rows:
+        wait_rows.sort(key=lambda r: (-float(r[3]), r))
+        wait_rows, elided = _cap(wait_rows, top)
         sections.append("")
         sections.append("signal waits (waiting PE vs signal source):")
         sections.append(
             _table(["pe", "src", "count", "total us", "mean us"], wait_rows)
         )
+        if elided:
+            sections.append(
+                f"(+{elided} more wait row(s); raise --top to see them)")
     return "\n".join(sections)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import copy
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
@@ -87,13 +88,19 @@ class SweepRunner:
         between the two paths — so the switch is purely a performance
         A/B lever.  Profiled runs never batch (per-point profiles are
         the product).
+    ``progress``
+        A :class:`~repro.obs.progress.ProgressSink` the runner narrates
+        each map call through (point queued / cached / batched /
+        started / finished).  Strictly an observer: results, cache
+        keys, and scheduling are identical with or without a sink, and
+        ``None`` (the default) costs nothing.
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  manifest: SweepManifest | None = None,
                  baseline: SweepManifest | None = None,
                  profile_sink: list[tuple[str, str]] | None = None,
-                 batch: bool = True) -> None:
+                 batch: bool = True, progress: Any | None = None) -> None:
         if cache is None and (manifest is not None or baseline is not None):
             raise ValueError("sweep manifests require a ResultCache "
                              "(keys are what they record)")
@@ -103,6 +110,7 @@ class SweepRunner:
         self.baseline = baseline
         self.profile_sink = profile_sink
         self.batch = batch
+        self.progress = progress
         self.hits = 0
         self.misses = 0
         #: batched-execution tallies (stdout diagnostics, never metrics)
@@ -148,7 +156,8 @@ class SweepRunner:
 
     def _run_batch_groups(self, adapter: BatchAdapter, argtuples: Sequence[tuple],
                           pending: list[int], with_metrics: bool,
-                          results: list[Any]) -> list[int]:
+                          results: list[Any],
+                          idents: list[str] | None = None) -> list[int]:
         """Run groupable cache-miss points fused; returns the indices
         that still need per-point execution (ungroupable points,
         singleton groups, and groups whose fused run diverged)."""
@@ -177,6 +186,9 @@ class SweepRunner:
                 continue
             for i, value in zip(idxs, values):
                 results[i] = value
+                if self.progress is not None:
+                    self.progress.point_batched(i, idents[i], len(idxs),
+                                                results[i])
             self.batch_groups += 1
             self.batch_points += len(idxs)
         rest.sort()
@@ -190,6 +202,11 @@ class SweepRunner:
         variant = "+metrics" if with_metrics else ""
         results: list[Any] = [None] * len(argtuples)
         keys: list[str | None] = [None] * len(argtuples)
+        idents: list[str] | None = None
+        if self.progress is not None:
+            idents = [point_identity(fn, args, variant) for args in argtuples]
+            self.progress.sweep_begin(
+                f"{fn.__module__}.{fn.__qualname__}", idents)
         pending: list[int] = []
         for i, args in enumerate(argtuples):
             if self.cache is not None:
@@ -207,6 +224,8 @@ class SweepRunner:
                 if hit:
                     results[i] = value
                     self.hits += 1
+                    if self.progress is not None:
+                        self.progress.point_cached(i, idents[i])
                     continue
                 self.misses += 1
             pending.append(i)
@@ -218,7 +237,7 @@ class SweepRunner:
             if adapter is not None:
                 pending, dup_of = _dedupe_pending(argtuples, pending)
                 pending = self._run_batch_groups(
-                    adapter, argtuples, pending, with_metrics, results)
+                    adapter, argtuples, pending, with_metrics, results, idents)
         if pending:
             # a single-core host gains nothing from a process pool and
             # pays its spawn + pickle overhead; run the points inline
@@ -226,6 +245,10 @@ class SweepRunner:
                     and self.profile_sink is None
                     and (os.cpu_count() or 1) > 1):
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    submitted = time.perf_counter()
+                    if self.progress is not None:
+                        for i in pending:
+                            self.progress.point_started(i, idents[i])
                     if with_metrics:
                         futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
                                    for i in pending]
@@ -233,6 +256,12 @@ class SweepRunner:
                         futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
                     for i, future in futures:
                         results[i] = future.result()
+                        if self.progress is not None:
+                            # submit-to-resolve wall time: pooled points
+                            # have no per-point clock on the worker side
+                            self.progress.point_finished(
+                                i, idents[i],
+                                time.perf_counter() - submitted, results[i])
             else:
                 for i in pending:
                     if with_metrics:
@@ -245,17 +274,26 @@ class SweepRunner:
                     else:
                         def compute(args: tuple = argtuples[i]) -> Any:
                             return fn(*args)
+                    if self.progress is not None:
+                        self.progress.point_started(i, idents[i])
+                        started = time.perf_counter()
                     if self.profile_sink is not None:
                         results[i] = self._profiled(
                             fn, argtuples[i],
                             point_identity(fn, argtuples[i], variant), compute)
                     else:
                         results[i] = compute()
+                    if self.progress is not None:
+                        self.progress.point_finished(
+                            i, idents[i], time.perf_counter() - started,
+                            results[i])
         if computed:
             # duplicate argtuples computed once (deterministic workers
             # produce identical values); copy into the remaining slots
             for i, j in dup_of.items():
                 results[i] = copy.deepcopy(results[j])
+                if self.progress is not None:
+                    self.progress.point_cached(i, idents[i], duplicate_of=j)
             if self.cache is not None:
                 for i in computed:
                     value = results[i]
@@ -279,6 +317,9 @@ class SweepRunner:
             # byte-identical-dumps contract (the CLI prints self.hits /
             # self.misses to stdout instead)
             ambient.counter("perf.sweep.points").inc(len(argtuples))
+        if self.progress is not None:
+            self.progress.sweep_end(
+                f"{fn.__module__}.{fn.__qualname__}", len(argtuples))
         return results
 
 

@@ -33,28 +33,17 @@ import json
 import sys
 from typing import Any
 
+from repro.cliutil import CliError, cli_entry, parse_shape
 from repro.sanitize.detect import detect_races
 from repro.sanitize.recorder import attach_sanitizer
 from repro.sanitize.report import apply_suppressions, dumps_report, render_findings
 from repro.sanitize.seeded import SEEDED_VARIANTS
 
 
-def _parse_shape(text: str) -> tuple[int, ...]:
-    try:
-        shape = tuple(int(part) for part in text.lower().split("x"))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"bad shape {text!r}: expected e.g. 66x130 or 34x34x34"
-        ) from None
-    if not shape or any(dim <= 0 for dim in shape):
-        raise argparse.ArgumentTypeError(f"bad shape {text!r}: dims must be positive")
-    return shape
-
-
 def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--gpus", type=int, default=2,
                      help="number of GPUs/PEs (default: 2)")
-    sub.add_argument("--shape", type=_parse_shape, default=(34, 66),
+    sub.add_argument("--shape", type=parse_shape, default=(34, 66),
                      help="global domain shape (default: 34x66)")
     sub.add_argument("--iterations", type=int, default=4,
                      help="stencil iterations (default: 4)")
@@ -75,7 +64,7 @@ def _sanitized_run(name: str, args: argparse.Namespace):
 
     cls = VARIANTS.get(name) or SEEDED_VARIANTS.get(name)
     if cls is None:
-        raise SystemExit(
+        raise CliError(
             f"unknown variant {name!r}; choose from "
             f"{sorted(VARIANTS) + sorted(SEEDED_VARIANTS)}"
         )
@@ -308,4 +297,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli_entry(main))

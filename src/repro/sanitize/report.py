@@ -1,8 +1,8 @@
 """Byte-stable JSON reports and suppression matching.
 
-Reports serialize with ``indent=2, sort_keys=True`` plus a trailing
-newline (the ``repro.faults`` report convention), so identical runs
-produce identical bytes — CI diffs them with ``cmp``.
+Reports serialize via :func:`repro.obs.stablejson.dumps_stable` (the
+repo-wide dump convention), so identical runs produce identical bytes
+— CI diffs them with ``cmp``.
 
 Suppressions are ``fnmatch`` patterns matched against a finding's
 stable id (``race:<array>@pe<N>:<site><-><site>`` for dynamic
@@ -13,9 +13,10 @@ but does not affect the exit status.
 
 from __future__ import annotations
 
-import json
 from fnmatch import fnmatch
 from typing import Any
+
+from repro.obs.stablejson import dumps_stable
 
 __all__ = ["apply_suppressions", "dumps_report", "render_findings"]
 
@@ -35,7 +36,7 @@ def apply_suppressions(
 
 def dumps_report(report: dict[str, Any]) -> str:
     """Deterministic serialization (same bytes on every rerun)."""
-    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+    return dumps_stable(report)
 
 
 def render_findings(findings: list, *, prefix: str = "  ") -> str:

@@ -10,6 +10,7 @@ overlapped with computation.
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 from typing import Any
 
@@ -19,7 +20,38 @@ __all__ = [
     "interval_union_length",
     "merge_intervals",
     "overlap_length",
+    "pe_of_lane",
+    "wire_route",
 ]
+
+#: lane naming convention (see :mod:`repro.runtime.context`):
+#: ``gpu{d}.{stream}`` for device streams, ``host{r}`` for host control
+#: threads, ``wire.pe{src}->pe{dst}`` for in-flight transfers.
+_GPU_LANE = re.compile(r"^gpu(\d+)\.")
+_HOST_LANE = re.compile(r"^host(\d+)$")
+_WIRE_LANE = re.compile(r"^wire\.pe(\d+)->pe(\d+)$")
+
+
+def pe_of_lane(lane: str) -> int | None:
+    """The PE a lane belongs to, or ``None`` for non-PE lanes.
+
+    Wire lanes are attributed to the *source* PE — the transfer is work
+    that PE initiated, which is how the paper's per-PE accounting
+    charges communication.
+    """
+    m = _GPU_LANE.match(lane) or _HOST_LANE.match(lane)
+    if m:
+        return int(m.group(1))
+    m = _WIRE_LANE.match(lane)
+    if m:
+        return int(m.group(1))
+    return None
+
+
+def wire_route(lane: str) -> tuple[int, int] | None:
+    """``(src, dst)`` for a ``wire.pe{src}->pe{dst}`` lane, else None."""
+    m = _WIRE_LANE.match(lane)
+    return (int(m.group(1)), int(m.group(2))) if m else None
 
 
 class Span:

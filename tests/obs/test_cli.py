@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.cliutil import CliError, cli_entry
 from repro.obs.__main__ import main
 
 RUN_ARGS = ["--shape", "66x130", "--gpus", "2", "--iterations", "2"]
@@ -36,9 +37,14 @@ class TestRunCommands:
         assert "us/iteration" in out
         assert "contributed us" in out
 
-    def test_unknown_variant_exits(self):
-        with pytest.raises(SystemExit, match="unknown variant"):
+    def test_unknown_variant_is_a_cli_error(self, capsys):
+        with pytest.raises(CliError, match="unknown variant"):
             main(["summary", "--variant", "nope", *RUN_ARGS])
+        # the module entry point renders it per the shared convention
+        assert cli_entry(main, ["summary", "--variant", "nope", *RUN_ARGS]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown variant 'nope'")
+        assert "cpufree" in err  # lists the valid choices
 
 
 class TestOutputs:
@@ -59,6 +65,107 @@ class TestOutputs:
         assert "X" in phases and "M" in phases
         # flow events link puts to satisfied waits
         assert "s" in phases and "f" in phases
+
+
+class TestTimelineCommand:
+    def test_prints_gantt_and_table(self, capsys):
+        assert main(["timeline", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "# compute" in out
+        assert "overlap (non-compute hidden under compute)" in out
+        assert "comm ovl" in out
+
+    def test_timeline_out_byte_identical_and_self_describing(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["timeline", *RUN_ARGS, "--timeline-out", str(a)]) == 0
+        assert main(["timeline", *RUN_ARGS, "--timeline-out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["format"] == "repro-timeline-v1"
+        assert payload["run"]["variant"] == "cpufree"
+        assert payload["run"]["gpus"] == 2
+        assert len(payload["pes"]) == 2
+
+
+class TestWhatifCommand:
+    def test_default_scenarios_ranked(self, capsys):
+        assert main(["whatif", *RUN_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "baseline makespan:" in out
+        assert "compute x2" in out and "comm x2" in out and "host x2" in out
+
+    def test_custom_scale_and_json_out(self, tmp_path, capsys):
+        path = tmp_path / "wi.json"
+        assert main(["whatif", *RUN_ARGS, "--scale", "comm=0.5",
+                     "--json-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-whatif-v1"
+        assert len(payload["scenarios"]) == 1
+        assert payload["scenarios"][0]["comm"] == 0.5
+
+    def test_unknown_scale_resource_is_a_cli_error(self):
+        with pytest.raises(CliError, match="unknown resource"):
+            main(["whatif", *RUN_ARGS, "--scale", "tpu=0.5"])
+
+
+class TestRegressCommand:
+    @staticmethod
+    def _store(path):
+        from repro.obs.history import HistoryStore
+
+        return HistoryStore(path)
+
+    def test_clean_rerun_exits_zero(self, tmp_path, capsys):
+        store = self._store(tmp_path / "hist.jsonl")
+        for run in ("base", "check"):
+            store.append({"run": run, "id": "p1", "per_iter_us": 10.0})
+        assert main(["regress", str(store.path)]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        store = self._store(tmp_path / "hist.jsonl")
+        store.append({"run": "base", "id": "p1", "per_iter_us": 10.0})
+        store.append({"run": "check", "id": "p1", "per_iter_us": 12.0})
+        assert main(["regress", str(store.path)]) == 1
+        assert "[regression]" in capsys.readouterr().out
+
+    def test_rtol_for_override(self, tmp_path):
+        store = self._store(tmp_path / "hist.jsonl")
+        store.append({"run": "base", "id": "p1", "per_iter_us": 10.0})
+        store.append({"run": "check", "id": "p1", "per_iter_us": 12.0})
+        assert main(["regress", str(store.path),
+                     "--rtol-for", "p*=0.3"]) == 0
+
+    def test_missing_run_is_a_cli_error(self, tmp_path):
+        store = self._store(tmp_path / "hist.jsonl")
+        store.append({"run": "base", "id": "p1", "per_iter_us": 10.0})
+        with pytest.raises(CliError, match="no baseline run"):
+            main(["regress", str(store.path)])
+
+
+class TestErrorConventionAcrossClis:
+    """All four repro.* CLIs render bad invocations the same way."""
+
+    def test_faults_unknown_variant(self, capsys):
+        from repro.faults.__main__ import main as faults_main
+
+        assert cli_entry(faults_main, ["--variants", "nope"]) == 2
+        assert capsys.readouterr().err.startswith("error: unknown variant")
+
+    def test_sanitize_unknown_variant(self, capsys):
+        from repro.sanitize.__main__ import main as sanitize_main
+
+        assert cli_entry(
+            sanitize_main,
+            ["run", "--variant", "nope", "--shape", "18x18",
+             "--iterations", "1"],
+        ) == 2
+        assert capsys.readouterr().err.startswith("error: unknown variant")
+
+    def test_obs_diff_unreadable_input(self, capsys, tmp_path):
+        missing = tmp_path / "does-not-exist.json"
+        assert cli_entry(main, ["diff", str(missing), str(missing)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
 
 class TestDiff:

@@ -1,0 +1,197 @@
+"""Unit tests for the progress renderers and the history sink."""
+
+import io
+import json
+
+from repro.obs.history import HistoryStore
+from repro.obs.progress import (
+    HistorySink,
+    JsonlProgress,
+    MultiSink,
+    ProgressSink,
+    TtyProgress,
+    default_fields,
+)
+
+
+class _Row:
+    """Duck-typed figure row."""
+
+    def __init__(self, per_iteration_us=12.5, comm_us_per_iter=3.0,
+                 overlap_ratio=0.4):
+        self.per_iteration_us = per_iteration_us
+        self.comm_us_per_iter = comm_us_per_iter
+        self.overlap_ratio = overlap_ratio
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestJsonlProgress:
+    def test_one_sorted_json_line_per_event(self):
+        stream = io.StringIO()
+        sink = JsonlProgress(stream)
+        sink.sweep_begin("fn", ["a", "b"])
+        sink.point_started(0, "a")
+        sink.point_finished(0, "a", 0.1234567)
+        sink.point_cached(1, "b", duplicate_of=0)
+        sink.sweep_end("fn", 2)
+        lines = stream.getvalue().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] == [
+            "sweep_begin", "point_started", "point_finished",
+            "point_cached", "sweep_end"]
+        assert events[2]["wall_s"] == 0.123457  # rounded, not raw
+        assert events[3]["duplicate_of"] == 0
+        # keys are sorted so the stream diffs cleanly
+        assert all(line == json.dumps(json.loads(line), sort_keys=True)
+                   for line in lines)
+
+    def test_plain_cache_hit_has_no_duplicate_field(self):
+        stream = io.StringIO()
+        JsonlProgress(stream).point_cached(0, "a")
+        assert "duplicate_of" not in json.loads(stream.getvalue())
+
+
+class TestTtyProgress:
+    def test_counter_advances(self):
+        stream = io.StringIO()
+        sink = TtyProgress(stream=stream, clock=FakeClock())
+        sink.sweep_begin("fn", ["a", "b"])
+        sink.point_finished(0, "a", 0.5)
+        sink.point_cached(1, "b")
+        sink.sweep_end("fn", 2)
+        out = stream.getvalue()
+        assert "sweep fn: 2 point(s)" in out
+        assert "[1/2] done (0.50s) a" in out
+        assert "[2/2] cached b" in out
+        assert "complete" in out
+
+    def test_eta_uses_history_medians(self):
+        stream = io.StringIO()
+        sink = TtyProgress(stream=stream, eta_medians={"a": 2.0, "b": 3.0},
+                           clock=FakeClock())
+        sink.sweep_begin("fn", ["a", "b"])
+        sink.point_finished(0, "a", 2.0)
+        out = stream.getvalue().splitlines()[-1]
+        assert "eta 3.0s" in out  # only b remains
+
+    def test_eta_falls_back_to_running_mean(self):
+        stream = io.StringIO()
+        sink = TtyProgress(stream=stream, clock=FakeClock())
+        sink.sweep_begin("fn", ["a", "b", "c"])
+        sink.point_finished(0, "a", 4.0)
+        out = stream.getvalue().splitlines()[-1]
+        assert "eta 8.0s" in out  # 2 open points x 4s mean
+
+    def test_no_eta_before_any_signal(self):
+        stream = io.StringIO()
+        sink = TtyProgress(stream=stream, clock=FakeClock())
+        sink.sweep_begin("fn", ["a", "b"])
+        sink.point_cached(0, "a")
+        assert "eta" not in stream.getvalue().splitlines()[-1]
+
+    def test_long_identities_are_truncated(self):
+        stream = io.StringIO()
+        sink = TtyProgress(stream=stream, clock=FakeClock())
+        sink.sweep_begin("fn", ["x" * 200])
+        sink.point_finished(0, "x" * 200, 0.1)
+        line = stream.getvalue().splitlines()[-1]
+        assert "..." in line and len(line) < 160
+
+
+class TestMultiSink:
+    def test_fans_out_in_order_and_skips_none(self):
+        calls = []
+
+        class Tap(ProgressSink):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def sweep_end(self, fn_name, n_points):
+                calls.append(self.tag)
+
+        MultiSink(Tap("a"), None, Tap("b")).sweep_end("fn", 1)
+        assert calls == ["a", "b"]
+
+
+class TestDefaultFields:
+    def test_bare_row(self):
+        fields = default_fields(_Row())
+        assert fields == {"per_iter_us": 12.5, "comm_us_per_iter": 3.0,
+                          "overlap": 0.4}
+
+    def test_row_with_metrics_dump_adds_digest_and_events(self):
+        dump = {"counters": [
+            {"name": "sim.events_dispatched", "labels": {}, "value": 420.0},
+        ]}
+        fields = default_fields((_Row(), dump))
+        assert fields["events"] == 420.0
+        assert len(fields["digest"]) == 16
+
+    def test_live_registry_is_dumped(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("sim.events_dispatched").inc(7)
+        fields = default_fields((_Row(), registry))
+        assert fields["events"] == 7.0
+
+    def test_unknown_result_yields_nothing(self):
+        assert default_fields(object()) == {}
+
+
+class TestHistorySink:
+    def test_finished_points_record_wall_and_rate(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "base")
+        dump = {"counters": [
+            {"name": "sim.events_dispatched", "labels": {}, "value": 100.0},
+        ]}
+        sink.point_finished(0, "fn|(1,)|", 0.5, (_Row(), dump))
+        assert sink.recorded == 1
+        [record] = store.records()
+        assert record["run"] == "base" and record["id"] == "fn|(1,)|"
+        assert record["wall_s"] == 0.5
+        assert record["events_per_s"] == 200.0
+
+    def test_batched_points_record_without_wall(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "base")
+        sink.point_batched(0, "fn|(1,)|", 3, _Row())
+        [record] = store.records()
+        assert "wall_s" not in record
+        assert record["per_iter_us"] == 12.5
+
+    def test_cached_points_record_nothing(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "base")
+        sink.point_cached(0, "fn|(1,)|")
+        assert store.records() == [] and sink.recorded == 0
+
+    def test_profile_is_stripped_from_id_but_kept_as_field(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "slow", profile="degraded")
+        sink.point_finished(0, "fn|(1, 'degraded')|", 0.1, _Row())
+        [record] = store.records()
+        assert record["id"] == "fn|(1, None)|"
+        assert record["profile"] == "degraded"
+
+    def test_fieldless_results_are_skipped(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "base")
+        sink.point_finished(0, "fn|(1,)|", 0.1, object())
+        sink.point_finished(1, "fn|(2,)|", 0.1, None)
+        assert store.records() == []
+
+    def test_custom_extractor(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        sink = HistorySink(store, "base",
+                           extract=lambda r: {"score": float(r)})
+        sink.point_finished(0, "fn|(1,)|", 0.1, 42)
+        assert store.records()[0]["score"] == 42.0

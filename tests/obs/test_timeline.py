@@ -1,0 +1,158 @@
+"""Per-PE utilization timelines: the PR's acceptance criterion.
+
+The headline claim — CPU-free variants hide strictly more of their
+non-compute time under compute than CPU-controlled baselines, per PE,
+at a paper-scale configuration — is pinned here, along with the
+byte-stability of the timeline document and the phase-accounting
+mechanics.
+"""
+
+import pytest
+
+from repro.obs.stablejson import dumps_stable
+from repro.obs.timeline import (
+    PEPhases,
+    pe_phases,
+    render_gantt,
+    timeline_payload,
+    timeline_table,
+)
+from repro.sim.trace import Span
+
+CPUFREE_VARIANTS = ("cpufree", "cpufree_coresident", "cpufree_perks")
+BASELINE_VARIANTS = ("baseline_copy", "baseline_overlap", "baseline_p2p",
+                     "baseline_nvshmem")
+
+
+def _run(variant, shape=(1026, 2050), gpus=4, iterations=4):
+    from repro.stencil import StencilConfig, run_variant
+
+    config = StencilConfig(global_shape=shape, num_gpus=gpus,
+                           iterations=iterations, with_data=False)
+    return run_variant(variant, config)
+
+
+def _span(lane, name, category, start, end, meta=None):
+    return Span(lane=lane, name=name, category=category, start=start,
+                end=end, meta=meta)
+
+
+class TestPhaseAccounting:
+    def test_buckets_by_lane_and_category(self):
+        spans = [
+            _span("gpu0.compute", "jacobi", "compute", 0.0, 10.0),
+            _span("gpu0.comm", "pack", "comm", 2.0, 4.0),
+            _span("gpu0.compute", "wait", "sync", 10.0, 12.0),
+            _span("host0", "launch", "api", 0.0, 1.0),
+            _span("wire.pe0->pe1", "put", "comm", 3.0, 6.0),
+            _span("gpu1.compute", "jacobi", "compute", 0.0, 8.0),
+        ]
+        phases = pe_phases(spans)
+        assert sorted(phases) == [0, 1]
+        p0 = phases[0]
+        assert p0.compute == [(0.0, 10.0)]
+        # gpu comm and the outgoing wire merge into one comm set
+        assert p0.comm == [(2.0, 6.0)]
+        assert p0.sync == [(10.0, 12.0)]
+        assert p0.host == [(0.0, 1.0)]
+
+    def test_api_spans_on_gpu_lanes_count_as_control(self):
+        phases = pe_phases([_span("gpu3.stream", "setup", "api", 0.0, 2.0)])
+        assert phases[3].host == [(0.0, 2.0)]
+
+    def test_zero_duration_spans_are_skipped(self):
+        phases = pe_phases([_span("gpu0.s", "mark", "compute", 5.0, 5.0)])
+        assert phases == {}
+
+    def test_overlap_fraction_is_hidden_noncompute(self):
+        p = PEPhases(0)
+        p.compute = [(0.0, 10.0)]
+        p.comm = [(5.0, 15.0)]  # 5 of 10 us hidden
+        assert p.overlap_fraction() == pytest.approx(0.5)
+        assert p.comm_overlap_fraction() == pytest.approx(0.5)
+
+    def test_no_noncompute_means_zero_not_nan(self):
+        p = PEPhases(0)
+        p.compute = [(0.0, 10.0)]
+        assert p.overlap_fraction() == 0.0
+        assert p.comm_overlap_fraction() == 0.0
+
+
+class TestAcceptance:
+    """CPU-free overlap strictly dominates, per PE, at paper scale."""
+
+    def test_cpufree_hides_more_noncompute_than_every_baseline(self):
+        overlaps = {}
+        for variant in CPUFREE_VARIANTS + BASELINE_VARIANTS:
+            result = _run(variant)
+            payload = timeline_payload(result.tracer.spans)
+            overlaps[variant] = [pe["overlap"] for pe in payload["pes"]]
+            assert len(overlaps[variant]) == 4
+        worst_cpufree = min(min(overlaps[v]) for v in CPUFREE_VARIANTS)
+        best_baseline = max(max(overlaps[v]) for v in BASELINE_VARIANTS)
+        assert worst_cpufree > best_baseline, (
+            f"cpufree min {worst_cpufree:.4f} must beat baseline max "
+            f"{best_baseline:.4f}: {overlaps}")
+
+    def test_separation_holds_at_two_gpus(self):
+        cpufree = timeline_payload(
+            _run("cpufree", gpus=2).tracer.spans)["overlap"]
+        baseline = timeline_payload(
+            _run("baseline_overlap", gpus=2).tracer.spans)["overlap"]
+        assert cpufree > baseline
+
+
+class TestPayloadStability:
+    def test_rerun_is_byte_identical(self):
+        a = timeline_payload(_run("cpufree", shape=(66, 130), gpus=2)
+                             .tracer.spans, meta={"variant": "cpufree"})
+        b = timeline_payload(_run("cpufree", shape=(66, 130), gpus=2)
+                             .tracer.spans, meta={"variant": "cpufree"})
+        assert dumps_stable(a) == dumps_stable(b)
+
+    def test_payload_shape(self):
+        payload = timeline_payload(_run("cpufree", shape=(66, 130), gpus=2)
+                                   .tracer.spans)
+        assert payload["format"] == "repro-timeline-v1"
+        assert payload["makespan_us"] == pytest.approx(
+            payload["t1_us"] - payload["t0_us"])
+        for pe in payload["pes"]:
+            assert pe["busy_us"] <= payload["makespan_us"] + 1e-9
+            # hidden + exposed partition the non-compute *union*, which
+            # can only be smaller than the per-phase sums
+            noncompute = pe["hidden_us"] + pe["exposed_us"]
+            assert noncompute <= (pe["comm_us"] + pe["sync_us"]
+                                  + pe["host_us"] + 1e-9)
+            assert 0.0 <= pe["overlap"] <= 1.0
+        assert 0.0 <= payload["overlap"] <= 1.0
+
+    def test_aggregate_overlap_is_hidden_over_noncompute(self):
+        payload = timeline_payload(_run("cpufree", shape=(66, 130), gpus=2)
+                                   .tracer.spans)
+        hidden = sum(pe["hidden_us"] for pe in payload["pes"])
+        noncompute = sum(pe["hidden_us"] + pe["exposed_us"]
+                         for pe in payload["pes"])
+        assert payload["overlap"] == pytest.approx(hidden / noncompute)
+
+
+class TestRendering:
+    def test_gantt_rows_and_legend(self):
+        text = render_gantt(_run("cpufree", shape=(66, 130), gpus=2)
+                            .tracer.spans, width=60)
+        assert "pe0 |" in text and "pe1 |" in text
+        assert "# compute" in text and "% hidden" in text
+
+    def test_gantt_deterministic(self):
+        spans_a = _run("cpufree", shape=(66, 130), gpus=2).tracer.spans
+        spans_b = _run("cpufree", shape=(66, 130), gpus=2).tracer.spans
+        assert render_gantt(spans_a) == render_gantt(spans_b)
+
+    def test_gantt_empty(self):
+        assert render_gantt([]) == "(empty timeline)"
+
+    def test_table_mentions_every_pe(self):
+        payload = timeline_payload(_run("cpufree", shape=(66, 130), gpus=2)
+                                   .tracer.spans)
+        text = timeline_table(payload)
+        assert "makespan:" in text
+        assert "overlap" in text and "comm ovl" in text

@@ -1,0 +1,142 @@
+"""Progress sinks are pure observers of the sweep runner.
+
+Two contracts: (1) attaching any sink changes nothing about results,
+cache contents, or report bytes; (2) every map call narrates each point
+exactly once, through the documented event vocabulary, in submission
+order where the path is sequential.
+"""
+
+from repro.bench.figures import _stencil_point
+from repro.obs.progress import ProgressSink
+from repro.perf import ResultCache, SweepRunner
+from repro.stencil import StencilConfig
+
+
+def _small_tasks():
+    configs = [
+        StencilConfig(global_shape=(8, 10), num_gpus=2, iterations=3,
+                      with_data=False),
+        StencilConfig(global_shape=(10, 10), num_gpus=2, iterations=3,
+                      with_data=False),
+    ]
+    return ([("cpufree", c) for c in configs]
+            + [("baseline_copy", c) for c in configs])
+
+
+class RecordingSink(ProgressSink):
+    """Captures the event stream for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def sweep_begin(self, fn_name, identities):
+        self.events.append(("begin", fn_name, len(identities)))
+
+    def point_cached(self, index, identity, duplicate_of=None):
+        self.events.append(("cached", index, duplicate_of))
+
+    def point_batched(self, index, identity, group_size, result=None):
+        self.events.append(("batched", index, group_size))
+
+    def point_started(self, index, identity):
+        self.events.append(("started", index))
+
+    def point_finished(self, index, identity, wall_s, result=None):
+        self.events.append(("finished", index))
+        assert wall_s >= 0.0
+
+    def sweep_end(self, fn_name, n_points):
+        self.events.append(("end", fn_name, n_points))
+
+    def resolutions(self):
+        """index -> how the point resolved (started+finished collapse)."""
+        out = {}
+        for event in self.events:
+            if event[0] in ("cached", "batched", "finished"):
+                out[event[1]] = event[0]
+        return out
+
+
+class TestObserverPurity:
+    def test_results_identical_with_and_without_sink(self):
+        tasks = _small_tasks()
+        bare = SweepRunner(jobs=1, batch=False).map(_stencil_point, tasks)
+        observed = SweepRunner(jobs=1, batch=False,
+                               progress=RecordingSink()).map(
+            _stencil_point, tasks)
+        assert observed == bare
+
+    def test_parallel_results_identical_with_sink(self):
+        tasks = _small_tasks()
+        bare = SweepRunner(jobs=1, batch=False).map(_stencil_point, tasks)
+        observed = SweepRunner(jobs=4, batch=False,
+                               progress=RecordingSink()).map(
+            _stencil_point, tasks)
+        assert observed == bare
+
+    def test_cache_contents_identical_with_sink(self, tmp_path):
+        tasks = _small_tasks()
+        a, b = tmp_path / "a", tmp_path / "b"
+        SweepRunner(jobs=1, cache=ResultCache(a), batch=False).map(
+            _stencil_point, tasks)
+        SweepRunner(jobs=1, cache=ResultCache(b), batch=False,
+                    progress=RecordingSink()).map(_stencil_point, tasks)
+        names_a = sorted(p.name for p in a.rglob("*") if p.is_file())
+        names_b = sorted(p.name for p in b.rglob("*") if p.is_file())
+        assert names_a == names_b and names_a
+
+
+class TestEventContract:
+    def test_every_point_resolves_exactly_once(self):
+        sink = RecordingSink()
+        tasks = _small_tasks()
+        SweepRunner(jobs=1, batch=False, progress=sink).map(
+            _stencil_point, tasks)
+        fn_name = f"{_stencil_point.__module__}.{_stencil_point.__qualname__}"
+        assert sink.events[0] == ("begin", fn_name, len(tasks))
+        assert sink.events[-1][0] == "end"
+        assert sorted(sink.resolutions()) == list(range(len(tasks)))
+        starts = [e[1] for e in sink.events if e[0] == "started"]
+        assert starts == sorted(starts)  # inline path runs in order
+
+    def test_cache_hits_resolve_as_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        tasks = _small_tasks()
+        SweepRunner(jobs=1, cache=cache, batch=False).map(
+            _stencil_point, tasks)
+        sink = RecordingSink()
+        SweepRunner(jobs=1, cache=cache, batch=False, progress=sink).map(
+            _stencil_point, tasks)
+        assert set(sink.resolutions().values()) == {"cached"}
+
+    def test_duplicate_argtuples_point_at_their_original(self):
+        # duplicates are deduped on the batch path: the copy resolves as
+        # cached with a pointer to the index that actually computed
+        tasks = _small_tasks()
+        tasks.append(tasks[0])  # exact duplicate
+        sink = RecordingSink()
+        SweepRunner(jobs=1, batch=True, progress=sink).map(
+            _stencil_point, tasks)
+        dups = [e for e in sink.events if e[0] == "cached"
+                and e[2] is not None]
+        assert dups == [("cached", len(tasks) - 1, 0)]
+
+    def test_batched_points_report_group_size(self):
+        sink = RecordingSink()
+        tasks = _small_tasks()
+        SweepRunner(jobs=1, batch=True, progress=sink).map(
+            _stencil_point, tasks)
+        batched = [e for e in sink.events if e[0] == "batched"]
+        if batched:  # batching groups compatible shapes when it can
+            assert all(size >= 1 for _, _, size in batched)
+            covered = {i for _, i, _ in batched}
+            resolved = sink.resolutions()
+            assert covered <= set(resolved)
+
+    def test_pool_path_narrates_all_points(self):
+        sink = RecordingSink()
+        tasks = _small_tasks()
+        SweepRunner(jobs=4, batch=False, progress=sink).map(
+            _stencil_point, tasks)
+        assert sorted(sink.resolutions()) == list(range(len(tasks)))
+        assert set(sink.resolutions().values()) == {"finished"}

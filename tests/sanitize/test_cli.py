@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.cliutil import CliError, cli_entry
 from repro.sanitize.__main__ import main
 
 SMALL = ["--shape", "18x34", "--gpus", "2", "--iterations", "3"]
@@ -43,9 +44,11 @@ def test_run_suppression_keeps_findings_but_exits_zero(tmp_path):
     assert all(f["suppressed"] for f in report["findings"])
 
 
-def test_run_unknown_variant_rejected():
-    with pytest.raises(SystemExit):
+def test_run_unknown_variant_rejected(capsys):
+    with pytest.raises(CliError):
         main(["run", "--variant", "nope", *SMALL])
+    assert cli_entry(main, ["run", "--variant", "nope", *SMALL]) == 2
+    assert capsys.readouterr().err.startswith("error: unknown variant")
 
 
 def test_run_report_bytes_stable_across_reruns(tmp_path):

@@ -37,6 +37,7 @@ from repro.cliutil import cli_entry
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.perf import ResultCache, SweepManifest, SweepRunner, use_runner
 from repro.perf.cache import DEFAULT_CACHE_DIR
+from repro.perf.manifest import SweepJournal
 
 
 def _run_22():
@@ -96,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
                              "manifest at PATH: unchanged points replay from "
                              "the cache, only changed/new points recompute "
                              "(a summary prints to stdout); requires the cache")
+    parser.add_argument("--resume", type=str, default=None, metavar="PATH",
+                        help="journal completed sweep points to PATH as they "
+                             "finish and, when PATH already exists, replay the "
+                             "journaled points from the cache — a sweep killed "
+                             "mid-run loses at most the in-flight points; "
+                             "requires the cache")
     parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="fuse compatible cache-miss sweep points into one "
@@ -158,9 +165,12 @@ def main(argv: list[str] | None = None) -> int:
     jobs = 1 if (args.profile or args.profile_out) else args.jobs
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if cache is None and (args.save_manifest or args.changed_only
-                          or args.prune_stale):
-        parser.error("--save-manifest/--changed-only/--prune-stale need the "
-                     "result cache; drop --no-cache")
+                          or args.prune_stale or args.resume):
+        parser.error("--save-manifest/--changed-only/--prune-stale/--resume "
+                     "need the result cache; drop --no-cache")
+    if args.resume and args.changed_only:
+        parser.error("--resume and --changed-only both pick the replay "
+                     "baseline; use one or the other")
     manifest = (SweepManifest()
                 if args.save_manifest or args.prune_stale else None)
     baseline = None
@@ -169,6 +179,18 @@ def main(argv: list[str] | None = None) -> int:
             baseline = SweepManifest.load(args.changed_only)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             parser.error(f"--changed-only: {exc}")
+    journal = None
+    journal_corrupt: list[tuple[int, str]] = []
+    resumed_points = 0
+    if args.resume:
+        import os.path
+
+        if os.path.exists(args.resume):
+            # a prior (possibly killed) run left a journal: its intact
+            # lines become the replay baseline, torn lines just recompute
+            baseline, journal_corrupt = SweepJournal.load(args.resume)
+            resumed_points = len(baseline)
+        journal = SweepJournal(args.resume)
     prune_baseline = None
     if args.prune_stale:
         try:
@@ -208,7 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     profile_sink: list[tuple[str, str]] | None = [] if args.profile_out else None
     runner = SweepRunner(jobs=jobs, cache=cache, manifest=manifest,
                          baseline=baseline, profile_sink=profile_sink,
-                         batch=args.batch, progress=progress)
+                         batch=args.batch, progress=progress, journal=journal)
     profiler = None
     if args.profile:
         import cProfile
@@ -255,10 +277,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"(batched execution: {runner.batch_points} point(s) fused into "
               f"{runner.batch_groups} run(s), {runner.batch_fallbacks} "
               f"fallback(s))")
-    if baseline is not None:
+    if args.changed_only:
         print(f"(changed-only vs {args.changed_only}: {runner.replayed} "
               f"replayed, {runner.changed} changed, {runner.added} new, "
               f"{runner.stale} stale)")
+    if journal is not None:
+        journal.close()
+        torn = (f", {len(journal_corrupt)} torn journal line(s) skipped"
+                if journal_corrupt else "")
+        print(f"(resume journal {args.resume}: {resumed_points} point(s) "
+              f"from the previous run, {runner.replayed} replayed from "
+              f"cache{torn})")
+    if cache is not None and cache.quarantined:
+        for key, reason in cache.quarantined:
+            print(f"(cache entry {key[:12]}… quarantined: {reason} — "
+                  f"recomputed)")
+    if runner.quarantined:
+        for point in runner.quarantined:
+            print(f"(sweep point quarantined after {point.attempts} "
+                  f"attempt(s): {point.identity} — {point.reason})")
     if prune_baseline is not None:
         diff = manifest.diff(prune_baseline)
         live = set(manifest.entries.values())

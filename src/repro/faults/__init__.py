@@ -23,10 +23,17 @@ from repro.faults.inject import (
     FaultInjector,
     SignalWaitTimeout,
 )
-from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault, StragglerFault
+from repro.faults.plan import (
+    DeliveryFault,
+    FaultPlan,
+    LinkFault,
+    PECrashFault,
+    StragglerFault,
+)
 from repro.faults.profiles import (
     DEFAULT_SEED,
     PROFILES,
+    UnknownProfileError,
     active_fault_profile,
     get_injector,
     get_plan,
@@ -44,8 +51,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkFault",
+    "PECrashFault",
     "SignalWaitTimeout",
     "StragglerFault",
+    "UnknownProfileError",
     "active_fault_profile",
     "get_injector",
     "get_plan",

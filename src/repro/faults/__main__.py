@@ -27,7 +27,8 @@ from repro.cliutil import CliError, cli_entry, parse_shape
 from repro.faults.harness import DEFAULT_MATRIX_PROFILES, render_report, run_matrix
 from repro.obs.metrics import MetricsRegistry, use_metrics
 
-_STATUS_MARK = {"converged": "ok", "diagnostic": "diag", "diverged": "DIVERGED", "failed": "FAILED"}
+_STATUS_MARK = {"converged": "ok", "diagnostic": "diag", "recovered": "recov",
+                "diverged": "DIVERGED", "failed": "FAILED"}
 
 
 def _csv(text: str) -> list[str]:

@@ -13,7 +13,14 @@ simulator and is judged against the profile's ``expect``:
     :class:`~repro.faults.inject.SignalWaitTimeout`) rather than hang
     or silently produce wrong data.  Variants the injected fault cannot
     reach (e.g. a lost NVSHMEM signal against a copy-based variant) are
-    held to ``"converge"`` instead.
+    held to ``"converge"`` instead.  Under a fail-stop crash plan a
+    post-crash :class:`~repro.sim.DeadlockError` also counts — a dead
+    PE legitimately strands joiners with no watched signal in sight —
+    and the cell error names the dead PEs.
+``"recover"``
+    The cell runs through :func:`repro.recover.run_with_recovery`: the
+    crash must fire, recovery must restart from a checkpoint, and the
+    final field must be byte-identical to the fault-free reference.
 
 The report is a plain JSON-safe dict assembled in submission order
 with sorted keys throughout — byte-identical across repeated runs of
@@ -51,6 +58,7 @@ def run_cell(
     # stay importable without pulling the whole simulator stack in
     import repro.stencil.variants  # noqa: F401 - populate the registry
     from repro.faults.inject import DeliveryError, SignalWaitTimeout
+    from repro.recover import UnrecoverableCrashError, run_with_recovery
     from repro.sim import DeadlockError, WatchdogError
     from repro.stencil.base import VARIANTS, StencilConfig, default_initial
     from repro.stencil.reference import jacobi_reference
@@ -69,7 +77,6 @@ def run_cell(
         iterations=iterations,
         fault_profile=profile,
     )
-    instance = cls(config)
     cell: dict[str, Any] = {
         "variant": variant,
         "profile": profile,
@@ -79,14 +86,59 @@ def run_cell(
         "sim_time_us": None,
         "error": None,
         "faults": None,
+        "recover": None,
     }
+
+    def dead_pes(injector) -> str:
+        if injector is None or not injector.crashed:
+            return ""
+        dead = ", ".join(f"pe{pe} at t={t:.3f}us"
+                         for pe, t in sorted(injector.crashed.items()))
+        return f" — dead PEs: {dead}"
+
+    if expect == "recover":
+        try:
+            outcome = run_with_recovery(cls, config, plan=plan)
+        except UnrecoverableCrashError as exc:
+            cell["status"] = "diagnostic"
+            cell["error"] = str(exc).splitlines()[0]
+            return cell
+        cell["recover"] = outcome.report()
+        cell["faults"] = outcome.faults
+        cell["sim_time_us"] = outcome.total_time_us
+        expected = jacobi_reference(
+            default_initial(config.global_shape, config.seed), config.iterations
+        )
+        if outcome.result is not None and not np.array_equal(outcome.result, expected):
+            cell["status"] = "diverged"
+        elif outcome.recovered:
+            cell["status"] = "recovered"
+            cell["ok"] = True
+        else:
+            # the seeded crash never landed inside the run — converged,
+            # but the profile did not exercise recovery: not ok
+            cell["status"] = "converged"
+            cell["ok"] = not plan.crashes
+        return cell
+
+    instance = cls(config)
     try:
         result = instance.run()
     except (WatchdogError, SignalWaitTimeout) as exc:
         cell["status"] = "diagnostic"
-        cell["error"] = str(exc).splitlines()[0]
+        cell["error"] = str(exc).splitlines()[0] + dead_pes(instance.faults)
         cell["ok"] = expect == "diagnostic"
-    except (DeadlockError, DeliveryError) as exc:
+    except DeadlockError as exc:
+        if plan.crashes and instance.faults is not None and instance.faults.crashed:
+            # a dead PE strands joiners with no watched flag in sight:
+            # the deadlock IS the crash diagnostic
+            cell["status"] = "diagnostic"
+            cell["error"] = str(exc).splitlines()[0] + dead_pes(instance.faults)
+            cell["ok"] = expect == "diagnostic"
+        else:
+            cell["status"] = "failed"
+            cell["error"] = str(exc).splitlines()[0]
+    except DeliveryError as exc:
         cell["status"] = "failed"
         cell["error"] = str(exc).splitlines()[0]
     else:

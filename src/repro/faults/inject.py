@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault
@@ -32,7 +33,30 @@ __all__ = [
     "FaultInjector",
     "RETRY_EDGES",
     "SignalWaitTimeout",
+    "use_crash_context",
 ]
+
+#: ambient (base_us, consumed-PE set) installed by the recovery runner:
+#: a restarted segment starts its local clock at 0 but represents global
+#: time ``base_us`` onward, and PEs that already crashed must not be
+#: re-armed.  Plain module state (not thread-local): simulations are
+#: single-threaded per process, and worker processes each get their own
+#: module copy.
+_CRASH_CONTEXT: tuple[float, frozenset[int]] = (0.0, frozenset())
+
+
+@contextmanager
+def use_crash_context(base_us: float, consumed: frozenset[int] = frozenset()):
+    """Shift crash arming for a recovery segment: global crash times are
+    translated by ``base_us`` into segment-local time, and crashes of
+    PEs in ``consumed`` are not re-armed (they already fired)."""
+    global _CRASH_CONTEXT
+    prev = _CRASH_CONTEXT
+    _CRASH_CONTEXT = (float(base_us), frozenset(consumed))
+    try:
+        yield
+    finally:
+        _CRASH_CONTEXT = prev
 
 #: fixed bucket edges for retry-count histograms (attempts per op)
 RETRY_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0)
@@ -90,6 +114,12 @@ class FaultInjector:
         self._drops_by_rule: dict[int, int] = {}
         #: hot-path accumulator flushed into the registry after run()
         self._jitter_acc = [0.0, 0]  # [total µs, draw count]
+        #: pe -> segment-local crash time, filled as crashes fire
+        self.crashed: dict[int, float] = {}
+        #: global-time offset of this run's local clock (recovery segments)
+        self.crash_base_us = 0.0
+        self._crash_handlers: list = []
+        self._crash_times: dict[int, float] = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -110,8 +140,25 @@ class FaultInjector:
         if self.plan.watchdog_budget_us is not None:
             watchdog = Watchdog(self.plan.watchdog_budget_us, name=self.plan.name)
             watchdog.add_context(self.watchdog_context)
+            if self.plan.crashes:
+                watchdog.add_context(self.crash_context)
             ctx.sim.attach_watchdog(watchdog)
+        if self.plan.crashes:
+            base_us, consumed = _CRASH_CONTEXT
+            self.crash_base_us = base_us
+            for crash in self.plan.crashes:
+                if crash.pe in consumed:
+                    continue
+                local_t = self.crash_time(crash.pe) - base_us
+                if local_t <= 0:
+                    continue
+                # Weak event: a crash scheduled past the run's natural
+                # end must not fire or stretch the measured timeline.
+                ctx.sim.call_at(local_t, self._make_crash_cb(crash.pe), weak=True)
         return self
+
+    def _make_crash_cb(self, pe: int):
+        return lambda: self._fire_crash(pe)
 
     def flush_metrics(self) -> None:
         total, draws = self._jitter_acc
@@ -293,6 +340,75 @@ class FaultInjector:
         if self._metrics is not None:
             self._metrics.counter("nvshmem.wait.timeouts", flag=flag_name).inc()
 
+    # -- fail-stop crashes ----------------------------------------------------
+
+    def crash_time(self, pe: int) -> float:
+        """Global simulated time at which ``pe`` crashes: the pinned
+        ``at_us`` if set, else a seed-deterministic draw from the
+        crash window (cached — one draw per PE per injector)."""
+        t = self._crash_times.get(pe)
+        if t is None:
+            for crash in self.plan.crashes:
+                if crash.pe == pe:
+                    if crash.at_us is not None:
+                        t = crash.at_us
+                    else:
+                        t = self._rng(f"crash:pe{pe}").uniform(*crash.window_us)
+                    break
+            else:
+                raise KeyError(f"no PECrashFault for pe {pe}")
+            self._crash_times[pe] = t
+        return t
+
+    def on_crash(self, handler) -> None:
+        """Register ``handler(pe, local_t)`` called when a PE dies —
+        the recovery runner uses this to start detection."""
+        self._crash_handlers.append(handler)
+
+    def _fire_crash(self, pe: int) -> None:
+        """Kill every process the PE owns, fail-stop.
+
+        Ownership is by spawn-name convention: ``gpu{pe}.*`` (streams,
+        persistent kernel groups, device-side proxies) and ``*.host{pe}``
+        (host control threads).  In-flight transfers (``nvshmem.*`` and
+        ``mpi_xfer_*`` deliveries) are deliberately spared — they are
+        already on the wire.
+        """
+        if pe in self.crashed:
+            return
+        t = self._now()
+        self.crashed[pe] = t
+        gpu_prefix = f"gpu{pe}."
+        host_suffix = f".host{pe}"
+        killed = self._sim.kill_matching(
+            lambda p: p.name.startswith(gpu_prefix) or p.name.endswith(host_suffix))
+        self._record("pe_crash", f"pe:{pe}", float(len(killed)), instant=True,
+                     args={"pe": pe, "killed": len(killed),
+                           "global_t": t + self.crash_base_us})
+        if self._metrics is not None:
+            self._metrics.counter("faults.pe_crash", pe=str(pe)).inc()
+        if self._tracer is not None:
+            # Crash hygiene: the dead PE's dangling spans are closed at
+            # the crash instant and tagged, so the trace shows truncated
+            # work instead of leaking open spans.  Wire lanes stay open
+            # — their (surviving) delivery processes close them.
+            host_lane = f"host{pe}"
+            self._tracer.close_all(
+                t,
+                lanes=lambda lane: lane.startswith(gpu_prefix) or lane == host_lane,
+                tag=f"pe_crash:{pe}")
+        for handler in list(self._crash_handlers):
+            handler(pe, t)
+
+    def crash_context(self, flag: Flag) -> str | None:
+        """Watchdog context provider: name PEs that died fail-stop, so
+        a post-crash hang diagnoses as a crash, not a mystery."""
+        if not self.crashed:
+            return None
+        dead = ", ".join(f"pe{pe} crashed fail-stop at t={t:.3f}us"
+                         for pe, t in sorted(self.crashed.items()))
+        return f"dead PEs: {dead}"
+
     # -- diagnostics ----------------------------------------------------------
 
     def watchdog_context(self, flag: Flag) -> str | None:
@@ -321,4 +437,5 @@ class FaultInjector:
             "events_sha256": digest,
             "total_retries": self.total_retries,
             "degraded_puts": self.total_degraded_puts,
+            "crashed_pes": {str(pe): t for pe, t in sorted(self.crashed.items())},
         }

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DeliveryFault", "FaultPlan", "LinkFault", "StragglerFault"]
+__all__ = ["DeliveryFault", "FaultPlan", "LinkFault", "PECrashFault",
+           "StragglerFault"]
 
 
 def _check_prob(value: float, what: str) -> None:
@@ -112,6 +113,36 @@ class DeliveryFault:
 
 
 @dataclass(frozen=True)
+class PECrashFault:
+    """Fail-stop crash of one PE at a seeded, deterministic time.
+
+    Every process owned by the PE (its host thread, streams, persistent
+    thread-block groups) is killed mid-run; in-flight transfers on the
+    wire are *not* killed — they were already launched, matching the
+    fail-stop model where the NIC finishes what the dead GPU started.
+
+    ``at_us`` pins the crash to an exact simulated time; when ``None``
+    the time is drawn uniformly from ``window_us`` using the plan-seeded
+    per-site PRNG, so the same plan seed always crashes at the same
+    instant regardless of interleaving.
+    """
+
+    pe: int
+    at_us: float | None = None
+    window_us: tuple[float, float] = (50.0, 400.0)
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ValueError(f"crash pe must be >= 0, got {self.pe}")
+        if self.at_us is not None and not (self.at_us > 0):
+            raise ValueError(f"at_us must be positive when set, got {self.at_us!r}")
+        lo, hi = self.window_us
+        if not (0 < lo <= hi):
+            raise ValueError(
+                f"window_us must satisfy 0 < lo <= hi, got {self.window_us!r}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded bundle of fault rules plus resilience knobs."""
 
@@ -120,6 +151,7 @@ class FaultPlan:
     links: tuple[LinkFault, ...] = ()
     stragglers: tuple[StragglerFault, ...] = ()
     deliveries: tuple[DeliveryFault, ...] = ()
+    crashes: tuple[PECrashFault, ...] = ()
     #: how many times a non-silent dropped delivery is retried
     retry_limit: int = 8
     #: first retry backoff (simulated µs); grows by retry_backoff_factor
@@ -129,9 +161,21 @@ class FaultPlan:
     wait_timeout_us: float | None = None
     #: watchdog budget per monitored signal wait (None = no watchdog)
     watchdog_budget_us: float | None = None
+    #: checkpoint cadence in iterations for crash recovery (None = no
+    #: checkpointing: a crash is unrecoverable and must end diagnostic)
+    checkpoint_every: int | None = None
+    #: simulated cost of restarting a crashed PE from its checkpoint
+    restart_cost_us: float = 200.0
+    #: heartbeat period each PE publishes while alive; crash detection
+    #: latency is quantised to this plus the allowed missed beats
+    heartbeat_us: float = 25.0
+    #: consecutive missed heartbeats before a PE is declared dead
+    heartbeat_misses: int = 2
     #: what the chaos harness should assert: "converge" (run completes,
-    #: result bit-identical to the reference) or "diagnostic" (run must
-    #: end in a WatchdogError naming the stuck signal)
+    #: result bit-identical to the reference), "diagnostic" (run must
+    #: end in a WatchdogError naming the stuck signal), or "recover"
+    #: (a crash happens, recovery replays from checkpoint, and the final
+    #: fields are byte-identical to the fault-free reference)
     expect: str = "converge"
 
     def __post_init__(self) -> None:
@@ -143,17 +187,27 @@ class FaultPlan:
             raise ValueError(
                 f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor!r}")
         for knob, value in (("wait_timeout_us", self.wait_timeout_us),
-                            ("watchdog_budget_us", self.watchdog_budget_us)):
+                            ("watchdog_budget_us", self.watchdog_budget_us),
+                            ("checkpoint_every", self.checkpoint_every)):
             if value is not None and not (value > 0):
                 raise ValueError(f"{knob} must be positive when set, got {value!r}")
-        if self.expect not in ("converge", "diagnostic"):
-            raise ValueError(f"expect must be 'converge' or 'diagnostic', got {self.expect!r}")
+        if not (self.restart_cost_us >= 0):
+            raise ValueError(f"restart_cost_us must be >= 0, got {self.restart_cost_us!r}")
+        if not (self.heartbeat_us > 0):
+            raise ValueError(f"heartbeat_us must be positive, got {self.heartbeat_us!r}")
+        if self.heartbeat_misses < 1:
+            raise ValueError(f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}")
+        if self.expect not in ("converge", "diagnostic", "recover"):
+            raise ValueError(
+                f"expect must be 'converge', 'diagnostic' or 'recover', "
+                f"got {self.expect!r}")
 
     @property
     def inert(self) -> bool:
         """True when the plan injects nothing and arms nothing — a run
         under an inert plan is byte-identical to a fault-free run."""
         return not (self.links or self.stragglers or self.deliveries
+                    or self.crashes
                     or self.watchdog_budget_us is not None
                     or self.wait_timeout_us is not None)
 

@@ -19,17 +19,35 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.cliutil import CliError
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault, StragglerFault
+from repro.faults.plan import (
+    DeliveryFault,
+    FaultPlan,
+    LinkFault,
+    PECrashFault,
+    StragglerFault,
+)
 
 __all__ = [
     "PROFILES",
+    "UnknownProfileError",
     "active_fault_profile",
     "get_injector",
     "get_plan",
     "parse_profile",
     "use_fault_profile",
 ]
+
+
+class UnknownProfileError(CliError, ValueError):
+    """Unknown fault-profile name.
+
+    Subclasses :class:`~repro.cliutil.CliError` so every CLI entry
+    point reports it as ``error: ...`` on stderr with exit 2 (naming
+    the available profiles), and :class:`ValueError` for backward
+    compatibility with callers that catch that.
+    """
 
 DEFAULT_SEED = 2024
 
@@ -92,16 +110,53 @@ def _lost_signal(seed: int) -> FaultPlan:
     )
 
 
+def _crash(seed: int) -> FaultPlan:
+    """Fail-stop loss of PE1 at a seeded mid-run instant, with NO
+    checkpointing: the run cannot recover.  Survivors block on the dead
+    PE's signals/joins; the watchdog (or the drain diagnostics) must
+    convert that into an error naming the crashed PE — never a hang,
+    never silently wrong data."""
+    return FaultPlan(
+        name="crash",
+        seed=seed,
+        crashes=(PECrashFault(pe=1, window_us=(10.0, 28.0)),),
+        watchdog_budget_us=2_000.0,
+        expect="diagnostic",
+    )
+
+
+def _crash_recover(seed: int) -> FaultPlan:
+    """The same seeded PE1 crash, but run under the recovery runner:
+    checkpoints every 2 iterations, heartbeat-based detection, rollback
+    to the last checkpoint, restart, and resume.  The recovered run
+    must produce byte-identical final fields vs the fault-free
+    reference — only simulated time grows."""
+    return FaultPlan(
+        name="crash_recover",
+        seed=seed,
+        crashes=(PECrashFault(pe=1, window_us=(10.0, 28.0)),),
+        watchdog_budget_us=1_000_000.0,
+        checkpoint_every=2,
+        restart_cost_us=200.0,
+        heartbeat_us=5.0,
+        heartbeat_misses=2,
+        expect="recover",
+    )
+
+
 _BUILDERS: dict[str, Callable[[int], FaultPlan]] = {
     "none": _none,
     "transient": _transient,
     "degraded": _degraded,
     "link_down": _link_down,
     "lost_signal": _lost_signal,
+    "crash": _crash,
+    "crash_recover": _crash_recover,
 }
 
 #: all known profile names, in presentation order
-PROFILES = ("none", "transient", "degraded", "link_down", "lost_signal")
+PROFILES = ("none", "transient", "degraded", "link_down", "lost_signal",
+            "crash", "crash_recover")
 
 
 def parse_profile(spec: str) -> tuple[str, int]:
@@ -121,7 +176,8 @@ def get_plan(spec: str) -> FaultPlan:
     builder = _BUILDERS.get(name)
     if builder is None:
         known = ", ".join(PROFILES)
-        raise ValueError(f"unknown fault profile {name!r} (known: {known})")
+        raise UnknownProfileError(
+            f"unknown fault profile {name!r} (available: {known})")
     return builder(seed)
 
 

@@ -15,6 +15,15 @@ the file diffs/merges like a log.  Records carry a ``run`` label
 (``--run-label``, e.g. a git SHA or ``base``/``check``) and the
 normalized point ``id``.
 
+**Crash-safe lines.**  Every record is stamped with a ``_sha``
+checksum (first 12 hex of sha256 over the rest of the record) and
+appended with a single ``write`` call.  Reads are *tolerant*: a torn
+tail from a killed writer, a flipped byte, or a concurrent-append
+interleaving is detected, skipped, and reported via
+:attr:`HistoryStore.corrupt` — one damaged line costs one record,
+never the whole history.  Records written before the checksum existed
+(no ``_sha`` field) still load.
+
 **Identity normalization.**  A faulted run's identities differ
 textually from clean ones — the fault profile travels inside the
 config repr (``fault_profile='degraded'``) and as a positional argument
@@ -38,6 +47,7 @@ cannot flip the verdict.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
@@ -75,16 +85,32 @@ def normalized_identity(identity: str, profile: str | None = None) -> str:
     return identity.replace(repr(profile), "None")
 
 
+def _record_sha(record: dict[str, Any]) -> str:
+    """Integrity mark: sha256 (first 12 hex) over the record minus its
+    ``_sha`` field, dumped with sorted keys."""
+    body = {k: v for k, v in record.items() if k != "_sha"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True, allow_nan=False).encode()
+    ).hexdigest()[:12]
+
+
 class HistoryStore:
     """Append-only JSONL store of per-point perf records."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: damaged lines seen by the last :meth:`records` call, as
+        #: ``(lineno, reason)`` — quarantined (skipped), never raised
+        self.corrupt: list[tuple[int, str]] = []
 
     def append(self, record: dict[str, Any]) -> None:
-        """Append one record (must carry ``run`` and ``id``)."""
+        """Append one checksummed record (must carry ``run`` and
+        ``id``).  The line goes out in a single ``write``, so a crash
+        or a concurrent appender can tear at most this one record."""
         if "run" not in record or "id" not in record:
             raise ValueError(f"history record needs 'run' and 'id': {record}")
+        record = dict(record)
+        record["_sha"] = _record_sha(record)
         line = json.dumps(record, sort_keys=True, allow_nan=False)
         with open(self.path, "a") as fh:
             fh.write(line + "\n")
@@ -97,21 +123,36 @@ class HistoryStore:
         return n
 
     def records(self) -> list[dict[str, Any]]:
-        """All records in file order (blank lines tolerated)."""
+        """All intact records in file order.
+
+        Tolerant by design (the store must survive killed writers):
+        unparseable lines and checksum mismatches are skipped and
+        reported in :attr:`corrupt` instead of raising.  Legacy records
+        without a ``_sha`` field are accepted as-is.
+        """
         try:
             text = self.path.read_text()
         except OSError:
+            self.corrupt = []
             return []
         out = []
+        corrupt: list[tuple[int, str]] = []
         for lineno, line in enumerate(text.splitlines(), 1):
             if not line.strip():
                 continue
             try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{self.path}:{lineno}: corrupt history line: {exc}"
-                ) from None
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt.append((lineno, "unparseable JSON (torn line?)"))
+                continue
+            if not isinstance(record, dict):
+                corrupt.append((lineno, "not a JSON object"))
+                continue
+            if "_sha" in record and record["_sha"] != _record_sha(record):
+                corrupt.append((lineno, "checksum mismatch"))
+                continue
+            out.append(record)
+        self.corrupt = corrupt
         return out
 
     def runs(self) -> list[str]:

@@ -10,6 +10,14 @@ reclaim the space).
 
 Values are pickled; sweep workers return small dataclasses (rows of a
 figure table), never large arrays.
+
+Entries are crash-safe: writes go through a temp file + ``os.replace``
+(no torn entries even with concurrent sweeps), and every entry carries
+an integrity footer — a magic marker plus the sha256 of the pickled
+payload.  A truncated, bit-flipped, or otherwise corrupted entry is
+*quarantined* on read (moved aside into ``quarantine/`` for forensics)
+and reported as a miss, so the sweep recomputes the point instead of
+crashing or silently replaying poison.
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ from typing import Any, Callable
 __all__ = ["ResultCache", "point_identity", "source_digest"]
 
 DEFAULT_CACHE_DIR = ".repro-perf-cache"
+
+#: integrity footer: MAGIC + 64 hex chars of sha256(payload), appended
+#: after the pickled payload.  Fixed-size, so reads can split payload
+#: from footer without parsing the pickle stream.
+_MAGIC = b"\n#repro-cache-sha256:"
+_FOOTER_LEN = len(_MAGIC) + 64
 
 
 @functools.lru_cache(maxsize=1)
@@ -59,6 +73,8 @@ class ResultCache:
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: corrupted entries detected this process: (key, reason)
+        self.quarantined: list[tuple[str, str]] = []
 
     def key(self, fn: Callable, args: tuple, variant: str = "") -> str:
         """Cache key for calling ``fn(*args)`` against current sources.
@@ -71,13 +87,44 @@ class ResultCache:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def get(self, key: str) -> tuple[bool, Any]:
-        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        """``(True, value)`` on a verified hit, ``(False, None)``
+        otherwise.  A present-but-corrupt entry (truncated, flipped
+        byte, zero bytes, missing/garbled footer) is quarantined and
+        reported as a miss — the caller recomputes."""
         path = self.root / f"{key}.pkl"
         try:
             with open(path, "rb") as fh:
-                return True, pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+                blob = fh.read()
+        except OSError:
             return False, None
+        if len(blob) <= _FOOTER_LEN:
+            self._quarantine(key, path, "truncated (shorter than the footer)")
+            return False, None
+        payload, footer = blob[:-_FOOTER_LEN], blob[-_FOOTER_LEN:]
+        if not footer.startswith(_MAGIC):
+            self._quarantine(key, path, "missing integrity footer")
+            return False, None
+        if hashlib.sha256(payload).hexdigest().encode() != footer[len(_MAGIC):]:
+            self._quarantine(key, path, "sha256 mismatch")
+            return False, None
+        try:
+            return True, pickle.loads(payload)
+        except Exception:
+            # checksum matched but the pickle is unreadable (e.g. it
+            # references a class this process no longer has)
+            self._quarantine(key, path, "unpicklable payload")
+            return False, None
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (never delete — forensics) and
+        record it; the entry becomes a miss."""
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, qdir / f"{key}.pkl")
+        except OSError:
+            pass  # concurrent quarantine of the same entry: fine
+        self.quarantined.append((key, reason))
 
     def evict(self, key: str) -> bool:
         """Delete the entry for ``key``; ``True`` if a file was removed."""
@@ -89,9 +136,13 @@ class ResultCache:
 
     def put(self, key: str, value: Any) -> None:
         """Atomic write (tmp file + rename) so concurrent sweeps never
-        observe a torn entry."""
+        observe a torn entry; the integrity footer makes torn *media*
+        (power loss, full disk) detectable at read time too."""
         path = self.root / f"{key}.pkl"
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        payload = pickle.dumps(value)
         with open(tmp, "wb") as fh:
-            pickle.dump(value, fh)
+            fh.write(payload)
+            fh.write(_MAGIC)
+            fh.write(hashlib.sha256(payload).hexdigest().encode())
         os.replace(tmp, path)

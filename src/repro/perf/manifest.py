@@ -17,17 +17,40 @@ The runner tallies these outcomes (``replayed`` / ``changed`` /
 sweep-shape edit invalidated.  The report body itself stays
 byte-identical — the manifest only steers *where results come from*,
 never what they are.
+
+:class:`SweepJournal` is the manifest's crash-safe sibling: an
+append-only JSONL ledger the runner writes *as each point completes*
+(one checksummed line per point), so an interrupted sweep leaves a
+readable prefix behind and ``repro.bench --resume`` can replay the
+finished points from cache and compute only the rest.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["ManifestDiff", "SweepManifest"]
+__all__ = ["ManifestDiff", "SweepJournal", "SweepManifest"]
 
 _FORMAT = "repro-sweep-manifest-v1"
+_JOURNAL_FORMAT = "repro-sweep-journal-v1"
+
+
+def _points_sha(points: dict) -> str:
+    """Checksum of the points table in canonical (sorted-key) form."""
+    return hashlib.sha256(
+        json.dumps(points, sort_keys=True).encode()).hexdigest()
+
+
+def _line_sha(record: dict) -> str:
+    """Per-line integrity mark: first 12 hex of sha256 over the record
+    without its ``_sha`` field, dumped with sorted keys."""
+    body = {k: v for k, v in record.items() if k != "_sha"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()).hexdigest()[:12]
 
 
 @dataclass
@@ -52,7 +75,9 @@ class SweepManifest:
 
     @classmethod
     def load(cls, path: str | Path) -> "SweepManifest":
-        """Read a manifest written by :meth:`save`."""
+        """Read a manifest written by :meth:`save`.  Verifies the
+        whole-file checksum when present (manifests written before the
+        checksum existed still load)."""
         path = Path(path)
         data = json.loads(path.read_text())
         if not isinstance(data, dict) or data.get("format") != _FORMAT:
@@ -61,6 +86,10 @@ class SweepManifest:
         points = data.get("points")
         if not isinstance(points, dict):
             raise ValueError(f"{path}: malformed manifest (no points table)")
+        recorded = data.get("sha256")
+        if recorded is not None and recorded != _points_sha(points):
+            raise ValueError(f"{path}: manifest checksum mismatch — the "
+                             f"points table was corrupted or hand-edited")
         return cls(points, path=path)
 
     def record(self, identity: str, key: str) -> None:
@@ -72,13 +101,19 @@ class SweepManifest:
         return self.entries.get(identity)
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the ledger (sorted, so reruns are byte-identical)."""
+        """Write the ledger atomically (temp file + rename, so a crash
+        mid-save never leaves a torn manifest) with a checksum over the
+        points table.  Sorted, so reruns are byte-identical."""
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("SweepManifest.save: no path given or remembered")
+        points = dict(sorted(self.entries.items()))
         payload = {"format": _FORMAT,
-                   "points": dict(sorted(self.entries.items()))}
-        target.write_text(json.dumps(payload, indent=2) + "\n")
+                   "points": points,
+                   "sha256": _points_sha(points)}
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, target)
         self.path = target
         return target
 
@@ -96,3 +131,71 @@ class SweepManifest:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+class SweepJournal:
+    """Append-only JSONL ledger of completed sweep points.
+
+    One line per completed point: ``{"identity": ..., "key": ...,
+    "_sha": ...}`` where ``_sha`` covers the rest of the line.  Lines
+    are written with a single ``write`` call each, so a worker killed
+    mid-sweep leaves at worst one torn trailing line — which the
+    tolerant :meth:`load` detects, skips, and counts.  The loaded
+    journal converts to a :class:`SweepManifest` that ``--resume``
+    hands to the runner as its replay baseline.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    def append(self, identity: str, key: str) -> None:
+        """Record one completed point (opens lazily, appends, flushes)."""
+        record = {"format": _JOURNAL_FORMAT, "identity": identity, "key": key}
+        record["_sha"] = _line_sha(record)
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> tuple[SweepManifest, list[tuple[int, str]]]:
+        """Read a journal, tolerantly.
+
+        Returns ``(manifest, corrupt)`` where ``manifest`` maps every
+        validly journaled identity to its cache key (later lines win)
+        and ``corrupt`` lists ``(lineno, reason)`` for every skipped
+        line — a torn tail from a killed worker is data loss of at most
+        that one point, never a crash.
+        """
+        path = Path(path)
+        entries: dict[str, str] = {}
+        corrupt: list[tuple[int, str]] = []
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    corrupt.append((lineno, "unparseable JSON (torn line?)"))
+                    continue
+                if not isinstance(record, dict) \
+                        or record.get("format") != _JOURNAL_FORMAT:
+                    corrupt.append((lineno, "not a journal record"))
+                    continue
+                if record.get("_sha") != _line_sha(record):
+                    corrupt.append((lineno, "checksum mismatch"))
+                    continue
+                identity, key = record.get("identity"), record.get("key")
+                if not isinstance(identity, str) or not isinstance(key, str):
+                    corrupt.append((lineno, "malformed identity/key"))
+                    continue
+                entries[identity] = key
+        return SweepManifest(entries, path=path), corrupt

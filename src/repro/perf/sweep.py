@@ -29,15 +29,30 @@ import copy
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.obs.metrics import MetricsRegistry, active_metrics, use_metrics
 from repro.perf.batch import BatchAdapter, adapter_for
 from repro.perf.cache import ResultCache, point_identity
-from repro.perf.manifest import SweepManifest
+from repro.perf.manifest import SweepJournal, SweepManifest
 
-__all__ = ["SweepRunner", "active_runner", "use_runner"]
+__all__ = ["QuarantinedPoint", "SweepRunner", "active_runner", "use_runner"]
+
+
+@dataclass(frozen=True)
+class QuarantinedPoint:
+    """A sweep point whose worker process died (SIGKILL, segfault, OOM)
+    on every allowed attempt.  It takes the point's slot in the result
+    list and is reported in the sweep summary — one poison point never
+    aborts the rest of the sweep."""
+
+    index: int
+    identity: str
+    attempts: int
+    reason: str = "worker process died (BrokenProcessPool)"
 
 
 def _call_with_metrics(fn: Callable, args: tuple) -> tuple[Any, dict]:
@@ -94,16 +109,32 @@ class SweepRunner:
         started / finished).  Strictly an observer: results, cache
         keys, and scheduling are identical with or without a sink, and
         ``None`` (the default) costs nothing.
+    ``journal``
+        A :class:`~repro.perf.manifest.SweepJournal` the runner appends
+        each completed point's (identity, key) to *as it finishes* —
+        the crash-safe ledger behind ``repro.bench --resume``.
+        Requires ``cache`` (a journal entry promises the cache holds
+        the result).
+    ``retries``
+        Extra single-worker attempts granted to each point stranded by
+        a dead pool worker before the point is quarantined (default 2).
+        Retries only happen in this post-crash careful mode, so a
+        healthy sweep's execution is byte-for-byte unchanged.
     """
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  manifest: SweepManifest | None = None,
                  baseline: SweepManifest | None = None,
                  profile_sink: list[tuple[str, str]] | None = None,
-                 batch: bool = True, progress: Any | None = None) -> None:
-        if cache is None and (manifest is not None or baseline is not None):
+                 batch: bool = True, progress: Any | None = None,
+                 journal: SweepJournal | None = None,
+                 retries: int = 2) -> None:
+        if cache is None and (manifest is not None or baseline is not None
+                              or journal is not None):
             raise ValueError("sweep manifests require a ResultCache "
                              "(keys are what they record)")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = max(1, jobs)
         self.cache = cache
         self.manifest = manifest
@@ -111,6 +142,10 @@ class SweepRunner:
         self.profile_sink = profile_sink
         self.batch = batch
         self.progress = progress
+        self.journal = journal
+        self.retries = retries
+        #: poison points (worker death on every attempt), in index order
+        self.quarantined: list[QuarantinedPoint] = []
         self.hits = 0
         self.misses = 0
         #: batched-execution tallies (stdout diagnostics, never metrics)
@@ -157,7 +192,8 @@ class SweepRunner:
     def _run_batch_groups(self, adapter: BatchAdapter, argtuples: Sequence[tuple],
                           pending: list[int], with_metrics: bool,
                           results: list[Any],
-                          idents: list[str] | None = None) -> list[int]:
+                          idents: list[str] | None = None,
+                          on_done: Callable[[int], None] | None = None) -> list[int]:
         """Run groupable cache-miss points fused; returns the indices
         that still need per-point execution (ungroupable points,
         singleton groups, and groups whose fused run diverged)."""
@@ -186,6 +222,8 @@ class SweepRunner:
                 continue
             for i, value in zip(idxs, values):
                 results[i] = value
+                if on_done is not None:
+                    on_done(i)
                 if self.progress is not None:
                     self.progress.point_batched(i, idents[i], len(idxs),
                                                 results[i])
@@ -193,6 +231,71 @@ class SweepRunner:
             self.batch_points += len(idxs)
         rest.sort()
         return rest
+
+    def _careful(self, fn: Callable, args: tuple, with_metrics: bool,
+                 variant: str, index: int) -> Any:
+        """Post-crash execution of one point: a fresh single-worker
+        pool per attempt, so this point's death cannot strand others.
+        Exhausting the retry budget quarantines the point."""
+        attempts = 1 + self.retries
+        for _ in range(attempts):
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    if with_metrics:
+                        return pool.submit(_call_with_metrics, fn, args).result()
+                    return pool.submit(fn, *args).result()
+            except BrokenProcessPool:
+                continue
+        point = QuarantinedPoint(index=index,
+                                 identity=point_identity(fn, args, variant),
+                                 attempts=attempts)
+        self.quarantined.append(point)
+        return point
+
+    def _run_pool(self, fn: Callable, argtuples: Sequence[tuple],
+                  pending: list[int], with_metrics: bool, results: list[Any],
+                  idents: list[str] | None, store: Callable[[int], None],
+                  variant: str) -> None:
+        """Fan pending points out to a process pool, surviving worker
+        death: a :class:`BrokenProcessPool` flips the remaining points
+        into careful mode instead of aborting the sweep."""
+        resolved: set[int] = set()
+        submitted = time.perf_counter()
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                if self.progress is not None:
+                    for i in pending:
+                        self.progress.point_started(i, idents[i])
+                if with_metrics:
+                    futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
+                               for i in pending]
+                else:
+                    futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
+                for i, future in futures:
+                    results[i] = future.result()
+                    resolved.add(i)
+                    store(i)
+                    if self.progress is not None:
+                        # submit-to-resolve wall time: pooled points
+                        # have no per-point clock on the worker side
+                        self.progress.point_finished(
+                            i, idents[i],
+                            time.perf_counter() - submitted, results[i])
+        except BrokenProcessPool:
+            # a worker died (SIGKILL, segfault, OOM) and took the whole
+            # pool down; every unresolved point re-runs alone with a
+            # bounded retry budget, and a point that keeps killing its
+            # worker is quarantined — reported, never fatal
+            for i in pending:
+                if i in resolved:
+                    continue
+                results[i] = self._careful(fn, argtuples[i], with_metrics,
+                                           variant, i)
+                store(i)
+                if self.progress is not None:
+                    self.progress.point_finished(
+                        i, idents[i], time.perf_counter() - submitted,
+                        results[i])
 
     def map(self, fn: Callable, argtuples: Sequence[tuple]) -> list[Any]:
         """``[fn(*args) for args in argtuples]``, accelerated."""
@@ -212,7 +315,8 @@ class SweepRunner:
             if self.cache is not None:
                 keys[i] = self.cache.key(fn, args, variant=variant)
                 previous = None
-                if self.manifest is not None or self.baseline is not None:
+                if (self.manifest is not None or self.baseline is not None
+                        or self.journal is not None):
                     identity = point_identity(fn, args, variant)
                     if self.baseline is not None:
                         previous = self.baseline.key_for(identity)
@@ -224,6 +328,8 @@ class SweepRunner:
                 if hit:
                     results[i] = value
                     self.hits += 1
+                    if self.journal is not None:
+                        self.journal.append(identity, keys[i])
                     if self.progress is not None:
                         self.progress.point_cached(i, idents[i])
                     continue
@@ -231,37 +337,40 @@ class SweepRunner:
             pending.append(i)
         computed = list(pending)
         dup_of: dict[int, int] = {}
+
+        def store(i: int) -> None:
+            # persist each point the moment it completes, so a sweep
+            # killed mid-flight leaves every finished point replayable
+            # (the journal line promises the cache holds the result)
+            if self.cache is None or keys[i] is None:
+                return
+            value = results[i]
+            if isinstance(value, QuarantinedPoint):
+                return
+            if with_metrics and isinstance(value[1], MetricsRegistry):
+                # normalize to the picklable cached form
+                value = results[i] = (value[0], value[1].to_dict())
+            self.cache.put(keys[i], value)
+            if self.journal is not None:
+                self.journal.append(
+                    point_identity(fn, argtuples[i], variant), keys[i])
+
         if pending:
             adapter = (adapter_for(fn)
                        if self.batch and self.profile_sink is None else None)
             if adapter is not None:
                 pending, dup_of = _dedupe_pending(argtuples, pending)
                 pending = self._run_batch_groups(
-                    adapter, argtuples, pending, with_metrics, results, idents)
+                    adapter, argtuples, pending, with_metrics, results, idents,
+                    on_done=store)
         if pending:
             # a single-core host gains nothing from a process pool and
             # pays its spawn + pickle overhead; run the points inline
             if (self.jobs > 1 and len(pending) > 1
                     and self.profile_sink is None
                     and (os.cpu_count() or 1) > 1):
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    submitted = time.perf_counter()
-                    if self.progress is not None:
-                        for i in pending:
-                            self.progress.point_started(i, idents[i])
-                    if with_metrics:
-                        futures = [(i, pool.submit(_call_with_metrics, fn, argtuples[i]))
-                                   for i in pending]
-                    else:
-                        futures = [(i, pool.submit(fn, *argtuples[i])) for i in pending]
-                    for i, future in futures:
-                        results[i] = future.result()
-                        if self.progress is not None:
-                            # submit-to-resolve wall time: pooled points
-                            # have no per-point clock on the worker side
-                            self.progress.point_finished(
-                                i, idents[i],
-                                time.perf_counter() - submitted, results[i])
+                self._run_pool(fn, argtuples, pending, with_metrics, results,
+                               idents, store, variant)
             else:
                 for i in pending:
                     if with_metrics:
@@ -283,6 +392,7 @@ class SweepRunner:
                             point_identity(fn, argtuples[i], variant), compute)
                     else:
                         results[i] = compute()
+                    store(i)
                     if self.progress is not None:
                         self.progress.point_finished(
                             i, idents[i], time.perf_counter() - started,
@@ -291,20 +401,23 @@ class SweepRunner:
             # duplicate argtuples computed once (deterministic workers
             # produce identical values); copy into the remaining slots
             for i, j in dup_of.items():
-                results[i] = copy.deepcopy(results[j])
+                value = results[j]
+                if isinstance(value, QuarantinedPoint):
+                    results[i] = replace(value, index=i)
+                    self.quarantined.append(results[i])
+                else:
+                    results[i] = copy.deepcopy(value)
                 if self.progress is not None:
                     self.progress.point_cached(i, idents[i], duplicate_of=j)
-            if self.cache is not None:
-                for i in computed:
-                    value = results[i]
-                    if with_metrics and isinstance(value[1], MetricsRegistry):
-                        # normalize to the picklable cached form
-                        value = results[i] = (value[0], value[1].to_dict())
-                    self.cache.put(keys[i], value)
         if with_metrics:
             # unwrap (result, dump) pairs; merge in submission order
             unwrapped: list[Any] = []
             for value in results:
+                if isinstance(value, QuarantinedPoint):
+                    # a quarantined point has no result and no metrics;
+                    # it keeps its slot so callers see what was lost
+                    unwrapped.append(value)
+                    continue
                 result, dump = value
                 if isinstance(dump, MetricsRegistry):
                     ambient.merge_registry(dump)

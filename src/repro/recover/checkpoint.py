@@ -1,0 +1,85 @@
+"""Epoch-tagged checkpoints for fail-stop recovery.
+
+A checkpoint is everything needed to restart the computation from an
+iteration boundary: the gathered global field (the logical state of the
+distributed double buffers) plus, when the variant runs on NVSHMEM, a
+deep :class:`~repro.nvshmem.heap.HeapSnapshot` of every symmetric
+allocation and signal word.  Checkpoints are taken at *quiescent*
+points — segment boundaries where every PE has passed the same
+iteration count and no deliveries are in flight — which is what makes
+restart-from-checkpoint deterministic: the restarted segment sees
+exactly the state a fresh run of the remaining iterations would.
+
+The store is in-memory: the simulated machine's "NVMe" target.  What
+would be durable-media cost in a real system is charged in simulated
+time by the recovery runner (``restart_cost_us``), not modeled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvshmem.heap import HeapSnapshot
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True, eq=False)
+class Checkpoint:
+    """One recovery point.
+
+    ``epoch`` counts checkpoints from 0 (the initial scatter —
+    restartable by construction); ``iteration`` is the global iteration
+    count the state corresponds to; ``sim_time_us`` is the accumulated
+    clean simulated time up to this point (global clock, not
+    segment-local).
+    """
+
+    epoch: int
+    iteration: int
+    state: np.ndarray
+    sim_time_us: float
+    heap: HeapSnapshot | None = None
+
+    @property
+    def nbytes(self) -> int:
+        total = int(self.state.nbytes)
+        if self.heap is not None:
+            total += self.heap.nbytes
+        return total
+
+
+class CheckpointStore:
+    """Append-only sequence of checkpoints, newest last."""
+
+    def __init__(self) -> None:
+        self._checkpoints: list[Checkpoint] = []
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def save(self, iteration: int, state: np.ndarray, sim_time_us: float,
+             heap: HeapSnapshot | None = None) -> Checkpoint:
+        """Record a checkpoint; the state is deep-copied so later
+        segment runs cannot mutate a recovery point in place."""
+        ckpt = Checkpoint(
+            epoch=len(self._checkpoints),
+            iteration=iteration,
+            state=np.array(state, copy=True),
+            sim_time_us=sim_time_us,
+            heap=heap,
+        )
+        self._checkpoints.append(ckpt)
+        return ckpt
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def epochs(self) -> list[int]:
+        return [c.epoch for c in self._checkpoints]
+
+    def total_bytes(self) -> int:
+        return sum(c.nbytes for c in self._checkpoints)

@@ -18,6 +18,7 @@ from repro.sim.engine import (
     Flag,
     Process,
     ProcessFailed,
+    ProcessKilled,
     SimulationError,
     Simulator,
     WaitFlag,
@@ -42,6 +43,7 @@ __all__ = [
     "Mutex",
     "Process",
     "ProcessFailed",
+    "ProcessKilled",
     "Semaphore",
     "SimulationError",
     "Simulator",

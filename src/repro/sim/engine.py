@@ -108,6 +108,7 @@ __all__ = [
     "Flag",
     "Process",
     "ProcessFailed",
+    "ProcessKilled",
     "SimulationError",
     "Simulator",
     "TIMEOUT",
@@ -144,6 +145,13 @@ class WatchdogError(DeadlockError):
 
 class ProcessFailed(SimulationError):
     """Raised when joining a process that terminated with an exception."""
+
+
+class ProcessKilled(SimulationError):
+    """Recorded as a process's ``error`` when :meth:`Simulator.kill`
+    terminates it mid-run (fail-stop fault model).  A later join of the
+    killed process raises :class:`ProcessFailed` from this, so the
+    joiner observes the death instead of a phantom result."""
 
 
 class _TimeoutSentinel:
@@ -283,6 +291,23 @@ class _TimeoutEntry:
     def __init__(self, flag: "Flag") -> None:
         self.flag = flag
         self.cancelled = False
+
+
+class _WeakCallback:
+    """Calendar wrapper for ``call_at(..., weak=True)`` callbacks.
+
+    A *weak* callback must not keep the simulation alive: when one
+    surfaces and only weak events (or dead tokens) remain pending, the
+    run ends at the current time instead of advancing to the callback's
+    timestamp.  The fault layer arms crash timers this way — a crash
+    scheduled past the natural end of the run neither fires nor
+    stretches the measured timeline.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
 
 
 class Process:
@@ -783,7 +808,8 @@ class Simulator:
         else:
             bucket.append(entry)
 
-    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+    def call_at(self, time: float, fn: Callable[[], None], *,
+                weak: bool = False) -> None:
         """Schedule a bare callback to run at ``time``.
 
         Callback events ride the calendar like process resumes but skip
@@ -793,10 +819,91 @@ class Simulator:
         themselves.  Callbacks at the same timestamp run in scheduling
         order relative to every other event, per the ``(time, seq)``
         contract.
+
+        ``weak=True`` schedules a callback that must not keep the run
+        alive: if it surfaces when nothing but weak events remains
+        pending, the run ends at the current time without executing it
+        or advancing the clock.  Crash timers use this so a fault
+        armed past the run's natural end leaves the timeline untouched.
         """
         if time < self.now - 1e-12:
             raise SimulationError("callback scheduled in the past")
-        self._push(time, None, fn)
+        self._push(time, None, _WeakCallback(fn) if weak else fn)
+
+    def _any_strong(self) -> bool:
+        """True when any pending event other than weak callbacks and
+        dead tokens remains — i.e. the simulation still has work that
+        justifies advancing time.  Linear, but only consulted when a
+        weak callback surfaces at the head of the calendar."""
+        for queue in (self._ready, *self._buckets.values()):
+            for entry in queue:
+                proc = entry[2]
+                value = entry[3]
+                if proc is not None:
+                    if not proc.alive:
+                        continue
+                    if value.__class__ is _TimeoutEntry and value.cancelled:
+                        continue
+                    return True
+                if value.__class__ is not _WeakCallback:
+                    return True
+        return False
+
+    # -- fail-stop kill ------------------------------------------------------
+
+    def kill(self, proc: Process, error: BaseException | None = None) -> bool:
+        """Terminate ``proc`` fail-stop at the current simulated time.
+
+        The process stops existing mid-flight: its pending event (a
+        Delay resume, a flag wakeup, a timeout token) is discarded when
+        it surfaces, waiter registrations are invalidated, and its
+        generator is closed.  Joiners are *not* resumed — with fail-stop
+        semantics nobody tells them their target died, which is exactly
+        the hang the watchdog/deadlock diagnostics then attribute.  A
+        *later* join raises :class:`ProcessFailed` from the recorded
+        :class:`ProcessKilled` error.  Returns ``False`` if the process
+        had already finished.
+        """
+        if not proc.alive:
+            return False
+        proc.alive = False
+        proc.result = None
+        proc.error = error if error is not None else ProcessKilled(
+            f"process {proc.name} killed at t={self.now}")
+        proc._finish_time = self.now
+        if proc._blocked_since is not None:
+            self._blocked -= 1
+        flag = proc._waiting_flag
+        if flag is not None and flag._scan:
+            flag._scan = [w for w in flag._scan if w[1] is not proc]
+        # indexed ge/eq waiter entries (and any armed watchdog deadline)
+        # die lazily: the epoch bump / alive check invalidates them
+        proc._wait_epoch += 1
+        token = proc._timeout
+        if token is not None:
+            token.cancelled = True
+            proc._timeout = None
+        proc._waiting_flag = None
+        proc._waiting_join = None
+        proc._blocked_since = None
+        proc._waiting_on = "<killed>"
+        try:
+            proc.gen.close()
+        except Exception:
+            pass  # cleanup errors inside dying code are part of the crash
+        if self.monitor is not None:
+            self.monitor.finished(proc)
+        return True
+
+    def kill_matching(self, predicate: Callable[[Process], bool]) -> list[Process]:
+        """Kill every live process whose name/state matches, in spawn
+        order (deterministic).  Returns the killed processes."""
+        killed = []
+        for proc in self._processes:
+            if proc.alive and predicate(proc):
+                self.kill(proc)
+                killed.append(proc)
+        return killed
 
     def _resume(self, proc: Process, value: Any, release: Any = None) -> None:
         """Schedule ``proc`` to continue at the current time.
@@ -880,11 +987,24 @@ class Simulator:
                         n_heap += 1
                     else:
                         n_ready += 1
+                    if not proc.alive:
+                        # Dead process (killed fail-stop, or a joined
+                        # process that already finished): its leftover
+                        # event must not advance time.
+                        continue
                     if value.__class__ is _TimeoutEntry and value.cancelled:
                         # Lazily-cancelled timeout token: discard before
                         # the time advance so a resolved wait never
                         # inflates now.
                         continue
+                elif value.__class__ is _WeakCallback:
+                    # Weak callback: only runs while strong events keep
+                    # the simulation alive.  The scan is O(pending) but
+                    # rare — it only triggers when a weak event actually
+                    # surfaces at the head of the calendar.
+                    if not self._any_strong():
+                        break
+                    value = value.fn
                 if until is not None and t_p > until:
                     bucket = buckets.get(t_p)
                     if bucket is None:

@@ -133,15 +133,25 @@ class Tracer:
             ) from None
         self.record(lane, name, category, start, now)
 
-    def close_all(self, now: float) -> list[tuple[str, str]]:
-        """Close every dangling open span at ``now`` (crash hygiene:
-        a process that died mid-span still shows up in the timeline).
-        Returns the closed ``(lane, name)`` pairs, sorted."""
-        closed = sorted(self._open)
-        for lane, name in closed:
-            category, start = self._open[(lane, name)]
-            self.record(lane, name, category, start, max(start, now))
-        self._open.clear()
+    def close_all(self, now: float, *, lanes: Any = None,
+                  tag: str | None = None) -> list[tuple[str, str]]:
+        """Close dangling open spans at ``now`` (crash hygiene: a
+        process that died mid-span still shows up in the timeline).
+
+        ``lanes`` narrows the sweep to matching lanes — a ``lane ->
+        bool`` predicate, so a PE crash can close exactly the dead PE's
+        spans while survivors keep theirs open.  ``tag`` marks every
+        closed span with ``{"closed_by": tag}`` meta, making
+        crash-truncated spans distinguishable from normally-ended ones
+        in the exported trace.  Returns the closed ``(lane, name)``
+        pairs, sorted.
+        """
+        closed = sorted(
+            key for key in self._open if lanes is None or lanes(key[0]))
+        meta = {"closed_by": tag} if tag is not None else None
+        for key in closed:
+            category, start = self._open.pop(key)
+            self.record(key[0], key[1], category, start, max(start, now), meta)
         return closed
 
     def add_counter(self, name: str, now: float, value: float) -> None:

@@ -36,12 +36,30 @@ class TestStore:
         assert store.records() == []
         assert store.latest_run() is None
 
-    def test_corrupt_line_names_path_and_lineno(self, store):
+    def test_corrupt_line_skipped_and_reported(self, store):
         store.append({"run": "base", "id": "a", "per_iter_us": 1.0})
         with open(store.path, "a") as fh:
             fh.write("not json\n")
-        with pytest.raises(ValueError, match=r"hist\.jsonl:2"):
-            store.records()
+        store.append({"run": "base", "id": "b", "per_iter_us": 2.0})
+        records = store.records()
+        assert [r["id"] for r in records] == ["a", "b"]
+        assert store.corrupt == [(2, "unparseable JSON (torn line?)")]
+
+    def test_checksum_mismatch_skipped(self, store):
+        store.append({"run": "base", "id": "a", "per_iter_us": 1.0})
+        text = store.path.read_text()
+        store.path.write_text(text.replace("1.0", "9.0"))
+        assert store.records() == []
+        assert store.corrupt == [(1, "checksum mismatch")]
+
+    def test_legacy_records_without_sha_accepted(self, store):
+        import json
+
+        with open(store.path, "a") as fh:
+            fh.write(json.dumps({"run": "base", "id": "a",
+                                 "per_iter_us": 1.0}) + "\n")
+        assert [r["id"] for r in store.records()] == ["a"]
+        assert store.corrupt == []
 
     def test_blank_lines_tolerated(self, store):
         store.append({"run": "base", "id": "a", "per_iter_us": 1.0})

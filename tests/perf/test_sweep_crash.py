@@ -1,0 +1,93 @@
+"""Sweep survival when worker processes die (SIGKILL -> quarantine)."""
+
+import os
+import signal
+
+import pytest
+
+import repro.perf.sweep as sweep_mod
+from repro.perf.cache import ResultCache
+from repro.perf.manifest import SweepJournal
+from repro.perf.sweep import QuarantinedPoint, SweepRunner
+
+
+def _work(x):
+    return x * 10
+
+
+def _poison(x):
+    """Top-level worker that SIGKILLs its own process on the marker
+    point — the harshest failure a pool worker can produce (no
+    exception, no cleanup, the pool just breaks)."""
+    if x == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+@pytest.fixture
+def pool_path(monkeypatch):
+    """Force the process-pool path even on single-core CI hosts."""
+    monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 4)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestWorkerDeath:
+    def test_poison_point_quarantined_others_survive(self, pool_path):
+        runner = SweepRunner(jobs=2, retries=1)
+        results = runner.map(_poison, [(1,), (2,), (3,), (4,), (5,)])
+        assert results[0] == 10 and results[1] == 20
+        assert results[3] == 40 and results[4] == 50
+        point = results[2]
+        assert isinstance(point, QuarantinedPoint)
+        assert point.index == 2
+        assert point.attempts == 2  # 1 + retries
+        assert "(3,)" in point.identity
+        assert runner.quarantined == [point]
+
+    def test_retries_zero_single_attempt(self, pool_path):
+        runner = SweepRunner(jobs=2, retries=0)
+        results = runner.map(_poison, [(1,), (2,), (3,), (4,)])
+        assert isinstance(results[2], QuarantinedPoint)
+        assert results[2].attempts == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(retries=-1)
+
+    def test_healthy_sweep_untouched(self, pool_path):
+        runner = SweepRunner(jobs=2)
+        assert runner.map(_work, [(1,), (2,), (3,)]) == [10, 20, 30]
+        assert runner.quarantined == []
+
+    def test_completed_points_cached_before_the_crash(self, pool_path, cache,
+                                                      tmp_path):
+        """Worker death must not lose the points that already finished:
+        they were stored as they completed, so a rerun replays them."""
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        runner = SweepRunner(jobs=2, cache=cache, journal=journal, retries=0)
+        results = runner.map(_poison, [(1,), (2,), (3,), (4,), (5,)])
+        journal.close()
+        assert isinstance(results[2], QuarantinedPoint)
+        manifest, corrupt = SweepJournal.load(tmp_path / "j.jsonl")
+        assert not corrupt
+        assert len(manifest) == 4  # everything but the poison point
+        rerun = SweepRunner(jobs=2, cache=cache, baseline=manifest, retries=0)
+        rerun_results = rerun.map(_poison, [(1,), (2,), (4,), (5,)])
+        assert rerun_results == [10, 20, 40, 50]
+        assert rerun.hits == 4 and rerun.misses == 0
+
+    def test_worker_exception_still_propagates(self, pool_path):
+        """Quarantine is for dead workers only: a worker that *raises*
+        keeps the old fail-fast contract."""
+
+        runner = SweepRunner(jobs=2, retries=1)
+        with pytest.raises(ZeroDivisionError):
+            runner.map(_divzero, [(1,), (0,), (2,), (3,)])
+
+
+def _divzero(x):
+    return 10 // x

@@ -1,0 +1,134 @@
+"""Property-based recovery invariants: for any crash seed and
+checkpoint cadence, the recovered run is byte-identical to the
+fault-free reference and only simulated time grows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.stencil.variants  # noqa: F401 - populate the registry
+from repro.faults import FaultPlan, PECrashFault
+from repro.recover import UnrecoverableCrashError, run_with_recovery
+from repro.stencil import StencilConfig, jacobi_reference
+from repro.stencil.base import VARIANTS, default_initial
+
+SHAPE = (34, 66)
+ITERATIONS = 6
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+cadences = st.integers(min_value=1, max_value=ITERATIONS)
+
+
+def _config(profile=None):
+    return StencilConfig(global_shape=SHAPE, num_gpus=2,
+                         iterations=ITERATIONS, fault_profile=profile)
+
+
+def _plan(seed, every):
+    return FaultPlan(
+        name="crash_recover", seed=seed,
+        crashes=(PECrashFault(pe=1, window_us=(10.0, 28.0)),),
+        watchdog_budget_us=1_000_000.0,
+        checkpoint_every=every,
+        restart_cost_us=200.0,
+        heartbeat_us=5.0,
+        heartbeat_misses=2,
+        expect="recover",
+    )
+
+
+def _reference():
+    config = _config()
+    return jacobi_reference(default_initial(config.global_shape, config.seed),
+                            config.iterations)
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds, every=cadences)
+    def test_recovered_result_byte_identical(self, seed, every):
+        outcome = run_with_recovery(VARIANTS["cpufree"],
+                                    _config(f"crash_recover@{seed}"),
+                                    checkpoint_every=every,
+                                    plan=_plan(seed, every))
+        np.testing.assert_array_equal(outcome.result, _reference())
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, every=cadences)
+    def test_time_grows_by_exactly_the_lost_time(self, seed, every):
+        clean = run_with_recovery(VARIANTS["cpufree"], _config(),
+                                  checkpoint_every=every)
+        crashed = run_with_recovery(VARIANTS["cpufree"],
+                                    _config(f"crash_recover@{seed}"),
+                                    checkpoint_every=every,
+                                    plan=_plan(seed, every))
+        # approx: the two runs sum the same segment times in a
+        # different association order (lost time is folded in
+        # mid-stream), so the totals can differ by an ulp
+        assert crashed.total_time_us == pytest.approx(
+            clean.total_time_us + crashed.lost_time_us, rel=1e-12)
+        if crashed.restarts:
+            assert crashed.lost_time_us > 0.0
+        else:
+            assert crashed.lost_time_us == 0.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, every=cadences)
+    def test_recovery_is_deterministic(self, seed, every):
+        runs = [run_with_recovery(VARIANTS["cpufree"],
+                                  _config(f"crash_recover@{seed}"),
+                                  checkpoint_every=every,
+                                  plan=_plan(seed, every))
+                for _ in range(2)]
+        np.testing.assert_array_equal(runs[0].result, runs[1].result)
+        assert runs[0].total_time_us == runs[1].total_time_us
+        assert runs[0].crashed_pes == runs[1].crashed_pes
+        assert runs[0].restarts == runs[1].restarts
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, every=cadences)
+    def test_metrics_match_fault_free_modulo_time_and_recovery(self, seed,
+                                                               every):
+        """The final segment's simulated behavior is crash-free, so
+        its non-time metrics match a fault-free segmented run; the
+        recovery counters are the only structural additions."""
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        clean_reg = MetricsRegistry()
+        with use_metrics(clean_reg):
+            run_with_recovery(VARIANTS["cpufree"], _config(),
+                              checkpoint_every=every)
+        crash_reg = MetricsRegistry()
+        with use_metrics(crash_reg):
+            outcome = run_with_recovery(VARIANTS["cpufree"],
+                                        _config(f"crash_recover@{seed}"),
+                                        checkpoint_every=every,
+                                        plan=_plan(seed, every))
+        clean_names = {s["name"] for s in clean_reg.to_dict()["counters"]}
+        crash_names = {s["name"] for s in crash_reg.to_dict()["counters"]}
+        extra = crash_names - clean_names
+        assert extra <= {"recover.crashes_detected", "recover.restarts",
+                         "recover.detect_latency_us", "recover.lost_time_us",
+                         "faults.pe_crash", "faults.injected"}
+        if outcome.restarts:
+            assert "recover.restarts" in crash_names
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds)
+    def test_unrecoverable_names_the_dead_pe(self, seed):
+        plan = FaultPlan(
+            name="crash", seed=seed,
+            crashes=(PECrashFault(pe=1, window_us=(10.0, 28.0)),),
+            watchdog_budget_us=1_000_000.0,
+            heartbeat_us=5.0,
+            heartbeat_misses=2,
+            expect="diagnostic",
+        )
+        try:
+            run_with_recovery(VARIANTS["cpufree"],
+                              _config(f"crash@{seed}"), plan=plan)
+        except UnrecoverableCrashError as exc:
+            assert "pe1" in str(exc)
+        # a crash landing after the run's natural end simply never
+        # fires (weak event) — that is the clean-exit contract

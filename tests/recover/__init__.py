@@ -1,0 +1,1 @@
+"""Fail-stop recovery tests."""

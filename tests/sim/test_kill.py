@@ -1,0 +1,143 @@
+"""Fail-stop process kill and weak calendar events."""
+
+import pytest
+
+from repro.sim import (
+    Delay,
+    Flag,
+    ProcessFailed,
+    ProcessKilled,
+    Simulator,
+    WaitFlag,
+    WaitProcess,
+)
+
+
+def _sleeper(total, step=1.0):
+    t = 0.0
+    while t < total:
+        yield Delay(step)
+        t += step
+
+
+class TestKill:
+    def test_kill_stops_process_mid_flight(self):
+        sim = Simulator()
+        victim = sim.spawn(_sleeper(100.0), name="victim")
+        sim.call_at(3.0, lambda: sim.kill(victim))
+        assert sim.run() == 3.0
+        assert not victim.alive
+        assert isinstance(victim.error, ProcessKilled)
+
+    def test_kill_finished_process_is_noop(self):
+        sim = Simulator()
+        victim = sim.spawn(_sleeper(1.0), name="victim")
+        sim.run()
+        assert sim.kill(victim) is False
+
+    def test_killed_process_pending_events_discarded(self):
+        """The victim's queued Delay resume must not execute (its
+        generator is closed), and must not advance the clock past the
+        last live event."""
+        sim = Simulator()
+        steps = []
+
+        def victim_proc():
+            while True:
+                yield Delay(10.0)
+                steps.append(sim.now)
+
+        victim = sim.spawn(victim_proc(), name="victim")
+        sim.spawn(_sleeper(4.0, step=2.0), name="survivor")
+        sim.call_at(5.0, lambda: sim.kill(victim))
+        assert sim.run() == 5.0
+        assert steps == []
+
+    def test_kill_matching_by_name_in_spawn_order(self):
+        sim = Simulator()
+        a = sim.spawn(_sleeper(50.0), name="gpu1.a")
+        b = sim.spawn(_sleeper(50.0), name="gpu0.b")
+        c = sim.spawn(_sleeper(50.0), name="gpu1.c")
+
+        def cut():
+            killed = sim.kill_matching(lambda p: p.name.startswith("gpu1."))
+            assert killed == [a, c]
+
+        sim.call_at(2.0, cut)
+        sim.run()
+        assert b.alive is False  # b finished normally afterwards
+        assert b.error is None
+        assert isinstance(a.error, ProcessKilled)
+
+    def test_join_after_kill_raises_process_failed(self):
+        sim = Simulator()
+        victim = sim.spawn(_sleeper(100.0), name="victim")
+        sim.call_at(1.0, lambda: sim.kill(victim))
+
+        def joiner():
+            yield Delay(5.0)  # join strictly after the kill
+            yield WaitProcess(victim)
+
+        sim.spawn(joiner(), name="joiner")
+        with pytest.raises(ProcessFailed) as excinfo:
+            sim.run()
+        assert isinstance(excinfo.value.__cause__, ProcessKilled)
+
+    def test_killed_flag_waiter_never_wakes(self):
+        sim = Simulator()
+        flag = Flag(sim)
+        woke = []
+
+        def waiter():
+            yield WaitFlag(flag, ge=1)
+            woke.append(sim.now)
+
+        victim = sim.spawn(waiter(), name="victim")
+
+        def driver():
+            yield Delay(1.0)
+            sim.kill(victim)
+            yield Delay(1.0)
+            flag.set(1)
+
+        sim.spawn(driver(), name="driver")
+        sim.run()
+        assert woke == []
+        assert not victim.alive
+
+
+class TestWeakCallbacks:
+    def test_weak_callback_never_extends_the_run(self):
+        sim = Simulator()
+        fired = []
+        sim.spawn(_sleeper(3.0), name="work")
+        sim.call_at(1000.0, lambda: fired.append(sim.now), weak=True)
+        assert sim.run() == 3.0
+        assert fired == []
+
+    def test_weak_callback_fires_when_strong_work_remains(self):
+        sim = Simulator()
+        fired = []
+        sim.spawn(_sleeper(10.0), name="work")
+        sim.call_at(4.0, lambda: fired.append(sim.now), weak=True)
+        assert sim.run() == 10.0
+        assert fired == [4.0]
+
+    def test_strong_callback_does_extend_the_run(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(7.0, lambda: fired.append(sim.now))
+        assert sim.run() == 7.0
+        assert fired == [7.0]
+
+    def test_weak_only_run_ends_at_zero(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None, weak=True)
+        assert sim.run() == 0.0
+
+    def test_past_callback_rejected(self):
+        sim = Simulator()
+        sim.spawn(_sleeper(2.0), name="work")
+        sim.run()
+        with pytest.raises(Exception, match="past"):
+            sim.call_at(1.0, lambda: None)

@@ -56,6 +56,7 @@ __all__ = [
     "fig62_3d",
     "fig63a_dace_1d",
     "fig63b_dace_2d",
+    "fig_multinode_weak",
     "weak_shape_2d",
     "weak_shape_3d",
 ]
@@ -146,9 +147,14 @@ def _stencil_point(variant: str, config: StencilConfig) -> Row:
 def _stencil_group_key(args: tuple):
     """Batch-group key for :func:`_stencil_point`: everything except
     ``global_shape`` — points in one group run fused as a stack of
-    domain sizes.  Faulted and data-carrying points never batch."""
+    domain sizes.  Faulted and data-carrying points never batch, and
+    neither do hierarchical (multi-NVSwitch-domain) ones: rail links
+    price transfers against in-flight occupancy on the *pilot* clock,
+    which under a vector clock would misprice the other members."""
     variant, config = args
     if config.with_data or config.fault_profile is not None:
+        return None
+    if config.node.scaled_to(config.num_gpus).is_hierarchical:
         return None
     rest = tuple(
         (f.name, getattr(config, f.name))
@@ -334,6 +340,44 @@ def _weak_dropoff(fig: FigureData, series: str, gpu_counts: tuple[int, ...]) -> 
     t1 = fig.at(series, lo).per_iteration_us
     tn = fig.at(series, hi).per_iteration_us
     return (tn - t1) / t1 * 100.0
+
+
+# --------------------------- Multi-node scaling -----------------------------
+
+
+def fig_multinode_weak(
+    size: str = "small",
+    gpu_counts: tuple[int, ...] = (8, 16, 32, 64),
+    iterations: int = 10,
+    variants: tuple[str, ...] = ("baseline_nvshmem", "cpufree"),
+) -> FigureData:
+    """Multi-node extension (beyond the paper's single-node testbed):
+    2D Jacobi weak scaling across NVSwitch domains.
+
+    Counts above 8 GPUs scale the HGX node hierarchically — 8-GPU
+    NVSwitch domains joined by NIC rails — so boundary halo exchanges
+    cross rails through the proxy path while interior ones stay on
+    NVLink.  The headline is the per-variant weak-scaling dropoff from
+    one domain to the largest count: how much of the single-node curve
+    survives the rails.  Not part of the default report (the committed
+    golden pins the paper's figures); run it by name:
+    ``python -m repro.bench multinode``.
+    """
+    shapes = {g: weak_shape_2d(SIZE_CLASSES_2D[size], g) for g in gpu_counts}
+    rows = _stencil_rows(shapes, variants, iterations)
+    label_edge = SIZE_CLASSES_2D[size]
+    fig = FigureData(
+        "MN", f"Multi-node 2D Jacobi weak scaling ({size}: {label_edge}^2 at 8 GPUs)",
+        rows)
+    fig.headlines = {
+        f"{variant}_dropoff_%": _weak_dropoff(fig, variant, gpu_counts)
+        for variant in variants
+    }
+    top = max(gpu_counts)
+    if "cpufree" in variants and "baseline_nvshmem" in variants:
+        fig.headlines["speedup_vs_nvshmem_%"] = fig.speedup(
+            "cpufree", "baseline_nvshmem", top)
+    return fig
 
 
 # ------------------------------ Figure 6.2 ---------------------------------------

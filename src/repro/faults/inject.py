@@ -24,7 +24,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.faults.plan import DeliveryFault, FaultPlan, LinkFault
-from repro.hw.interconnect import HOST, Link
+from repro.hw.interconnect import Link
 from repro.sim.engine import Flag, Watchdog
 
 __all__ = [
@@ -243,9 +243,12 @@ class FaultInjector:
     def staged_transfer_us(self, topology, src: int, dst: int, nbytes: float, *,
                            sharers: int = 1) -> float:
         """Degraded-mode routing: ``src -> host -> dst`` when the direct
-        link is down.  Uses the (possibly degraded) host links."""
-        cost = (topology.link(src, HOST).transfer_us(nbytes, sharers=sharers)
-                + topology.link(HOST, dst).transfer_us(nbytes, sharers=sharers))
+        link is down.  The route (and its price) is the topology's call:
+        on a flat node it is the two (possibly degraded) host links; on
+        a hierarchical one an inter-node reroute also crosses — and
+        charges — the source domain's rail, not a fictional machine-wide
+        host link."""
+        cost = topology.staged_route_us(src, dst, nbytes, sharers=sharers)
         self._record("staged_copy", f"link:{src}->{dst}", nbytes, instant=True,
                      args={"src": src, "dst": dst, "nbytes": nbytes})
         if self._metrics is not None:

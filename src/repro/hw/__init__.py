@@ -15,12 +15,19 @@ NVLink/NVSwitch.  It provides:
 """
 
 from repro.hw.calibration import CostModel, DEFAULT_COST_MODEL
-from repro.hw.interconnect import Link, NodeTopology
+from repro.hw.interconnect import (
+    ClusterTopology,
+    Link,
+    NodeTopology,
+    RailLink,
+    build_topology,
+)
 from repro.hw.memory import DeviceBuffer, MemoryManager, Storage
 from repro.hw.spec import A100_SXM4_80GB, GPUSpec, HGX_A100_8GPU, NodeSpec
 
 __all__ = [
     "A100_SXM4_80GB",
+    "ClusterTopology",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "DeviceBuffer",
@@ -30,5 +37,7 @@ __all__ = [
     "MemoryManager",
     "NodeSpec",
     "NodeTopology",
+    "RailLink",
     "Storage",
+    "build_topology",
 ]

@@ -70,6 +70,11 @@ class CostModel:
     nvshmem_quiet_us: float = 1.4          #: memory-ordering fence to completion
     nvshmem_fence_us: float = 0.5          #: per-route ordering fence (non-blocking)
     nvshmem_host_barrier_us: float = 9.0   #: nvshmem_barrier_all from host
+    #: CPU proxy-thread forward for inter-node (cross-NVSwitch-domain)
+    #: puts: the SM rings a doorbell and the proxy posts the NIC work
+    #: request ("Demystifying NVSHMEM" — remote transports are
+    #: proxy-initiated, unlike the direct NVLink path)
+    nvshmem_proxy_us: float = 2.0
     #: fraction of link bandwidth a single issuing thread achieves
     #: (cooperative nvshmemx_*_block calls reach 1.0 — paper §5.3.2)
     put_thread_bw_fraction: float = 0.15

@@ -81,10 +81,18 @@ A100_SXM4_80GB = GPUSpec(
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """A multi-GPU node: N identical GPUs plus interconnect parameters.
+    """A multi-GPU system: N identical GPUs plus interconnect parameters.
 
     ``nvlink_bandwidth_gbps`` is the per-direction bandwidth available
     between any pair of GPUs through NVSwitch (all-to-all on HGX).
+
+    All-to-all NVLink only exists *within* one NVSwitch domain.  A spec
+    whose ``num_gpus`` exceeds ``nvswitch_domain_gpus`` describes a
+    hierarchical machine: equal NVSwitch domains joined by per-domain
+    NIC/InfiniBand *rails* (``rail_bandwidth_gbps``/``rail_latency_us``)
+    that carry proxy-initiated inter-node traffic.  ``None`` (the
+    default) means the whole machine is one domain — the paper's flat
+    HGX node.
     """
 
     gpu: GPUSpec
@@ -93,14 +101,72 @@ class NodeSpec:
     nvlink_latency_us: float
     host_link_bandwidth_gbps: float = 25.0  # PCIe Gen4 x16 effective
     host_link_latency_us: float = 4.0
+    #: GPUs per NVSwitch domain (None = all of num_gpus in one domain)
+    nvswitch_domain_gpus: int | None = None
+    #: inter-node NIC/IB rail, one egress rail per domain
+    rail_bandwidth_gbps: float = 25.0  # HDR200 effective per rail
+    rail_latency_us: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
             raise ValueError("num_gpus must be positive")
+        domain = self.nvswitch_domain_gpus
+        if domain is not None:
+            if domain <= 0:
+                raise ValueError("nvswitch_domain_gpus must be positive")
+            if self.num_gpus > domain and self.num_gpus % domain != 0:
+                raise ValueError(
+                    f"{self.num_gpus} GPUs cannot be built from whole NVSwitch "
+                    f"domains of {domain} (count must divide evenly)"
+                )
+        if self.rail_bandwidth_gbps <= 0:
+            raise ValueError("rail_bandwidth_gbps must be positive")
+        if self.rail_latency_us < 0:
+            raise ValueError("rail_latency_us must be non-negative")
+
+    # -- domain arithmetic ---------------------------------------------------
+
+    @property
+    def domain_gpus(self) -> int:
+        """GPUs per NVSwitch domain (= ``num_gpus`` for a flat node)."""
+        domain = self.nvswitch_domain_gpus
+        return min(domain, self.num_gpus) if domain is not None else self.num_gpus
+
+    @property
+    def num_domains(self) -> int:
+        return -(-self.num_gpus // self.domain_gpus)
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return self.num_domains > 1
+
+    def domain_of(self, device: int) -> int:
+        """NVSwitch domain containing ``device``."""
+        if not 0 <= device < self.num_gpus:
+            raise ValueError(f"device {device} out of range (num_gpus={self.num_gpus})")
+        return device // self.domain_gpus
 
     def scaled_to(self, num_gpus: int) -> "NodeSpec":
-        """Same node with a different GPU count (scaling sweeps)."""
-        return replace(self, num_gpus=num_gpus)
+        """Same machine with a different GPU count (scaling sweeps).
+
+        Within one NVSwitch domain this is the flat all-to-all node it
+        always was.  *Above* the domain size the old behavior — silently
+        granting full all-to-all NVLink at arbitrary counts — was
+        physically wrong; the scaled spec is now hierarchical (whole
+        NVSwitch domains joined by rails), or a :class:`ValueError`
+        explains why it cannot be built.
+        """
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        domain = self.nvswitch_domain_gpus or self.num_gpus
+        if num_gpus <= domain:
+            return replace(self, num_gpus=num_gpus)
+        if num_gpus % domain != 0:
+            raise ValueError(
+                f"cannot scale to {num_gpus} GPUs: counts above the NVSwitch "
+                f"domain size must be a whole number of {domain}-GPU domains"
+            )
+        return replace(self, num_gpus=num_gpus, nvswitch_domain_gpus=domain)
 
 
 #: The paper's testbed: 8×A100 with third-gen NVLink through NVSwitch.

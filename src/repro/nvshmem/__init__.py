@@ -28,6 +28,7 @@ Fidelity notes that matter for the reproduction:
 from repro.nvshmem.api import NVSHMEMRuntime
 from repro.nvshmem.device import NVSHMEMDevice, SignalOp, WaitCond
 from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
+from repro.nvshmem.teams import Team
 
 __all__ = [
     "NVSHMEMDevice",
@@ -36,5 +37,6 @@ __all__ = [
     "SignalOp",
     "SymmetricArray",
     "SymmetricHeap",
+    "Team",
     "WaitCond",
 ]

@@ -15,12 +15,13 @@ import numpy as np
 
 from repro.nvshmem.device import NVSHMEMDevice, SignalOp
 from repro.nvshmem.heap import SignalArray, SymmetricArray, SymmetricHeap
+from repro.nvshmem.teams import Team
 from repro.runtime.context import MultiGPUContext
 from repro.runtime.mpi import HostBarrier
 from repro.sim import Flag
 from repro.sim.stacked import Stacked
 
-__all__ = ["NVSHMEMRuntime"]
+__all__ = ["NVSHMEMRuntime", "Team"]
 
 
 class NVSHMEMRuntime:
@@ -69,8 +70,19 @@ class NVSHMEMRuntime:
         # point-to-point ordering through link-level retry).  Each
         # channel is an issue counter plus a "last completed seq" flag
         # that delivery legs wait on before applying their effects.
-        self._chan_issue: dict[tuple[int, int], int] = {}
-        self._chan_done: dict[tuple[int, int], Flag] = {}
+        # Channel maps (and the coalescing batch map below) are sharded
+        # by the source PE's NVSwitch domain: at 256+ PEs a single dict
+        # churning with every route's keys is the hot allocation site,
+        # and per-domain maps keep each one small.  Flat nodes get one
+        # shard, which is byte-identical to the old single dict.
+        self._dom = [ctx.topology.domain_of(pe) for pe in range(self.n_pes)]
+        self._n_domains = ctx.topology.num_domains
+        self._chan_issue: list[dict[tuple[int, int], int]] = [
+            {} for _ in range(self._n_domains)
+        ]
+        self._chan_done: list[dict[tuple[int, int], Flag]] = [
+            {} for _ in range(self._n_domains)
+        ]
         # Op/wait accounting accumulated as plain slots shared by every
         # NVSHMEMDevice handle (handles are created per kernel body) and
         # folded into the registry by flush_metrics() — registry lookups
@@ -86,8 +98,19 @@ class NVSHMEMRuntime:
         # instead of spawning one generator each; a single callback
         # event applies the whole batch at arrival (see
         # ``_deliver_batch`` for the per-leg bookkeeping, which mirrors
-        # the generator path op for op).
-        self._batches: dict[tuple[int, int, float], list] = {}
+        # the generator path op for op).  Sharded per source domain —
+        # see the channel maps above.
+        self._batches: list[dict[tuple[int, int, float], list]] = [
+            {} for _ in range(self._n_domains)
+        ]
+        # Teams (``nvshmemx_team_split_strided`` surface): the world
+        # team plus lazily built per-domain and cross-domain splits.
+        self._team_world: Team | None = None
+        self._domain_teams: list[Team] | None = None
+        self._leader_team: Team | None = None
+        #: per-PE proxy-thread accounting (count, us) for inter-node
+        #: puts, folded into nvshmem.proxy.* counters at flush
+        self._proxy_acc: dict[int, list] = {}
         #: coalescing statistics (engine-internal, not published —
         #: published engine counters stay batching-invariant)
         self.n_batches = 0
@@ -110,6 +133,11 @@ class NVSHMEMRuntime:
             m.counter("nvshmem.wait.count", pe=str(pe), src=src).inc(n)
             m.counter("nvshmem.wait.us", pe=str(pe), src=src).inc(wait_us)
         self._wait_acc.clear()
+        for pe in sorted(self._proxy_acc):
+            n, us = self._proxy_acc[pe]
+            m.counter("nvshmem.proxy.ops", pe=str(pe)).inc(n)
+            m.counter("nvshmem.proxy.us", pe=str(pe)).inc(us)
+        self._proxy_acc.clear()
 
     # -- flow correlation ------------------------------------------------------
 
@@ -123,13 +151,14 @@ class NVSHMEMRuntime:
         and return it with the channel's completion flag (fault-mode
         FIFO ordering — see ``_chan_issue`` above)."""
         key = (src, dst)
-        done = self._chan_done.get(key)
+        shard = self._dom[src]
+        done = self._chan_done[shard].get(key)
         if done is None:
-            done = self._chan_done[key] = Flag(
+            done = self._chan_done[shard][key] = Flag(
                 self.ctx.sim, 0, name=f"nvshmem.chan.pe{src}->pe{dst}"
             )
-        seq = self._chan_issue.get(key, 0) + 1
-        self._chan_issue[key] = seq
+        seq = self._chan_issue[shard].get(key, 0) + 1
+        self._chan_issue[shard][key] = seq
         return seq, done
 
     def enqueue_coalesced(
@@ -165,10 +194,11 @@ class NVSHMEMRuntime:
         # changes results, so the demuxed output is unaffected).
         key = (src, dst,
                arrival.v if isinstance(arrival, Stacked) else arrival)
-        batch = self._batches.get(key)
+        batches = self._batches[self._dom[src]]
+        batch = batches.get(key)
         leg = (write, signal, name, flow, signal_index, sim.now)
         if batch is None:
-            self._batches[key] = [leg]
+            batches[key] = [leg]
             sim.call_at(arrival, lambda: self._deliver_batch(key))
             self.n_batches += 1
         else:
@@ -192,7 +222,7 @@ class NVSHMEMRuntime:
         back-to-back within the timestep.
         """
         src, dst, _ = key
-        batch = self._batches.pop(key)
+        batch = self._batches[self._dom[src]].pop(key)
         ctx = self.ctx
         sim = ctx.sim
         pending = self._pending[src]
@@ -340,6 +370,80 @@ class NVSHMEMRuntime:
 
     def device_barrier(self) -> HostBarrier:
         return self._device_barrier
+
+    def note_proxy(self, pe: int, us: float) -> None:
+        """Account one proxy-thread forward issued by PE ``pe``."""
+        acc = self._proxy_acc.get(pe)
+        if acc is None:
+            self._proxy_acc[pe] = [1, us]
+        else:
+            acc[0] += 1
+            acc[1] += us
+
+    # -- teams ------------------------------------------------------------
+
+    @property
+    def hierarchical(self) -> bool:
+        """True when the PEs span more than one NVSwitch domain."""
+        return self._n_domains > 1
+
+    @property
+    def team_world(self) -> Team:
+        """``NVSHMEM_TEAM_WORLD``: every PE, in PE order."""
+        if self._team_world is None:
+            self._team_world = Team(self, "world", tuple(range(self.n_pes)))
+        return self._team_world
+
+    def team_split_strided(
+        self, parent: Team, start: int, stride: int, size: int, name: str | None = None
+    ) -> Team:
+        """``nvshmemx_team_split_strided(parent, start, stride, size)``."""
+        return parent.split_strided(start, stride, size, name=name)
+
+    def domain_teams(self) -> list[Team]:
+        """One team per NVSwitch domain (strided splits of the world
+        team — contiguous PE ranges, since domains are contiguous)."""
+        if self._domain_teams is None:
+            groups: dict[int, list[int]] = {}
+            for pe in range(self.n_pes):
+                groups.setdefault(self._dom[pe], []).append(pe)
+            self._domain_teams = [
+                Team(self, f"domain{d}", tuple(groups[d])) for d in sorted(groups)
+            ]
+        return self._domain_teams
+
+    def domain_team(self, pe: int) -> Team:
+        """The NVSwitch-domain team containing global PE ``pe``."""
+        if not 0 <= pe < self.n_pes:
+            raise ValueError(f"PE {pe} out of range (n_pes={self.n_pes})")
+        return self.domain_teams()[self._dom[pe]]
+
+    def leader_team(self) -> Team:
+        """Rank-0 PE of every domain — the PEs that rendezvous across
+        NIC rails in a hierarchical barrier.  Its barrier charges a
+        rail round trip on top of the device sync cost."""
+        if self._leader_team is None:
+            leaders = tuple(team.pes[0] for team in self.domain_teams())
+            cost = self.ctx.cost.grid_sync_us
+            node = self.ctx.node
+            if node.is_hierarchical:
+                cost += 2.0 * node.rail_latency_us
+            self._leader_team = Team(
+                self, "leaders", leaders, barrier_cost_us=cost
+            )
+        return self._leader_team
+
+    def hierarchical_barrier(self, pe: int) -> Generator[Any, Any, None]:
+        """Domain-aware ``barrier_all``: arrive at the local domain team,
+        have each domain's leader rendezvous across the rails, then
+        release the domain.  Replaces one flat ``n_pes``-way rendezvous
+        (which would price every arrival as if it crossed a rail) with
+        two NVLink-priced domain syncs plus one small leader sync."""
+        dteam = self.domain_team(pe)
+        yield from dteam.sync()
+        if dteam.my_pe(pe) == 0:
+            yield from self.leader_team().sync()
+        yield from dteam.sync()
 
     # -- host collectives ------------------------------------------------------------
 

@@ -37,7 +37,6 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.faults.inject import DeliveryError, SignalWaitTimeout
-from repro.hw.interconnect import HOST
 from repro.sim import TIMEOUT, Delay, Flag, WaitFlag
 from repro.sim.stacked import Stacked, as_size
 
@@ -124,6 +123,10 @@ class NVSHMEMDevice:
         #: fault plan, where the effective link varies over time
         self._wire_memo = (runtime._wire_memo
                            if runtime.ctx.topology.faults is None else None)
+        #: hierarchical topology, or None on a flat node — cross-domain
+        #: puts take the proxy-initiated rail path instead of NVLink
+        topology = runtime.ctx.topology
+        self._cluster = topology if topology.num_domains > 1 else None
 
     # -- internals -------------------------------------------------------------
 
@@ -143,6 +146,10 @@ class NVSHMEMDevice:
         }[scope]
 
     def _wire_time(self, dest_pe: int, nbytes: int, scope: Scope) -> float:
+        cluster = self._cluster
+        if cluster is not None and cluster.cross_domain(self.pe, dest_pe):
+            # never memoized: rail pricing depends on in-flight occupancy
+            return self._proxy_wire(dest_pe, nbytes)
         memo = self._wire_memo
         if memo is None:  # fault plan active: the link may degrade over time
             link = self._ctx.topology.link(self.pe, dest_pe)
@@ -157,17 +164,34 @@ class NVSHMEMDevice:
                 link.bandwidth_gbps * self._bw_fraction(scope) * 1000.0)
         return t
 
+    def _proxy_wire(self, dest_pe: int, nbytes: float) -> float:
+        """Inter-node put wire time: the SM rings the CPU proxy thread's
+        doorbell, the proxy posts the NIC work request, and the NIC DMAs
+        the bytes over the source domain's rail ("Demystifying NVSHMEM"
+        — remote transports are proxy-initiated).  The proxy forward is
+        charged as a span on the source PE's *host* lane so timelines
+        and what-if attribute it to host work on the issuing node; the
+        issuing scope is irrelevant (the NIC, not the thread group,
+        moves the bytes)."""
+        ctx = self._ctx
+        proxy_us = self._cost.nvshmem_proxy_us
+        now = ctx.sim.now
+        ctx.trace(f"host{self.pe}", "proxy", "api", now, now + proxy_us)
+        if self._metrics is not None:
+            self.runtime.note_proxy(self.pe, proxy_us)
+        return proxy_us + self._cluster.rail_transfer_us(self.pe, dest_pe, nbytes)
+
     def _staged_wire(self, dest_pe: int, nbytes: float) -> float | None:
         """Host-staged wire time when the direct link is marked down by
         an active fault plan, else ``None`` (use the direct route).
-        The degraded path runs as host-driven DMA at full host-link
-        bandwidth: ``pe -> host`` then ``host -> dest_pe``."""
+        The degraded path runs as host-driven DMA: ``pe -> host`` then
+        ``host -> dest_pe``, plus the source domain's rail when the
+        endpoints sit in different NVSwitch domains (the topology's
+        ``staged_route_us`` charges the right legs either way)."""
         faults = self._faults
         if faults is None or not faults.link_down(self.pe, dest_pe):
             return None
-        topology = self._ctx.topology
-        wire = (topology.link(self.pe, HOST).transfer_us(nbytes)
-                + topology.link(HOST, dest_pe).transfer_us(nbytes))
+        wire = self._ctx.topology.staged_route_us(self.pe, dest_pe, nbytes)
         faults.note_degraded_put(self.pe, dest_pe, nbytes)
         return wire
 
@@ -791,6 +815,13 @@ class NVSHMEMDevice:
         self._trace(name, "sync", start)
 
     def barrier_all(self) -> Generator[Any, Any, None]:
-        """Device-side barrier across all PEs (includes a quiet)."""
+        """Device-side barrier across all PEs (includes a quiet).
+
+        On a hierarchical node the flat ``n_pes``-way rendezvous is
+        replaced by the team-based domain-aware barrier (domain arrive,
+        leaders rendezvous across rails, domain release)."""
         yield from self.quiet(name="barrier.quiet")
-        yield from self.runtime.device_barrier().wait()
+        if self.runtime.hierarchical:
+            yield from self.runtime.hierarchical_barrier(self.pe)
+        else:
+            yield from self.runtime.device_barrier().wait()

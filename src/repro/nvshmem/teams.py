@@ -1,0 +1,138 @@
+"""NVSHMEM teams: ordered PE subsets with their own collectives.
+
+Mirrors the ``nvshmemx_team_split_strided`` surface: a team is an
+ordered tuple of global PE numbers, child teams are carved out of a
+parent by ``(start, stride, size)`` over the *parent's* ranks, and each
+team owns its own barrier rendezvous.  On a hierarchical node
+(:class:`~repro.hw.interconnect.ClusterTopology`) the runtime builds
+two standard splits of the world team:
+
+- one team per NVSwitch domain (contiguous ranks — all-to-all NVLink
+  inside, so a domain barrier costs only ``grid_sync_us``), and
+- cross-domain "rail" teams linking PEs with the same local index in
+  every domain (these cross NIC rails, so their barrier also pays a
+  rail round trip).
+
+These are the API for domain-aware barriers: ``barrier_all`` on a
+hierarchical topology decomposes into domain-arrive → leader
+rendezvous across rails → domain-release, instead of one flat
+``n_pes``-way rendezvous over rails.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.mpi import HostBarrier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.nvshmem.api import NVSHMEMRuntime
+
+__all__ = ["Team"]
+
+
+class Team:
+    """An ordered set of PEs, addressable by team rank.
+
+    ``pes[i]`` is the global PE number of team rank ``i`` — the same
+    contract as ``nvshmem_team_translate_pe(team, i, NVSHMEM_TEAM_WORLD)``.
+    """
+
+    __slots__ = ("_barrier", "_barrier_cost_us", "_rank_of", "name", "pes", "runtime")
+
+    def __init__(
+        self,
+        runtime: "NVSHMEMRuntime",
+        name: str,
+        pes: tuple[int, ...],
+        *,
+        barrier_cost_us: float | None = None,
+    ) -> None:
+        if not pes:
+            raise ValueError("a team needs at least one PE")
+        for pe in pes:
+            if not 0 <= pe < runtime.n_pes:
+                raise ValueError(f"PE {pe} out of range (n_pes={runtime.n_pes})")
+        if len(set(pes)) != len(pes):
+            raise ValueError(f"duplicate PEs in team {name!r}: {pes}")
+        self.runtime = runtime
+        self.name = name
+        self.pes = tuple(pes)
+        self._rank_of = {pe: i for i, pe in enumerate(self.pes)}
+        self._barrier: HostBarrier | None = None
+        self._barrier_cost_us = barrier_cost_us
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        """Team size (``nvshmem_team_n_pes``)."""
+        return len(self.pes)
+
+    def my_pe(self, pe: int) -> int:
+        """Team rank of global PE ``pe`` (``nvshmem_team_my_pe``)."""
+        try:
+            return self._rank_of[pe]
+        except KeyError:
+            raise ValueError(f"PE {pe} is not a member of team {self.name!r}") from None
+
+    def translate(self, rank: int) -> int:
+        """Global PE of team rank ``rank`` (translate to ``TEAM_WORLD``)."""
+        if not 0 <= rank < len(self.pes):
+            raise ValueError(f"rank {rank} out of range for team {self.name!r}")
+        return self.pes[rank]
+
+    def __contains__(self, pe: int) -> bool:
+        return pe in self._rank_of
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Team({self.name!r}, pes={self.pes})"
+
+    # -- splitting ---------------------------------------------------------
+
+    def split_strided(
+        self, start: int, stride: int, size: int, name: str | None = None
+    ) -> "Team":
+        """``nvshmemx_team_split_strided`` — child from parent ranks.
+
+        The child's members are the parent's ranks ``start``,
+        ``start + stride``, ... (``size`` of them), translated to global
+        PE numbers.  Indices are ranks *in this team*, not global PEs.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        last = start + stride * (size - 1)
+        if start < 0 or last >= len(self.pes):
+            raise ValueError(
+                f"strided split (start={start}, stride={stride}, size={size}) "
+                f"exceeds team {self.name!r} of {len(self.pes)} PEs"
+            )
+        members = tuple(self.pes[start + stride * i] for i in range(size))
+        child_name = name or f"{self.name}[{start}:+{stride}x{size}]"
+        return Team(self.runtime, child_name, members)
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> HostBarrier:
+        """The team's reusable rendezvous (created lazily)."""
+        if self._barrier is None:
+            cost = self._barrier_cost_us
+            if cost is None:
+                cost = self.runtime.ctx.cost.grid_sync_us
+            self._barrier = HostBarrier(
+                self.runtime.ctx.sim,
+                len(self.pes),
+                cost,
+                name=f"nvshmem.team.{self.name}",
+            )
+        return self._barrier
+
+    def sync(self) -> Generator[Any, Any, None]:
+        """``nvshmem_team_sync`` — block until every member arrives."""
+        yield from self.barrier().wait()

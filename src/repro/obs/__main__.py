@@ -78,6 +78,15 @@ def _add_run_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--fault-profile", metavar="NAME", default=None,
                      help="run under this fault profile (e.g. transient or "
                           "lost_signal@7); recorded in the metrics dump")
+    sub.add_argument("--domain-gpus", type=int, default=None, metavar="N",
+                     help="NVSwitch domain size: GPU counts above N build "
+                          "the hierarchical multi-node topology (N-GPU "
+                          "domains joined by NIC rails); default: the "
+                          "node preset's full size")
+    sub.add_argument("--no-shard", action="store_true",
+                     help="keep the flat single-heap calendar even on a "
+                          "hierarchical topology (A/B check: results are "
+                          "byte-identical to sharded dispatch)")
     sub.add_argument("--sanitize", action="store_true",
                      help="attach the happens-before race detector "
                           "(repro.sanitize); findings are printed, added to "
@@ -95,12 +104,28 @@ def _run_variant(args: argparse.Namespace):
         )
     registry = MetricsRegistry()
     with use_metrics(registry):
+        extra = {}
+        if args.domain_gpus is not None:
+            if args.domain_gpus <= 0:
+                raise CliError("--domain-gpus must be positive")
+            from dataclasses import replace
+
+            from repro.hw import HGX_A100_8GPU
+
+            extra["node"] = replace(
+                HGX_A100_8GPU,
+                num_gpus=min(args.domain_gpus, args.gpus),
+                nvswitch_domain_gpus=args.domain_gpus,
+            )
+        if args.no_shard:
+            extra["shard_scheduler"] = False
         config = StencilConfig(
             global_shape=args.shape,
             num_gpus=args.gpus,
             iterations=args.iterations,
             no_compute=args.no_compute,
             fault_profile=args.fault_profile,
+            **extra,
         )
         variant = VARIANTS[args.variant](config)
         sanitizer = None
@@ -126,7 +151,7 @@ def _run_variant(args: argparse.Namespace):
 
 def _run_meta(args: argparse.Namespace) -> dict:
     """The self-describing ``run`` block embedded in JSON documents."""
-    return {
+    meta = {
         "variant": args.variant,
         "shape": list(args.shape),
         "gpus": args.gpus,
@@ -134,6 +159,13 @@ def _run_meta(args: argparse.Namespace) -> dict:
         "no_compute": args.no_compute,
         "fault_profile": args.fault_profile,
     }
+    # topology overrides appear only when requested, so the default
+    # run block (and the goldens pinning it) stays byte-identical
+    if args.domain_gpus is not None:
+        meta["domain_gpus"] = args.domain_gpus
+    if args.no_shard:
+        meta["no_shard"] = True
+    return meta
 
 
 def _write_outputs(args: argparse.Namespace, result, registry: MetricsRegistry) -> None:

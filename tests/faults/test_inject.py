@@ -55,6 +55,36 @@ class TestLinkFaults:
         assert not ctx.link_down(0, 0)
         assert [e.kind for e in ctx.faults.events] == ["staged_copy"]
 
+    def test_cross_domain_link_down_charges_the_source_rail(self):
+        """Regression: an inter-node staged reroute used to bounce off a
+        single shared ``_host`` link, as if both NVSwitch domains hung
+        off one PCIe switch.  It must price PCIe up on the source node,
+        the source domain's rail, and PCIe down on the destination."""
+        ctx = _ctx(FaultPlan(links=(LinkFault(src=0, dst=8, down=True),)),
+                   num_gpus=16)
+        topo = ctx.topology
+        assert topo.num_domains == 2
+        nbytes = 1 << 16
+        host_bounce = (topo.link(0, HOST).transfer_us(nbytes)
+                       + topo.link(HOST, 8).transfer_us(nbytes))
+        rail_leg = topo.rail_transfer_us(0, 8, nbytes, occupy=False)
+        got = topo.transfer_us(0, 8, nbytes)
+        assert got == pytest.approx(host_bounce + rail_leg)
+        assert got > host_bounce  # the old single-host-link price
+        assert [e.kind for e in ctx.faults.events] == ["staged_copy"]
+
+    def test_intra_domain_link_down_stays_on_node(self):
+        """A staged reroute inside one domain must NOT touch any rail."""
+        ctx = _ctx(FaultPlan(links=(LinkFault(src=0, dst=1, down=True),)),
+                   num_gpus=16)
+        topo = ctx.topology
+        nbytes = 1 << 16
+        host_bounce = (topo.link(0, HOST).transfer_us(nbytes)
+                       + topo.link(HOST, 1).transfer_us(nbytes))
+        assert topo.transfer_us(0, 1, nbytes) == pytest.approx(host_bounce)
+        assert all(rail.inflight() == 0
+                   for rail in (topo.rail(0), topo.rail(1)))
+
     def test_jitter_bounded_and_recorded(self):
         jitter = 2.0
         ctx = _ctx(FaultPlan(links=(LinkFault(jitter_us=jitter),)))

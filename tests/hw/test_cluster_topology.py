@@ -1,0 +1,159 @@
+"""Hierarchical topology: domains, rails, proxy/staged routes."""
+
+import pytest
+
+from repro.hw import HGX_A100_8GPU, ClusterTopology, NodeTopology, RailLink, build_topology
+from repro.hw.interconnect import HOST
+
+KB = 1000
+
+
+def _cluster(num_gpus=16):
+    return build_topology(HGX_A100_8GPU.scaled_to(num_gpus))
+
+
+class TestBuildTopology:
+    def test_flat_node_builds_flat_topology(self):
+        topo = build_topology(HGX_A100_8GPU.scaled_to(4))
+        assert type(topo) is NodeTopology
+        assert topo.num_domains == 1
+
+    def test_hierarchical_node_builds_cluster(self):
+        topo = _cluster(16)
+        assert isinstance(topo, ClusterTopology)
+        assert topo.num_domains == 2
+        assert topo.domain_gpus == 8
+
+
+class TestDomains:
+    def test_domain_of(self):
+        topo = _cluster(16)
+        assert [topo.domain_of(d) for d in (0, 7, 8, 15)] == [0, 0, 1, 1]
+
+    def test_cross_domain(self):
+        topo = _cluster(16)
+        assert not topo.cross_domain(0, 7)
+        assert topo.cross_domain(0, 8)
+        assert topo.cross_domain(15, 3)
+        assert not topo.cross_domain(3, 3)
+        assert not topo.cross_domain(0, HOST)
+
+    def test_rail_accessor_bounds(self):
+        topo = _cluster(16)
+        assert topo.rail(0) is not topo.rail(1)
+        with pytest.raises(ValueError):
+            topo.rail(2)
+
+
+class TestCosts:
+    def test_intra_domain_keeps_nvlink(self):
+        topo = _cluster(16)
+        flat = NodeTopology(HGX_A100_8GPU)
+        assert topo.transfer_us(0, 7, 300 * KB) == flat.transfer_us(0, 7, 300 * KB)
+
+    def test_inter_slower_than_intra(self):
+        topo = _cluster(16)
+        nbytes = 300 * KB
+        assert topo.transfer_us(0, 8, nbytes) > topo.transfer_us(0, 7, nbytes)
+
+    def test_cross_domain_link_is_rail_composite(self):
+        topo = _cluster(16)
+        node = topo.node
+        link = topo.link(0, 8)
+        assert link.bandwidth_gbps == node.rail_bandwidth_gbps
+        assert link.latency_us == node.nvlink_latency_us + node.rail_latency_us
+
+    def test_zero_bytes_cost_nothing(self):
+        topo = _cluster(16)
+        assert topo.rail_transfer_us(0, 8, 0) == 0.0
+
+    def test_rail_transfer_rejects_same_domain(self):
+        topo = _cluster(16)
+        with pytest.raises(ValueError):
+            topo.rail_transfer_us(0, 1, KB)
+
+    def test_staged_route_crosses_the_rail(self):
+        """An inter-node staged reroute must charge the source rail, not
+        pretend one shared host link spans the machine (the old bug)."""
+        topo = _cluster(16)
+        nbytes = 300 * KB
+        host_only = (topo.link(0, HOST).transfer_us(nbytes)
+                     + topo.link(HOST, 8).transfer_us(nbytes))
+        # estimate the rail leg BEFORE the staged call: staging is a
+        # real transfer, so staged_route_us occupies the rail itself
+        rail_leg = topo.rail_transfer_us(0, 8, nbytes, occupy=False)
+        staged = topo.staged_route_us(0, 8, nbytes)
+        assert staged == pytest.approx(host_only + rail_leg)
+
+    def test_flat_staged_route_unchanged(self):
+        """Single-domain staging must stay the pre-PR host bounce."""
+        topo = NodeTopology(HGX_A100_8GPU)
+        nbytes = 300 * KB
+        expected = (topo.link(0, HOST).transfer_us(nbytes)
+                    + topo.link(HOST, 1).transfer_us(nbytes))
+        assert topo.staged_route_us(0, 1, nbytes) == expected
+
+
+class TestRailOccupancy:
+    """The `sharers` bugfix: rails account concurrent occupancy
+    themselves instead of relying on callers to pass ``sharers``."""
+
+    def test_concurrent_transfers_contend(self):
+        clock = [0.0]
+        rail = RailLink(25.0, 5.0, lambda: clock[0])
+        first = rail.occupy(1000 * KB)
+        second = rail.occupy(1000 * KB)  # issued while the first flies
+        assert second > first  # halved effective bandwidth
+
+    def test_occupancy_drains_with_the_clock(self):
+        clock = [0.0]
+        rail = RailLink(25.0, 5.0, lambda: clock[0])
+        cost = rail.occupy(1000 * KB)
+        assert rail.inflight() == 1
+        clock[0] = cost + 1.0
+        assert rail.inflight() == 0
+        assert rail.occupy(1000 * KB) == pytest.approx(cost)
+
+    def test_transfer_us_is_a_pure_estimate(self):
+        clock = [0.0]
+        rail = RailLink(25.0, 5.0, lambda: clock[0])
+        a = rail.transfer_us(1000 * KB)
+        b = rail.transfer_us(1000 * KB)
+        assert a == b
+        assert rail.inflight() == 0
+
+    def test_explicit_sharers_stack_with_occupancy(self):
+        clock = [0.0]
+        rail = RailLink(25.0, 5.0, lambda: clock[0])
+        rail.occupy(1000 * KB)
+        with_both = rail.transfer_us(1000 * KB, sharers=2)
+        # 2 declared sharers + 1 in flight = bandwidth / 3
+        assert with_both == pytest.approx(5.0 + 1000 * KB / (25.0 / 3 * 1000.0))
+
+    def test_clockless_rail_never_contends(self):
+        rail = RailLink(25.0, 5.0)
+        a = rail.occupy(1000 * KB)
+        b = rail.occupy(1000 * KB)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RailLink(0.0, 5.0)
+        rail = RailLink(25.0, 5.0)
+        with pytest.raises(ValueError):
+            rail.transfer_us(-1)
+        with pytest.raises(ValueError):
+            rail.transfer_us(KB, sharers=0)
+
+
+class TestRailMetrics:
+    def test_rail_counters_flow_to_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        topo = _cluster(16)
+        topo.metrics = MetricsRegistry()
+        topo.transfer_us(0, 8, 10 * KB)
+        topo.transfer_us(9, 2, 4 * KB)
+        topo.flush_metrics()
+        assert topo.metrics.value("hw.rail.bytes", src_node="0", dst_node="1") == 10 * KB
+        assert topo.metrics.value("hw.rail.transfers", src_node="1", dst_node="0") == 1

@@ -67,3 +67,53 @@ class TestNodeSpec:
     def test_zero_gpus_rejected(self):
         with pytest.raises(ValueError):
             HGX_A100_8GPU.scaled_to(0)
+
+
+class TestHierarchicalScaling:
+    """Regression: ``scaled_to`` above the NVSwitch domain size used to
+    silently model full all-to-all NVLink at arbitrary GPU counts — a
+    256-"GPU" node pretended every pair had a direct NVLink.  It must
+    now construct the hierarchical (domains + rails) topology spec."""
+
+    def test_scaling_past_the_domain_is_not_flat(self):
+        node = HGX_A100_8GPU.scaled_to(256)
+        assert node.num_gpus == 256
+        # the old behavior — nvswitch_domain_gpus None at 256 GPUs,
+        # i.e. one flat 256-way NVSwitch — is pinned here as wrong
+        assert node.nvswitch_domain_gpus is not None
+        assert node.is_hierarchical
+        assert node.domain_gpus == 8
+        assert node.num_domains == 32
+
+    def test_scaling_within_the_domain_stays_flat(self):
+        for n in (1, 2, 4, 8):
+            node = HGX_A100_8GPU.scaled_to(n)
+            assert not node.is_hierarchical
+            assert node.num_domains == 1
+            assert node.domain_gpus == n
+
+    def test_non_divisible_count_raises(self):
+        with pytest.raises(ValueError, match="whole number of 8-GPU domains"):
+            HGX_A100_8GPU.scaled_to(12)
+
+    def test_explicit_domain_size_survives_scaling(self):
+        from dataclasses import replace
+
+        node = replace(HGX_A100_8GPU, num_gpus=4, nvswitch_domain_gpus=4)
+        scaled = node.scaled_to(16)
+        assert scaled.domain_gpus == 4
+        assert scaled.num_domains == 4
+
+    def test_domain_of(self):
+        node = HGX_A100_8GPU.scaled_to(16)
+        assert node.domain_of(0) == 0
+        assert node.domain_of(7) == 0
+        assert node.domain_of(8) == 1
+        assert node.domain_of(15) == 1
+        with pytest.raises(ValueError):
+            node.domain_of(16)
+
+    def test_rescaling_hierarchical_back_down_goes_flat(self):
+        node = HGX_A100_8GPU.scaled_to(256).scaled_to(4)
+        assert node.num_gpus == 4
+        assert not node.is_hierarchical

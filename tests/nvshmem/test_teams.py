@@ -1,0 +1,183 @@
+"""NVSHMEM teams: split semantics, domain teams, hierarchical barrier."""
+
+import pytest
+
+from repro.hw import HGX_A100_8GPU
+from repro.nvshmem import NVSHMEMRuntime
+from repro.runtime.context import MultiGPUContext
+from repro.sim import Tracer
+
+
+def _runtime(num_gpus=16):
+    return NVSHMEMRuntime(
+        MultiGPUContext(HGX_A100_8GPU.scaled_to(num_gpus), tracer=Tracer())
+    )
+
+
+class TestTeamWorld:
+    def test_world_covers_every_pe_in_order(self):
+        rt = _runtime(16)
+        world = rt.team_world
+        assert world.pes == tuple(range(16))
+        assert world.n_pes == 16
+        assert world.my_pe(11) == 11
+        assert world.translate(3) == 3
+
+    def test_world_is_cached(self):
+        rt = _runtime(4)
+        assert rt.team_world is rt.team_world
+
+
+class TestSplitStrided:
+    def test_contiguous_split(self):
+        rt = _runtime(16)
+        team = rt.team_split_strided(rt.team_world, 8, 1, 8)
+        assert team.pes == tuple(range(8, 16))
+        assert team.my_pe(9) == 1
+        assert team.translate(0) == 8
+
+    def test_strided_split(self):
+        rt = _runtime(16)
+        team = rt.team_split_strided(rt.team_world, 3, 8, 2)
+        assert team.pes == (3, 11)
+
+    def test_split_indices_are_parent_ranks_not_global_pes(self):
+        """nvshmemx_team_split_strided semantics: (start, stride, size)
+        index the PARENT's ranks."""
+        rt = _runtime(16)
+        upper = rt.team_split_strided(rt.team_world, 8, 1, 8)
+        child = upper.split_strided(0, 2, 4)
+        assert child.pes == (8, 10, 12, 14)
+
+    def test_membership(self):
+        rt = _runtime(16)
+        team = rt.team_split_strided(rt.team_world, 0, 8, 2)
+        assert 0 in team and 8 in team and 1 not in team
+        with pytest.raises(ValueError):
+            team.my_pe(1)
+
+    def test_out_of_range_split_rejected(self):
+        rt = _runtime(8)
+        with pytest.raises(ValueError):
+            rt.team_split_strided(rt.team_world, 4, 2, 4)
+        with pytest.raises(ValueError):
+            rt.team_split_strided(rt.team_world, 0, 1, 0)
+
+    def test_translate_bounds(self):
+        rt = _runtime(8)
+        with pytest.raises(ValueError):
+            rt.team_world.translate(8)
+
+
+class TestDomainTeams:
+    def test_one_team_per_domain(self):
+        rt = _runtime(16)
+        teams = rt.domain_teams()
+        assert len(teams) == 2
+        assert teams[0].pes == tuple(range(8))
+        assert teams[1].pes == tuple(range(8, 16))
+
+    def test_domain_team_lookup(self):
+        rt = _runtime(16)
+        assert rt.domain_team(3) is rt.domain_teams()[0]
+        assert rt.domain_team(12) is rt.domain_teams()[1]
+
+    def test_leader_team_is_rank0_of_each_domain(self):
+        rt = _runtime(32)
+        assert rt.leader_team().pes == (0, 8, 16, 24)
+
+    def test_flat_node_has_one_domain_team(self):
+        rt = _runtime(4)
+        assert not rt.hierarchical
+        teams = rt.domain_teams()
+        assert len(teams) == 1
+        assert teams[0].pes == tuple(range(4))
+
+
+class TestTeamSync:
+    def test_team_sync_joins_all_members(self):
+        rt = _runtime(16)
+        team = rt.domain_team(0)
+        done = []
+
+        def member(pe):
+            yield from team.sync()
+            done.append(pe)
+
+        for pe in team.pes:
+            rt.ctx.sim.spawn(member(pe), name=f"m{pe}")
+        rt.ctx.run()
+        assert sorted(done) == list(team.pes)
+
+    def test_hierarchical_barrier_releases_everyone(self):
+        rt = _runtime(16)
+        released = []
+
+        def pe_prog(pe):
+            yield from rt.hierarchical_barrier(pe)
+            released.append(pe)
+
+        for pe in range(16):
+            rt.ctx.sim.spawn(pe_prog(pe), name=f"pe{pe}")
+        total = rt.ctx.run()
+        assert sorted(released) == list(range(16))
+        # the leader rendezvous crosses rails, so the whole thing costs
+        # at least one rail round trip on top of the domain syncs
+        assert total >= 2.0 * rt.ctx.node.rail_latency_us
+
+    def test_hierarchical_barrier_is_reusable(self):
+        rt = _runtime(16)
+        rounds = {pe: 0 for pe in range(16)}
+
+        def pe_prog(pe):
+            for _ in range(3):
+                yield from rt.hierarchical_barrier(pe)
+                rounds[pe] += 1
+
+        for pe in range(16):
+            rt.ctx.sim.spawn(pe_prog(pe), name=f"pe{pe}")
+        rt.ctx.run()
+        assert all(n == 3 for n in rounds.values())
+
+    def test_device_barrier_all_uses_domain_teams(self):
+        """On a hierarchical node, barrier_all must not price one flat
+        n_pes-way rendezvous — it decomposes into domain syncs plus a
+        leader rendezvous."""
+        rt = _runtime(16)
+        done = []
+
+        def pe_prog(pe):
+            dev = rt.device(pe)
+            yield from dev.barrier_all()
+            done.append(pe)
+
+        for pe in range(16):
+            rt.ctx.sim.spawn(pe_prog(pe), name=f"pe{pe}")
+        rt.ctx.run()
+        assert sorted(done) == list(range(16))
+        # the lazy team barriers were actually built
+        assert rt._domain_teams is not None
+        assert rt._leader_team is not None
+
+
+class TestValidation:
+    def test_empty_team_rejected(self):
+        rt = _runtime(4)
+        from repro.nvshmem import Team
+
+        with pytest.raises(ValueError):
+            Team(rt, "empty", ())
+
+    def test_duplicate_pes_rejected(self):
+        rt = _runtime(4)
+        from repro.nvshmem import Team
+
+        with pytest.raises(ValueError):
+            Team(rt, "dup", (0, 0))
+
+    def test_out_of_range_pe_rejected(self):
+        rt = _runtime(4)
+        from repro.nvshmem import Team
+
+        with pytest.raises(ValueError):
+            Team(rt, "oob", (0, 4))

@@ -1,0 +1,94 @@
+"""Property suites for the hierarchical topology and sharded dispatch.
+
+Two families:
+
+- **topology sanity** — for any hierarchical node shape and payload,
+  intra-domain transfers are never slower than inter-domain ones, and
+  a host-staged reroute never beats the direct rail path (it adds the
+  PCIe bounce on top of the same rail crossing);
+- **sharded-calendar determinism** — a two-domain stencil run must
+  produce byte-identical metrics and trace dumps whether the engine
+  dispatches from per-domain calendar lanes or the flat heap.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HGX_A100_8GPU, build_topology
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.stencil import StencilConfig, run_variant
+
+domain_sizes = st.sampled_from((2, 4, 8))
+domain_counts = st.integers(min_value=2, max_value=6)
+payloads = st.integers(min_value=1, max_value=4 << 20)
+
+
+def _node(domain, domains):
+    from dataclasses import replace
+
+    return replace(HGX_A100_8GPU, num_gpus=domain,
+                   nvswitch_domain_gpus=domain).scaled_to(domain * domains)
+
+
+class TestTopologySanity:
+    @given(domain_sizes, domain_counts, payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_intra_domain_never_slower_than_inter(self, domain, domains, nbytes):
+        topo = build_topology(_node(domain, domains))
+        intra = topo.transfer_us(0, domain - 1, nbytes) if domain > 1 else 0.0
+        inter = topo.transfer_us(0, domain, nbytes)
+        assert intra <= inter
+
+    @given(domain_sizes, domain_counts, payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_staged_reroute_never_beats_the_direct_rail(self, domain, domains,
+                                                        nbytes):
+        topo = build_topology(_node(domain, domains))
+        direct = topo.rail_transfer_us(0, domain, nbytes, occupy=False)
+        staged = topo.staged_route_us(0, domain, nbytes)
+        assert staged >= direct
+
+    @given(domain_sizes, domain_counts, payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_staged_reroute_bounded_by_bounce_plus_rail(self, domain, domains,
+                                                        nbytes):
+        """Staging = PCIe up + rail + PCIe down, nothing more: it stays
+        under 2x the direct rail path plus the full host bounce."""
+        topo = build_topology(_node(domain, domains))
+        rail = topo.rail_transfer_us(0, domain, nbytes, occupy=False)
+        host = (topo.link(0, -1).transfer_us(nbytes)
+                + topo.link(-1, domain).transfer_us(nbytes))
+        staged = topo.staged_route_us(0, domain, nbytes)
+        assert staged <= 2.0 * rail + host
+
+    @given(domain_sizes, domain_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_domains_partition_the_devices(self, domain, domains):
+        topo = build_topology(_node(domain, domains))
+        seen = {}
+        for dev in range(topo.num_gpus):
+            seen.setdefault(topo.domain_of(dev), []).append(dev)
+        assert sorted(seen) == list(range(domains))
+        assert all(len(members) == domain for members in seen.values())
+
+
+def _stencil_dump(shard, *, gpus, iters, variant):
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        res = run_variant(variant, StencilConfig(
+            global_shape=(gpus * 4 + 2, 34), num_gpus=gpus, iterations=iters,
+            with_data=False, shard_scheduler=shard,
+        ))
+    spans = tuple((s.lane, s.name, s.category, s.start, s.end)
+                  for s in res.tracer.spans)
+    return res.total_time_us, registry.to_json(), spans
+
+
+class TestShardedCalendarDeterminism:
+    @given(st.sampled_from(("cpufree", "baseline_nvshmem", "cpufree_perks")),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_two_domain_runs_byte_identical(self, variant, iters):
+        sharded = _stencil_dump(True, gpus=16, iters=iters, variant=variant)
+        flat = _stencil_dump(False, gpus=16, iters=iters, variant=variant)
+        assert sharded == flat

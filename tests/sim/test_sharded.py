@@ -1,0 +1,160 @@
+"""Sharded calendar dispatch: byte-identical to the flat scheduler."""
+
+import random
+
+import pytest
+
+from repro.sim import Delay, Flag, SimulationError, Simulator, WaitFlag
+
+
+def _workload(sim, order, n_chains=12, steps=8, seed=7):
+    """A messy mix of delays, flag waits, and cross-chain signals."""
+    rng = random.Random(seed)
+    flags = [Flag(sim, 0, name=f"f{i}") for i in range(n_chains)]
+    delays = [[rng.choice((0.0, 0.5, 1.0, 1.0, 2.5)) for _ in range(steps)]
+              for _ in range(n_chains)]
+
+    def chain(i):
+        for step in range(steps):
+            yield Delay(delays[i][step])
+            order.append((sim.now, i, step))
+            flags[i].add(1)
+            if i % 3 == 0 and step == steps // 2:
+                # wait on a neighbour chain's progress
+                yield WaitFlag(flags[(i + 1) % n_chains], ge=step)
+    return chain
+
+
+def _run(n_shards, **kw):
+    sim = Simulator()
+    order = []
+    chain = _workload(sim, order, **kw)
+    if n_shards:
+        sim.enable_sharding(n_shards)
+    n = kw.get("n_chains", 12)
+    for i in range(n):
+        shard = (i * n_shards) // n if n_shards else None
+        sim.spawn(chain(i), name=f"c{i}", shard=shard)
+    total = sim.run()
+    return total, order, (sim.n_events, sim.n_heap_pops, sim.n_ready_pops)
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 7])
+    def test_event_order_identical_to_flat(self, n_shards):
+        flat = _run(0)
+        sharded = _run(n_shards)
+        assert sharded == flat
+
+    def test_identical_across_seeds(self):
+        for seed in (1, 2, 3, 11):
+            assert _run(0, seed=seed) == _run(4, seed=seed)
+
+    def test_run_until_then_completion(self):
+        sim_a, sim_b = Simulator(), Simulator()
+        order_a, order_b = [], []
+        chain_a = _workload(sim_a, order_a)
+        chain_b = _workload(sim_b, order_b)
+        sim_b.enable_sharding(3)
+        for i in range(12):
+            sim_a.spawn(chain_a(i), name=f"c{i}")
+            sim_b.spawn(chain_b(i), name=f"c{i}", shard=i % 3)
+        assert sim_a.run(until=4.0) == sim_b.run(until=4.0)
+        assert order_a == order_b
+        assert sim_a.run() == sim_b.run()
+        assert order_a == order_b
+
+
+class TestShardAssignment:
+    def test_children_inherit_the_spawning_lane(self):
+        sim = Simulator()
+        sim.enable_sharding(2)
+        seen = {}
+
+        def child():
+            yield Delay(1.0)
+
+        def parent():
+            proc = sim.spawn(child(), name="kid")
+            seen["kid"] = proc.shard
+            yield Delay(1.0)
+
+        sim.spawn(parent(), name="parent", shard=1)
+        sim.run()
+        assert seen["kid"] == 1
+
+    def test_explicit_shard_out_of_range_rejected(self):
+        sim = Simulator()
+        sim.enable_sharding(2)
+
+        def proc():
+            yield Delay(1.0)
+
+        with pytest.raises(ValueError):
+            sim.spawn(proc(), name="p", shard=2)
+
+    def test_flat_sim_ignores_shard_hints(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(1.0)
+
+        p = sim.spawn(proc(), name="p", shard=5)
+        assert p.shard == 0
+        assert sim.run() == 1.0
+
+    def test_enable_sharding_validates(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.enable_sharding(1)
+        sim.enable_sharding(2)
+        with pytest.raises(SimulationError):
+            sim.enable_sharding(2)
+
+    def test_events_scheduled_before_enable_still_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(3.0, lambda: fired.append(sim.now))
+
+        def proc():
+            yield Delay(5.0)
+
+        sim.enable_sharding(2)
+        sim.spawn(proc(), name="p", shard=1)
+        assert sim.run() == 5.0
+        assert fired == [3.0]
+
+
+class TestProcessTableCompaction:
+    def test_dead_processes_are_compacted(self):
+        sim = Simulator()
+
+        def worker():
+            yield Delay(0.5)
+
+        def spawner():
+            for _ in range(15000):
+                sim.spawn(worker(), name="w")
+                yield Delay(0.1)
+
+        sim.spawn(spawner(), name="spawner")
+        sim.run()
+        assert len(sim._processes) < 10000
+
+    def test_batched_runs_keep_every_process(self):
+        """stencil/batch.py folds finish times over sim._processes
+        post-run; batched sims must never compact."""
+        sim = Simulator()
+        sim.batch_members = 2
+
+        def worker():
+            yield Delay(0.5)
+
+        def spawner():
+            for _ in range(15000):
+                sim.spawn(worker(), name="w")
+                yield Delay(0.1)
+
+        sim.spawn(spawner(), name="spawner")
+        sim.run()
+        assert len(sim._processes) == 15001

@@ -26,11 +26,14 @@ import time
 from contextlib import nullcontext
 
 from repro.bench.figures import (
+    DEFAULT_GPU_COUNTS,
+    STENCIL_VARIANTS,
     fig22_motivation,
     fig61_weak_2d_all,
     fig62_3d,
     fig63a_dace_1d,
     fig63b_dace_2d,
+    fig_auto_overlap,
     fig_multinode_weak,
 )
 from repro.bench.report import history_fields, render_figure
@@ -68,7 +71,45 @@ FIGURES = {
 #: paper's figure set byte-for-byte) is unaffected
 EXTRA_FIGURES = {
     "multinode": lambda: [fig_multinode_weak()],
+    "auto_overlap": lambda: [fig_auto_overlap()],
 }
+
+#: static sweep-shape facts per figure id, for --list-figures: the
+#: variants (series) each figure runs and its sweep-point count.  Kept
+#: in lockstep with the figure definitions in repro.bench.figures —
+#: tests/bench pins the counts against the definitions' constants.
+_G = len(DEFAULT_GPU_COUNTS)
+_V = len(STENCIL_VARIANTS)
+FIGURE_CATALOG = {
+    "2.2": ("Motivation: comm overhead + comm fraction at 8 GPUs",
+            ("baseline_overlap", "cpufree"), 3 * 2 + 2),
+    "6.1": ("2D Jacobi weak scaling, 3 size classes",
+            STENCIL_VARIANTS, 3 * _G * _V),
+    "6.2": ("3D Jacobi weak+strong scaling, each with no-compute",
+            STENCIL_VARIANTS, 4 * _G * _V),
+    "6.3a": ("DaCe Jacobi 1D: baseline vs generated CPU-Free",
+             ("dace_baseline", "dace_cpufree"), _G * 2),
+    "6.3b": ("DaCe Jacobi 2D with strided halos",
+             ("dace_baseline", "dace_cpufree"), _G * 2),
+    "multinode": ("2D weak scaling across NVSwitch domains (8-64 GPUs)",
+                  ("baseline_nvshmem", "cpufree"), 4 * 2),
+    "auto_overlap": ("Auto-overlap compiler schedule vs cpufree win/loss",
+                     ("cpufree", "auto_overlap"), 3 * _G * 2),
+}
+
+
+def _list_figures() -> str:
+    """Render the figure catalog (no sweeps run)."""
+    lines = ["figure        points  variants",
+             "------        ------  --------"]
+    for figure_id in [*sorted(FIGURES), *sorted(EXTRA_FIGURES)]:
+        title, variants, points = FIGURE_CATALOG[figure_id]
+        extra = "*" if figure_id in EXTRA_FIGURES else ""
+        lines.append(f"{figure_id + extra:<14}{points:>6}  {', '.join(variants)}")
+        lines.append(f"              {'':>6}  {title}")
+    lines.append("")
+    lines.append("(* = opt-in figure, runs only when named explicitly)")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"figure ids to run (default: all of {sorted(FIGURES)})")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--list-figures", action="store_true",
+                        help="list every figure id (including opt-in extras) "
+                             "with its variants and sweep-point count, "
+                             "without running anything")
     parser.add_argument("--paper", action="store_true",
                         help="evaluate every paper claim and print the verdict table")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
@@ -154,6 +199,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="stream machine-readable progress events (one "
                              "JSON object per line) to PATH")
     args = parser.parse_args(argv)
+
+    if args.list_figures:
+        print(_list_figures())
+        return 0
 
     if args.paper:
         from repro.bench.paper import evaluate_claims, render_claims

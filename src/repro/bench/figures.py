@@ -56,6 +56,7 @@ __all__ = [
     "fig62_3d",
     "fig63a_dace_1d",
     "fig63b_dace_2d",
+    "fig_auto_overlap",
     "fig_multinode_weak",
     "weak_shape_2d",
     "weak_shape_3d",
@@ -153,6 +154,11 @@ def _stencil_group_key(args: tuple):
     which under a vector clock would misprice the other members."""
     variant, config = args
     if config.with_data or config.fault_profile is not None:
+        return None
+    if variant == "auto_overlap":
+        # the variant picks its schedule from the global shape
+        # (choose_schedule), so members of a stacked run would not
+        # share one chunking — run these points individually
         return None
     if config.node.scaled_to(config.num_gpus).is_hierarchical:
         return None
@@ -377,6 +383,58 @@ def fig_multinode_weak(
     if "cpufree" in variants and "baseline_nvshmem" in variants:
         fig.headlines["speedup_vs_nvshmem_%"] = fig.speedup(
             "cpufree", "baseline_nvshmem", top)
+    return fig
+
+
+# --------------------------- Auto-overlap win/loss ---------------------------
+
+
+def fig_auto_overlap(
+    sizes: tuple[str, ...] = ("small", "medium", "large"),
+    gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+    iterations: int = 40,
+) -> FigureData:
+    """Compiler-derived ``auto_overlap`` vs hand-tuned ``cpufree``.
+
+    One row pair per (size, gpus) point of the figure suite; the
+    headlines are the win/loss tally (a win is a strictly faster
+    per-iteration time; ``chunks=1`` schedules reuse cpufree's body
+    verbatim, so those points tie bit-exactly).  Opt-in (run by name:
+    ``python -m repro.bench auto_overlap``) so the committed golden
+    report is unaffected; ``repro.tune --winloss-out`` emits the same
+    comparison as byte-stable JSON.
+    """
+    variants = ("cpufree", "auto_overlap")
+    specs = [
+        ({g: weak_shape_2d(SIZE_CLASSES_2D[s], g) for g in gpu_counts},
+         variants, iterations, False)
+        for s in sizes
+    ]
+    row_sets = _stencil_row_sets(specs)
+    rows: list[Row] = []
+    wins = ties = losses = 0
+    for size, srows in zip(sizes, row_sets):
+        for row in srows:
+            row.series = f"{row.series}/{size}"
+            rows.append(row)
+        pairs = iter(srows)
+        for cf, ao in zip(pairs, pairs):
+            eps = 1e-9 * cf.per_iteration_us
+            if ao.per_iteration_us < cf.per_iteration_us - eps:
+                wins += 1
+            elif ao.per_iteration_us <= cf.per_iteration_us + eps:
+                ties += 1
+            else:
+                losses += 1
+    fig = FigureData(
+        "AO", "Auto-overlap (compiler schedule) vs hand-tuned cpufree", rows)
+    total = wins + ties + losses
+    fig.headlines = {
+        "wins": float(wins),
+        "ties": float(ties),
+        "losses": float(losses),
+        "win_or_tie_fraction": (wins + ties) / total if total else 0.0,
+    }
     return fig
 
 

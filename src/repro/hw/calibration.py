@@ -20,7 +20,7 @@ numbers; see EXPERIMENTS.md for the paper-vs-measured comparison.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.sim.stacked import Stacked
 
@@ -202,7 +202,19 @@ class CostModel:
         return traffic / _bytes_per_us(effective_gbps) * tiling_factor
 
     def with_(self, **changes) -> "CostModel":
-        """Modified copy — used by ablation benchmarks."""
+        """Modified copy — used by ablation benchmarks.
+
+        Knob names are validated here: a typo would otherwise fall
+        through to ``dataclasses.replace`` and raise an opaque
+        ``TypeError`` that never names the valid fields.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown CostModel knob(s): {', '.join(unknown)}; "
+                f"valid knobs are: {', '.join(sorted(valid))}"
+            )
         return replace(self, **changes)
 
 

@@ -176,9 +176,16 @@ def _check_src_reuse(
     put = put_site.node
     assert isinstance(put, PutmemSignal)
     src = put.src.data
+    put_group = getattr(put_site.state, "overlap_group", None)
     for pos in range(put_site.pos + 1, len(states)):
         state = states[pos]
         if src in state.writes():
+            if put_group is not None and (
+                    getattr(state, "overlap_group", None) == put_group):
+                # auto-overlap chunk (transforms.overlap): writes rows
+                # disjoint from the relocated put's boundary row — the
+                # transform certified the split, not a reuse hazard
+                continue
             sync_between = any(
                 put_site.pos < s.pos < pos
                 and (isinstance(s.node, SignalWait)

@@ -14,9 +14,12 @@ from repro.sdfg.transforms.gpu_transform import gpu_transform
 from repro.sdfg.transforms.map_fusion import map_fusion
 from repro.sdfg.transforms.mpi_to_nvshmem import mpi_to_nvshmem
 from repro.sdfg.transforms.nvshmem_array import nvshmem_array
+from repro.sdfg.transforms.overlap import OverlapTransformError, auto_overlap
 from repro.sdfg.transforms.persistent import gpu_persistent_kernel
 
 __all__ = [
+    "OverlapTransformError",
+    "auto_overlap",
     "gpu_persistent_kernel",
     "gpu_transform",
     "map_fusion",

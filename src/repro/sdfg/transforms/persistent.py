@@ -101,6 +101,13 @@ def _needs_barrier(state: State, nxt: State | None) -> bool:
     device-wide visibility the barrier publishes)."""
     if nxt is None:
         return True
+    group = getattr(state, "overlap_group", None)
+    if group is not None and group == getattr(nxt, "overlap_group", None):
+        # chunks of one auto-overlapped map (transforms.overlap) write
+        # disjoint row blocks, and their eager puts read only rows the
+        # preceding chunk already produced — the transform certifies
+        # this, so no grid-wide rendezvous is needed inside the group
+        return False
     if any(isinstance(n, (PutmemSignal, SignalWait)) for n in state.nodes):
         # communication scheduled in a single thread needs the grid to
         # observe completion before dependent compute (§5.3.2)

@@ -11,8 +11,10 @@ from repro.stencil.variants.nvshmem_discrete import BaselineNVSHMEM
 from repro.stencil.variants.cpufree import CPUFree
 from repro.stencil.variants.perks import CPUFreePERKS
 from repro.stencil.variants.coresident import CPUFreeCoResident
+from repro.stencil.variants.auto_overlap import AutoOverlap
 
 __all__ = [
+    "AutoOverlap",
     "BaselineCopy",
     "BaselineNVSHMEM",
     "BaselineOverlap",

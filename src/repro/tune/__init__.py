@@ -1,0 +1,254 @@
+"""Empirical autotuner for the auto-overlap schedule (the ROADMAP's
+"cost model + autotuner" closer for the compiler-side perf lever).
+
+The cost model in :func:`repro.stencil.variants.auto_overlap.
+choose_schedule` predicts a chunk count from calibrated constants
+alone.  This package *refines* that guess by measuring: it sweeps
+(chunk count × TB-specialization split × boundary fusion) candidates
+per (app, topology, size) through the :mod:`repro.perf` runner, so
+every trial is an ordinary sweep point — fanned out over ``--jobs``
+worker processes, cached on disk by content key, and replayable via
+``--changed-only`` manifests.  Re-running the tuner on an unchanged
+repo replays every trial from the cache (the manifest classifies them
+``replayed``) and re-emits byte-identical schedule JSON.
+
+Determinism contract: the candidate grid is a pure function of the
+configuration (priority-ordered, deduplicated, budget-truncated), the
+winner is the minimum ``(per_iteration_us, grid position)`` — so ties
+resolve to the earlier, simpler candidate — and all JSON goes through
+:mod:`repro.obs.stablejson`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# reuses the figure suite's sweep worker so the cpufree baseline point
+# shares cache entries with `repro.bench` runs of the same config
+from repro.bench.figures import (
+    DEFAULT_GPU_COUNTS,
+    SIZE_CLASSES_2D,
+    _stencil_point,
+    weak_shape_2d,
+)
+from repro.core.autotune import candidate_splits
+from repro.perf import SweepRunner, active_runner
+from repro.stencil.base import StencilConfig
+from repro.stencil.variants.auto_overlap import (
+    CHUNK_CANDIDATES,
+    AutoOverlap,
+    OverlapSchedule,
+    choose_schedule,
+)
+
+__all__ = [
+    "SCHEDULE_FORMAT",
+    "WINLOSS_FORMAT",
+    "TuneResult",
+    "schedule_grid",
+    "schedule_payload",
+    "trial_point",
+    "tune",
+    "win_loss_payload",
+]
+
+SCHEDULE_FORMAT = "repro-tune-schedule-v1"
+WINLOSS_FORMAT = "repro-tune-winloss-v1"
+
+
+def _config(size: str, gpus: int, iterations: int) -> StencilConfig:
+    """The tuner's fixed app/topology: 2D Jacobi, weak-scaling shapes,
+    timing-only (identical simulated time to the data-carrying run)."""
+    return StencilConfig(
+        global_shape=weak_shape_2d(SIZE_CLASSES_2D[size], gpus),
+        num_gpus=gpus, iterations=iterations, with_data=False,
+    )
+
+
+def trial_point(size: str, gpus: int, iterations: int, chunks: int,
+                boundary_tb_per_side: int | None, fuse_boundary: bool) -> dict:
+    """Sweep worker: measure one schedule candidate.
+
+    Top-level and primitive-argument on purpose: the :mod:`repro.perf`
+    cache keys points by ``qualname + repr(args) + source digest``, so
+    this signature is the trial's cache identity.
+    """
+    schedule = OverlapSchedule(
+        chunks=chunks,
+        boundary_tb_per_side=boundary_tb_per_side,
+        fuse_boundary=fuse_boundary,
+    )
+    res = AutoOverlap(_config(size, gpus, iterations), schedule=schedule).run()
+    return {
+        "per_iteration_us": res.per_iteration_us,
+        "overlap_ratio": res.overlap_ratio,
+    }
+
+
+def schedule_grid(config: StencilConfig, *,
+                  budget: int | None = None) -> list[OverlapSchedule]:
+    """Candidate schedules in deterministic priority order.
+
+    Tiers, so a small ``--budget`` still explores every axis instead of
+    exhausting the first nested loop:
+
+    1. the chunk axis alone (contains the cost model's seed and the
+       ``chunks=1`` candidate, which *is* cpufree's schedule);
+    2. the TB-split axis at the model-seeded chunk count;
+    3. boundary fusion at the seeded chunk count (alone, then crossed
+       with the splits);
+    4. the remaining full cross-product.
+
+    Duplicates collapse onto their first (highest-priority) position;
+    ``budget`` truncates the tail.
+    """
+    seed = choose_schedule(config)
+    tb_total = config.node.gpu.max_coresident_blocks(config.threads_per_block)
+    splits = candidate_splits(tb_total, sides=2)[:6]
+    tiers: list[OverlapSchedule] = []
+    tiers += [OverlapSchedule(k) for k in CHUNK_CANDIDATES]
+    tiers += [OverlapSchedule(seed.chunks, s) for s in splits]
+    tiers += [OverlapSchedule(seed.chunks, None, True)]
+    tiers += [OverlapSchedule(seed.chunks, s, True) for s in splits]
+    for k in CHUNK_CANDIDATES:
+        for s in (None, *splits):
+            for fuse in (False, True):
+                tiers.append(OverlapSchedule(k, s, fuse))
+    seen: set[OverlapSchedule] = set()
+    ordered = [s for s in tiers if not (s in seen or seen.add(s))]
+    if budget is not None:
+        ordered = ordered[:budget]
+    return ordered
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one (app, topology, size) search."""
+
+    size: str
+    gpus: int
+    iterations: int
+    best: OverlapSchedule
+    best_per_iteration_us: float
+    cpufree_per_iteration_us: float
+    model: OverlapSchedule
+    model_per_iteration_us: float
+    #: every measured candidate, in grid order
+    trials: list[dict] = field(default_factory=list)
+
+    @property
+    def model_regret_percent(self) -> float:
+        """How much slower the pure cost-model schedule is than the
+        empirical optimum (0.0 = the model found it)."""
+        if self.best_per_iteration_us == 0.0:
+            return 0.0
+        return ((self.model_per_iteration_us - self.best_per_iteration_us)
+                / self.best_per_iteration_us * 100.0)
+
+
+def tune(size: str, gpus: int, iterations: int = 20, *,
+         budget: int | None = None,
+         runner: SweepRunner | None = None) -> TuneResult:
+    """Search the schedule grid for one configuration."""
+    runner = runner if runner is not None else active_runner()
+    config = _config(size, gpus, iterations)
+    grid = schedule_grid(config, budget=budget)
+    model = choose_schedule(config)
+    tasks = [
+        (size, gpus, iterations, s.chunks, s.boundary_tb_per_side,
+         s.fuse_boundary)
+        for s in grid
+    ]
+    measured = runner.map(trial_point, tasks)
+    cpufree_row = runner.map(_stencil_point, [("cpufree", config)])[0]
+    best_i = min(range(len(grid)),
+                 key=lambda i: (measured[i]["per_iteration_us"], i))
+    model_us = next(
+        m["per_iteration_us"]
+        for s, m in zip(grid, measured) if s == model
+    )
+    return TuneResult(
+        size=size, gpus=gpus, iterations=iterations,
+        best=grid[best_i],
+        best_per_iteration_us=measured[best_i]["per_iteration_us"],
+        cpufree_per_iteration_us=cpufree_row.per_iteration_us,
+        model=model,
+        model_per_iteration_us=model_us,
+        trials=[
+            {"schedule": s.describe(), **m}
+            for s, m in zip(grid, measured)
+        ],
+    )
+
+
+def schedule_payload(result: TuneResult) -> dict:
+    """The byte-stable best-schedule document (``--out``)."""
+    return {
+        "format": SCHEDULE_FORMAT,
+        "app": "jacobi2d",
+        "size": result.size,
+        "gpus": result.gpus,
+        "iterations": result.iterations,
+        "schedule": result.best.describe(),
+        "best_per_iteration_us": result.best_per_iteration_us,
+        "cpufree_per_iteration_us": result.cpufree_per_iteration_us,
+        "model_schedule": result.model.describe(),
+        "model_per_iteration_us": result.model_per_iteration_us,
+        "model_regret_percent": result.model_regret_percent,
+        "trials": result.trials,
+    }
+
+
+def win_loss_payload(sizes: tuple[str, ...] = ("small", "medium", "large"),
+                     gpu_counts: tuple[int, ...] = DEFAULT_GPU_COUNTS,
+                     iterations: int = 40, *,
+                     runner: SweepRunner | None = None) -> dict:
+    """``auto_overlap`` vs hand-tuned ``cpufree`` across the figure
+    suite's (size × gpus) points — the ``BENCH_PR10.json`` table."""
+    runner = runner if runner is not None else active_runner()
+    variants = ("cpufree", "auto_overlap")
+    tasks = [
+        (variant, _config(size, gpus, iterations))
+        for size in sizes for gpus in gpu_counts for variant in variants
+    ]
+    rows = runner.map(_stencil_point, tasks)
+    points: list[dict] = []
+    wins = ties = losses = 0
+    it = iter(rows)
+    for size in sizes:
+        for gpus in gpu_counts:
+            cf, ao = next(it), next(it)
+            # chunks==1 delegates to cpufree's exact body, so ties are
+            # bit-exact; anything inside float-noise of that is a tie
+            eps = 1e-9 * cf.per_iteration_us
+            if ao.per_iteration_us < cf.per_iteration_us - eps:
+                outcome = "win"
+                wins += 1
+            elif ao.per_iteration_us <= cf.per_iteration_us + eps:
+                outcome = "tie"
+                ties += 1
+            else:
+                outcome = "loss"
+                losses += 1
+            points.append({
+                "size": size,
+                "gpus": gpus,
+                "chunks": choose_schedule(
+                    _config(size, gpus, iterations)).chunks,
+                "cpufree_per_iteration_us": cf.per_iteration_us,
+                "auto_overlap_per_iteration_us": ao.per_iteration_us,
+                "cpufree_overlap_ratio": cf.overlap_ratio,
+                "auto_overlap_overlap_ratio": ao.overlap_ratio,
+                "outcome": outcome,
+            })
+    total = len(points)
+    return {
+        "format": WINLOSS_FORMAT,
+        "app": "jacobi2d",
+        "iterations": iterations,
+        "points": points,
+        "wins": wins,
+        "ties": ties,
+        "losses": losses,
+        "win_or_tie_fraction": (wins + ties) / total if total else 0.0,
+    }

@@ -113,3 +113,54 @@ class TestCLI:
         out_file = tmp_path / "report.txt"
         assert main(["2.2", "--out", str(out_file)]) == 0
         assert "Figure 2.2a" in out_file.read_text()
+
+
+class TestAutoOverlapFigure:
+    def test_win_loss_headlines(self):
+        from repro.bench.figures import fig_auto_overlap
+
+        fig = fig_auto_overlap(sizes=("small",), gpu_counts=(1, 2),
+                               iterations=4)
+        assert len(fig.rows) == 4  # 2 variants x 2 gpu counts
+        total = fig.headlines["wins"] + fig.headlines["ties"] \
+            + fig.headlines["losses"]
+        assert total == 2
+        # small domains degenerate to cpufree's schedule -> never a loss
+        assert fig.headlines["losses"] == 0
+        assert fig.headlines["win_or_tie_fraction"] == 1.0
+
+    def test_series_carry_size_label(self):
+        from repro.bench.figures import fig_auto_overlap
+
+        fig = fig_auto_overlap(sizes=("small",), gpu_counts=(1,),
+                               iterations=4)
+        assert {r.series for r in fig.rows} \
+            == {"cpufree/small", "auto_overlap/small"}
+
+
+class TestListFigures:
+    def test_lists_all_figures_without_running(self, capsys):
+        from repro.bench.__main__ import EXTRA_FIGURES, FIGURES, main
+
+        assert main(["--list-figures"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in (*FIGURES, *EXTRA_FIGURES):
+            assert figure_id in out
+        assert "auto_overlap" in out
+        assert "opt-in" in out
+
+    def test_catalog_covers_every_figure(self):
+        from repro.bench.__main__ import EXTRA_FIGURES, FIGURE_CATALOG, FIGURES
+
+        assert set(FIGURE_CATALOG) == set(FIGURES) | set(EXTRA_FIGURES)
+        for title, variants, points in FIGURE_CATALOG.values():
+            assert points > 0 and variants
+
+    def test_point_counts_match_definitions(self):
+        from repro.bench.__main__ import FIGURE_CATALOG
+        from repro.bench.figures import DEFAULT_GPU_COUNTS
+
+        assert FIGURE_CATALOG["6.1"][2] \
+            == 3 * len(DEFAULT_GPU_COUNTS) * len(STENCIL_VARIANTS)
+        assert FIGURE_CATALOG["auto_overlap"][2] \
+            == 3 * len(DEFAULT_GPU_COUNTS) * 2

@@ -127,3 +127,22 @@ class TestLatencyHierarchy:
         assert tweaked.kernel_launch_us == 100.0
         assert DEFAULT_COST_MODEL.kernel_launch_us == 3.2
         assert isinstance(tweaked, CostModel)
+
+
+class TestWithValidation:
+    def test_typo_raises_clear_error(self):
+        with pytest.raises(ValueError, match="unknown CostModel knob"):
+            DEFAULT_COST_MODEL.with_(kernel_lauch_us=1.0)
+
+    def test_error_lists_valid_knobs(self):
+        with pytest.raises(ValueError, match="kernel_launch_us"):
+            DEFAULT_COST_MODEL.with_(grid_sync=9.0)
+
+    def test_multiple_typos_all_named(self):
+        with pytest.raises(ValueError, match="bad_a, bad_b"):
+            DEFAULT_COST_MODEL.with_(bad_b=1.0, bad_a=2.0)
+
+    def test_valid_knobs_still_work(self):
+        tweaked = DEFAULT_COST_MODEL.with_(grid_sync_us=9.0, tiling_penalty=0.5)
+        assert tweaked.grid_sync_us == 9.0
+        assert tweaked.tiling_penalty == 0.5

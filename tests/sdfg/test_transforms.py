@@ -16,6 +16,8 @@ from repro.sdfg.programs import (
     cpufree_pipeline,
 )
 from repro.sdfg.transforms import (
+    OverlapTransformError,
+    auto_overlap,
     gpu_persistent_kernel,
     gpu_transform,
     map_fusion,
@@ -254,6 +256,136 @@ class TestPersistent:
         from repro.sdfg.graph import State
         states = [el for el in loop.elements if isinstance(el, State)]
         assert states[-1].sync_after
+
+
+class TestAutoOverlap:
+    def test_rewrites_jacobi_1d_after_full_pipeline(self):
+        """persistent -> overlap ordering: the pass applies on top of
+        the fully lowered cpufree pipeline and re-relaxes barriers."""
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+        before = len(list(sdfg.walk_states()))
+        assert auto_overlap(sdfg, chunks=3) == 1
+        validate(sdfg)
+        loop = sdfg.loop_regions()[0]
+        assert loop.schedule is Schedule.GPU_PERSISTENT
+        assert all(s.schedule is Schedule.GPU_PERSISTENT
+                   for s in loop.walk_states())
+        # top + bottom + 3 interior chunks replace the one compute map;
+        # the two eager puts are relocated, not duplicated
+        assert len(list(sdfg.walk_states())) == before + 4
+        from repro.sdfg.graph import State
+        states = [el for el in loop.elements if isinstance(el, State)]
+        assert states[-1].sync_after  # back edge still synchronizes
+        groups = {getattr(s, "overlap_group", None) for s in states}
+        assert len(groups - {None}) == 1
+
+    def test_chunks_within_group_skip_barriers(self):
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+        auto_overlap(sdfg, chunks=4)
+        loop = sdfg.loop_regions()[0]
+        from repro.sdfg.graph import State
+        states = [el for el in loop.elements if isinstance(el, State)]
+        grouped = [s for s in states
+                   if getattr(s, "overlap_group", None) is not None]
+        # every grouped state except the group's last runs barrier-free
+        assert not any(s.sync_after for s in grouped[:-1])
+
+    def test_map_fusion_then_overlap(self):
+        """map_fusion -> overlap ordering: a fused multi-tasklet map
+        with an eager boundary put still tiles."""
+
+        @program
+        def fused(A: float64[N], B: float64[N], C: float64[N],
+                  TSTEPS: int32, nw: int32, ne: int32):
+            for t in range(1, TSTEPS):
+                B[1:-1] = A[1:-1] * 2
+                C[1:-1] = A[1:-1] + 1
+                comm.Isend(B[1], nw, 2)      # noqa: F821
+                comm.Irecv(B[N - 1], ne, 2)  # noqa: F821
+                comm.Waitall()               # noqa: F821
+
+        sdfg = fused.to_sdfg()
+        gpu_transform(sdfg)
+        assert map_fusion(sdfg) == 1
+        mpi_to_nvshmem(sdfg, CONJUGATES_1D)
+        nvshmem_array(sdfg)
+        assert auto_overlap(sdfg, chunks=2) == 1
+        gpu_persistent_kernel(sdfg)
+        validate(sdfg)
+
+    def test_non_tileable_map_refused_with_named_error(self):
+        """No-op guarantee: a map the fastpath cannot vectorize is
+        refused loudly, never silently rewritten."""
+
+        @program
+        def clamped(A: float64[N], B: float64[N],
+                    TSTEPS: int32, nw: int32, ne: int32):
+            for t in range(1, TSTEPS):
+                B[1:-1] = np.maximum(A[1:-1], A[2:])  # noqa: F821
+                comm.Isend(B[1], nw, 2)      # noqa: F821
+                comm.Irecv(B[N - 1], ne, 2)  # noqa: F821
+                comm.Waitall()               # noqa: F821
+
+        sdfg = clamped.to_sdfg()
+        gpu_transform(sdfg)
+        mpi_to_nvshmem(sdfg, CONJUGATES_1D)
+        nvshmem_array(sdfg)
+        described = sdfg.describe()
+        with pytest.raises(OverlapTransformError, match="non-tileable"):
+            auto_overlap(sdfg, chunks=2)
+        assert sdfg.describe() == described  # graph untouched on refusal
+
+    def test_requires_a_loop(self):
+        @program
+        def flat(A: float64[N]):
+            A[1:-1] = A[1:-1]
+
+        sdfg = flat.to_sdfg()
+        with pytest.raises(OverlapTransformError, match="no loop"):
+            auto_overlap(sdfg, chunks=2)
+
+    def test_requires_an_overlappable_map(self):
+        @program
+        def pure(A: float64[N], TSTEPS: int32):
+            for t in range(1, TSTEPS):
+                A[1:-1] = A[1:-1] + 1
+
+        sdfg = pure.to_sdfg()
+        with pytest.raises(OverlapTransformError, match="no overlappable"):
+            auto_overlap(sdfg, chunks=2)
+
+    def test_rejects_bad_chunk_count(self):
+        sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+        with pytest.raises(OverlapTransformError, match="chunk"):
+            auto_overlap(sdfg, chunks=0)
+
+    def test_2d_pipeline_composes(self):
+        sdfg = cpufree_pipeline(build_jacobi_2d_sdfg(), CONJUGATES_2D)
+        assert auto_overlap(sdfg, chunks=2) == 1
+        validate(sdfg)
+
+    def test_executor_results_bit_identical(self):
+        """The rewritten SDFG computes exactly what the original does."""
+        import numpy as np
+        from repro.hw import HGX_A100_8GPU
+        from repro.runtime import MultiGPUContext
+        from repro.sdfg.codegen import SDFGExecutor
+        from repro.sdfg.distributed import SlabDecomposition1D
+        from repro.sim import Tracer
+
+        rng = np.random.default_rng(11)
+        u0 = rng.random(26)
+        decomp = SlabDecomposition1D(24, 3)
+
+        def run(overlapped):
+            sdfg = cpufree_pipeline(build_jacobi_1d_sdfg(), CONJUGATES_1D)
+            if overlapped:
+                auto_overlap(sdfg, chunks=3)
+            ctx = MultiGPUContext(HGX_A100_8GPU.scaled_to(3), tracer=Tracer())
+            report = SDFGExecutor(sdfg, ctx).run(decomp.rank_args(u0, 6))
+            return decomp.gather(report.arrays, u0)
+
+        np.testing.assert_array_equal(run(False), run(True))
 
 
 class TestFullPipelines:

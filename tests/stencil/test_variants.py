@@ -102,8 +102,14 @@ class TestRelativePerformance:
     def test_cpufree_fastest_on_small_domain(self, results):
         cpufree = results["cpufree"].total_time_us
         for name, res in results.items():
-            if not name.startswith("cpufree"):
-                assert cpufree < res.total_time_us, name
+            if name.startswith("cpufree"):
+                continue
+            if name == "auto_overlap":
+                # cpufree with a compiler-chosen schedule: on small
+                # domains the model picks one chunk and it ties exactly
+                assert res.total_time_us == cpufree
+                continue
+            assert cpufree < res.total_time_us, name
 
     def test_nvshmem_baseline_beats_copy_baseline(self, results):
         assert results["baseline_nvshmem"].total_time_us < results["baseline_copy"].total_time_us
